@@ -1,0 +1,180 @@
+package kadop
+
+// One benchmark per table and figure of the paper's evaluation, each
+// wrapping the corresponding experiment runner at a bench-friendly
+// scale. `go test -bench=. -benchmem` regenerates every result;
+// cmd/kadop-bench runs the same experiments at configurable scales and
+// prints the paper-style tables.
+
+import (
+	"testing"
+
+	"kadop/internal/experiments"
+)
+
+// BenchmarkFig2Indexing regenerates Figure 2: publishing time against
+// corpus size, network size, publisher count and the DPP.
+func BenchmarkFig2Indexing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(experiments.Fig2Options{
+			Records: []int{300, 600}, SmallPeers: 8, LargePeers: 16,
+			Publishers: []int{4}, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig3QueryResponse regenerates Figure 3: index-query response
+// time with and without the DPP.
+func BenchmarkFig3QueryResponse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(experiments.Fig3Options{
+			Records: []int{1500}, Peers: 12, Seed: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 3 { // without DPP, with DPP, with parallel join
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkTrafficWorkload regenerates the Section 4.3 traffic
+// measurement: the 50-query workload over growing indexed volumes.
+func BenchmarkTrafficWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTraffic(experiments.TrafficOptions{
+			Records: []int{400, 800}, Peers: 10, Queries: 20, Seed: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkTable1DyadicCover regenerates Table 1: average dyadic-cover
+// sizes over the five dataset shapes.
+func BenchmarkTable1DyadicCover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(experiments.Table1Options{Seed: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkFilterSensitivity regenerates the Section 5.4 sensitivity
+// analysis of the structural Bloom filters.
+func BenchmarkFilterSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSensitivity(experiments.SensitivityOptions{
+			Records: 2000, BasicFPs: []float64{0.05, 0.20}, Seed: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkFig7Strategies regenerates Figure 7(a,b,c): normalized data
+// volume of the Bloom-reducer strategies.
+func BenchmarkFig7Strategies(b *testing.B) {
+	for _, variant := range []string{"a", "b", "c"} {
+		b.Run(variant, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFig7(experiments.Fig7Options{
+					Variant: variant, Records: 800, Peers: 10, Seed: 6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) < 3 {
+					b.Fatal("missing strategies")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Fundex regenerates Figure 9: Fundex query processing
+// over an intensional collection.
+func BenchmarkFig9Fundex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig9(experiments.Fig9Options{
+			Docs: []int{200}, Peers: 8, Matches: 5, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkStoreAblation regenerates the Section 3 store comparison
+// (B+-tree vs PAST-like naive store vs memory).
+func BenchmarkStoreAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunStoreAblation(experiments.StoreAblationOptions{
+			Batches: 60, BatchSize: 60, Seed: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkSplitAblation regenerates the Section 4.1 ordered-vs-random
+// DPP split comparison.
+func BenchmarkSplitAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSplitAblation(experiments.SplitAblationOptions{
+			Records: 600, Peers: 10, Seed: 9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkPublishQuery is an end-to-end micro-benchmark of the public
+// API: one publish plus one query per iteration on a standing cluster.
+func BenchmarkPublishQuery(b *testing.B) {
+	c, err := NewSimCluster(6, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	q := MustParseQuery(`//article//author`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Peer(i%6).PublishXML([]byte(facadeDoc), "bench.xml"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Peer((i+3)%6).Query(q, QueryOptions{IndexOnly: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

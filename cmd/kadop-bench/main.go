@@ -1,0 +1,136 @@
+// Command kadop-bench regenerates the paper's tables and figures.
+//
+// Each experiment of the evaluation has a sub-experiment name; -exp all
+// runs everything. Scales default to laptop-sized runs; raise -records,
+// -peers and friends to approach the paper's Grid5000 scales.
+//
+//	kadop-bench -exp fig3 -records 1000,2000,4000 -peers 100
+//	kadop-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kadop/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|all")
+		records = flag.String("records", "", "comma-separated corpus sizes in records (experiment-specific default)")
+		peers   = flag.Int("peers", 0, "network size (experiment-specific default)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		short   = flag.Bool("short", false, "smallest scales (smoke run)")
+	)
+	flag.Parse()
+
+	sizes, err := parseSizes(*records)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kadop-bench:", err)
+		os.Exit(2)
+	}
+	if *short {
+		sizes = []int{200, 400}
+	}
+
+	runners := map[string]func() (interface{ Format() string }, error){
+		"fig2": func() (interface{ Format() string }, error) {
+			o := experiments.Fig2Options{Records: sizes, Seed: *seed, WithNaiveStore: true}
+			if *peers > 0 {
+				o.SmallPeers, o.LargePeers = *peers/2, *peers
+			}
+			if *short {
+				o.WithNaiveStore = false
+			}
+			return experiments.RunFig2(o)
+		},
+		"fig3": func() (interface{ Format() string }, error) {
+			return experiments.RunFig3(experiments.Fig3Options{Records: sizes, Peers: *peers, Seed: *seed})
+		},
+		"traffic": func() (interface{ Format() string }, error) {
+			return experiments.RunTraffic(experiments.TrafficOptions{Records: sizes, Peers: *peers, Seed: *seed})
+		},
+		"table1": func() (interface{ Format() string }, error) {
+			return experiments.RunTable1(experiments.Table1Options{Seed: *seed})
+		},
+		"sensitivity": func() (interface{ Format() string }, error) {
+			o := experiments.SensitivityOptions{Seed: *seed}
+			if len(sizes) > 0 {
+				o.Records = sizes[len(sizes)-1]
+			}
+			return experiments.RunSensitivity(o)
+		},
+		"fig7a": fig7Runner("a", sizes, *peers, *seed),
+		"fig7b": fig7Runner("b", sizes, *peers, *seed),
+		"fig7c": fig7Runner("c", sizes, *peers, *seed),
+		"fig9": func() (interface{ Format() string }, error) {
+			o := experiments.Fig9Options{Peers: *peers, Seed: *seed}
+			if len(sizes) > 0 {
+				o.Docs = sizes
+			}
+			return experiments.RunFig9(o)
+		},
+		"store": func() (interface{ Format() string }, error) {
+			return experiments.RunStoreAblation(experiments.StoreAblationOptions{Seed: *seed})
+		},
+		"split": func() (interface{ Format() string }, error) {
+			o := experiments.SplitAblationOptions{Peers: *peers, Seed: *seed}
+			if len(sizes) > 0 {
+				o.Records = sizes[len(sizes)-1]
+			}
+			return experiments.RunSplitAblation(o)
+		},
+	}
+
+	order := []string{"fig2", "fig3", "traffic", "table1", "sensitivity",
+		"fig7a", "fig7b", "fig7c", "fig9", "store", "split"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "kadop-bench: unknown experiment %q (want one of %s, all)\n",
+				*exp, strings.Join(order, "|"))
+			os.Exit(2)
+		}
+		selected = []string{*exp}
+	}
+	for _, name := range selected {
+		res, err := runners[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kadop-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+	}
+}
+
+func fig7Runner(variant string, sizes []int, peers int, seed int64) func() (interface{ Format() string }, error) {
+	return func() (interface{ Format() string }, error) {
+		o := experiments.Fig7Options{Variant: variant, Peers: peers, Seed: seed}
+		if len(sizes) > 0 {
+			o.Records = sizes[len(sizes)-1]
+		}
+		return experiments.RunFig7(o)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

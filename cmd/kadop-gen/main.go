@@ -1,0 +1,64 @@
+// Command kadop-gen writes the synthetic corpora of the experiments to
+// disk as XML files, for use with kadop-publish or external tools.
+//
+//	kadop-gen -corpus dblp -records 5000 -out ./corpus
+//	kadop-gen -corpus inex -docs 1000 -out ./inex
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kadop/internal/workload"
+	"kadop/internal/xmltree"
+)
+
+func main() {
+	var (
+		corpus  = flag.String("corpus", "dblp", "corpus kind: dblp|inex")
+		out     = flag.String("out", "corpus", "output directory")
+		records = flag.Int("records", 2500, "dblp: bibliographic records")
+		docs    = flag.Int("docs", 500, "inex: host documents (plus as many referenced files)")
+		matches = flag.Int("matches", 10, "inex: planted answers for the canonical query")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	switch *corpus {
+	case "dblp":
+		gen := workload.DBLP{Seed: *seed, Records: *records}.Documents()
+		for _, d := range gen {
+			if err := os.WriteFile(filepath.Join(*out, d.URI), []byte(xmltree.Serialize(d.Doc)), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d DBLP documents (%0.2f MB) to %s\n",
+			len(gen), float64(workload.SizeBytes(gen))/1e6, *out)
+	case "inex":
+		c := workload.INEX{Seed: *seed, Docs: *docs, Matches: *matches, SecondType: true}.Generate()
+		for _, h := range c.Hosts {
+			if err := os.WriteFile(filepath.Join(*out, h.URI), []byte(xmltree.Serialize(h.Doc)), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		for uri, raw := range c.Files {
+			if err := os.WriteFile(filepath.Join(*out, uri), raw, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d host documents and %d referenced files to %s\n",
+			len(c.Hosts), len(c.Files), *out)
+	default:
+		fmt.Fprintf(os.Stderr, "kadop-gen: unknown corpus %q\n", *corpus)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kadop-gen:", err)
+	os.Exit(1)
+}

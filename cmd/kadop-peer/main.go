@@ -1,0 +1,55 @@
+// Command kadop-peer runs one long-lived KadoP peer over TCP.
+//
+// The first peer of a deployment needs no bootstrap address; every
+// later peer joins through any running peer:
+//
+//	kadop-peer -listen 127.0.0.1:7001 -id 1 -store /var/lib/kadop/p1.bt
+//	kadop-peer -listen 127.0.0.1:7002 -id 2 -bootstrap 127.0.0.1:7001
+//
+// The peer serves its slice of the distributed index and answers
+// phase-two query evaluation for the documents it publishes. Use
+// kadop-publish and kadop-query against any running peer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"kadop"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		bootstrap = flag.String("bootstrap", "", "address of any running peer (empty for the first peer)")
+		id        = flag.Uint("id", 0, "internal peer id (unique across the deployment, > 0)")
+		storePath = flag.String("store", "", "B+-tree index file (empty = in-memory)")
+		useDPP    = flag.Bool("dpp", false, "enable distributed posting partitioning")
+	)
+	flag.Parse()
+	if *id == 0 {
+		fmt.Fprintln(os.Stderr, "kadop-peer: -id is required and must be > 0")
+		os.Exit(2)
+	}
+
+	cfg := kadop.Config{UseDPP: *useDPP}
+	peer, err := kadop.NewTCPPeer(*listen, kadop.PeerID(*id), *storePath, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kadop-peer:", err)
+		os.Exit(1)
+	}
+	if err := kadop.Join(peer, *bootstrap); err != nil {
+		fmt.Fprintln(os.Stderr, "kadop-peer: join:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kadop-peer %d listening on %s\n", *id, peer.Node().Self().Addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("kadop-peer: shutting down")
+	peer.Node().Close()
+}

@@ -1,0 +1,101 @@
+// Command kadop-query evaluates a tree-pattern query against a running
+// KadoP deployment from an ephemeral query peer.
+//
+//	kadop-query -bootstrap 127.0.0.1:7001 -id 99 '//article//author[. contains "Ullman"]'
+//
+// The -strategy flag selects a Section 5.3 Bloom-reducer plan; -index
+// stops after phase one and prints the candidate documents.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kadop"
+)
+
+func main() {
+	var (
+		bootstrap = flag.String("bootstrap", "", "address of any running peer (required)")
+		id        = flag.Uint("id", 0, "internal peer id for this query peer (unique, > 0)")
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		strategy  = flag.String("strategy", "conventional", "conventional|ab|db|bloom|subquery")
+		indexOnly = flag.Bool("index", false, "run the index query only; print candidate documents")
+	)
+	flag.Parse()
+	if *bootstrap == "" || *id == 0 || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kadop-query -bootstrap ADDR -id N 'QUERY'")
+		os.Exit(2)
+	}
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kadop-query:", err)
+		os.Exit(2)
+	}
+	q, err := kadop.ParseQuery(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kadop-query:", err)
+		os.Exit(2)
+	}
+
+	// A client peer: it looks up and fetches but never joins routing
+	// tables, so firing off ephemeral queries does not disturb the
+	// overlay's key ownership.
+	peer, err := kadop.NewTCPClientPeer(*listen, kadop.PeerID(*id), kadop.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kadop-query:", err)
+		os.Exit(1)
+	}
+	defer peer.Node().Close()
+	if err := kadop.JoinClient(peer, *bootstrap); err != nil {
+		fmt.Fprintln(os.Stderr, "kadop-query: join:", err)
+		os.Exit(1)
+	}
+
+	res, err := peer.Query(q, kadop.QueryOptions{Strategy: strat, IndexOnly: *indexOnly})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kadop-query:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("index query: %v (first answer %v), %d candidate documents\n",
+		res.IndexTime, res.FirstAnswer, len(res.Docs))
+	if *indexOnly {
+		for _, d := range res.Docs {
+			uri, err := peer.URI(d)
+			if err != nil {
+				uri = "?"
+			}
+			fmt.Printf("  %v  %s\n", d, uri)
+		}
+		return
+	}
+	fmt.Printf("total: %v, %d answers\n", res.Total, len(res.Matches))
+	for _, m := range res.Matches {
+		uri, err := peer.URI(m.Doc)
+		if err != nil {
+			uri = "?"
+		}
+		fmt.Printf("  %s (%v):", uri, m.Doc)
+		for _, p := range m.Postings {
+			fmt.Printf(" %v", p.SID)
+		}
+		fmt.Println()
+	}
+}
+
+func parseStrategy(s string) (kadop.Strategy, error) {
+	switch s {
+	case "conventional":
+		return kadop.Conventional, nil
+	case "ab":
+		return kadop.ABReducer, nil
+	case "db":
+		return kadop.DBReducer, nil
+	case "bloom":
+		return kadop.BloomReducer, nil
+	case "subquery":
+		return kadop.SubQueryReducer, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}

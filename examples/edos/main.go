@@ -1,0 +1,96 @@
+// Edos: software-distribution metadata shared by developers.
+//
+// The paper's driving application (Section 1) is Edos: the metadata of
+// a Linux distribution — thousands of packages and their dependency
+// records — shared among a population of developers. This example
+// models it: each developer peer publishes package metadata documents,
+// and queries locate packages by name, dependency or maintainer across
+// the whole distribution, including across several simultaneous
+// versions of the distribution.
+//
+//	go run ./examples/edos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kadop"
+)
+
+// pkg renders one package's metadata document.
+func pkg(name, version, section, maintainer string, depends []string) string {
+	deps := ""
+	for _, d := range depends {
+		deps += fmt.Sprintf("<depends>%s</depends>", d)
+	}
+	return fmt.Sprintf(`<package>
+  <name>%s</name>
+  <version>%s</version>
+  <section>%s</section>
+  <maintainer>%s</maintainer>
+  %s
+</package>`, name, version, section, maintainer, deps)
+}
+
+func main() {
+	const developers = 8
+	cluster, err := kadop.NewSimCluster(developers, kadop.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Two simultaneous versions of the distribution, as Edos requires.
+	type rel struct{ version, label string }
+	releases := []rel{{"2006.0", "stable"}, {"2007.0", "devel"}}
+	names := []string{"glibc", "gcc", "coreutils", "bash", "kadop", "rpm", "urpmi", "kernel"}
+	maintainers := []string{"alice", "bob", "carol", "dave"}
+	deps := map[string][]string{
+		"gcc": {"glibc"}, "coreutils": {"glibc"}, "bash": {"glibc", "coreutils"},
+		"kadop": {"glibc", "bash"}, "rpm": {"glibc"}, "urpmi": {"rpm"}, "kernel": nil,
+		"glibc": nil,
+	}
+
+	n := 0
+	for _, r := range releases {
+		for i, name := range names {
+			doc := pkg(name, r.version, r.label, maintainers[i%len(maintainers)], deps[name])
+			uri := fmt.Sprintf("%s/%s.xml", r.version, name)
+			if _, err := cluster.Peer(n%developers).PublishXML([]byte(doc), uri); err != nil {
+				log.Fatal(err)
+			}
+			n++
+		}
+	}
+	fmt.Printf("published %d package records across %d developer peers\n\n", n, developers)
+
+	queries := []struct {
+		what  string
+		query string
+	}{
+		{"packages depending on glibc", `//package[contains(.//depends,'glibc')]//name`},
+		{"everything maintained by alice", `//package//maintainer[. contains "alice"]`},
+		{"bash across all releases", `//package[//version]//name[. contains "bash"]`},
+		{"devel-section packages", `//package[contains(.//section,'devel')]//name`},
+	}
+	for _, c := range queries {
+		q := kadop.MustParseQuery(c.query)
+		res, err := cluster.Peer(developers-1).Query(q, kadop.QueryOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%s):\n", c.what, c.query)
+		for _, m := range res.Matches {
+			uri, err := cluster.Peer(developers - 1).URI(m.Doc)
+			if err != nil {
+				uri = "?"
+			}
+			fmt.Printf("  %s\n", uri)
+		}
+		if len(res.Matches) == 0 {
+			fmt.Println("  (none)")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,80 @@
+// Quickstart: a three-peer KadoP network in one process.
+//
+// Three peers join a simulated DHT; one publishes a small bibliography;
+// another runs tree-pattern queries, showing the two-phase evaluation
+// (index query, then answers from the document peers).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kadop"
+)
+
+const bibliography = `<dblp>
+  <article>
+    <author>Jeffrey Ullman</author>
+    <title>Principles of database and knowledge base systems</title>
+    <year>1988</year>
+  </article>
+  <article>
+    <author>Serge Abiteboul</author>
+    <author>Ioana Manolescu</author>
+    <title>XML processing in DHT networks</title>
+    <year>2008</year>
+  </article>
+  <inproceedings>
+    <author>Jeffrey Ullman</author>
+    <title>Information integration using logical views</title>
+    <year>1997</year>
+  </inproceedings>
+</dblp>`
+
+func main() {
+	// A simulated network: the same API drives real TCP deployments
+	// (see cmd/kadop-peer), but one process is enough to see the system
+	// work end to end.
+	cluster, err := kadop.NewSimCluster(3, kadop.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Peer 0 publishes: the document stays there; its index postings
+	// are distributed across all three peers by term.
+	key, err := cluster.Peer(0).PublishXML([]byte(bibliography), "bibliography.xml")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published bibliography.xml as %v\n\n", key)
+
+	// Peer 2 queries. Phase one joins the terms' posting lists from
+	// their home peers; phase two fetches the answers from peer 0.
+	for _, qs := range []string{
+		`//article//author`,
+		`//article//author[. contains "Ullman"]`,
+		`//dblp//title[. contains "xml"]`,
+		`//inproceedings[//year]//title`,
+	} {
+		q := kadop.MustParseQuery(qs)
+		res, err := cluster.Peer(2).Query(q, kadop.QueryOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-48s -> %d answers (index %v, total %v)\n",
+			qs, len(res.Matches), res.IndexTime.Round(1000), res.Total.Round(1000))
+		for _, m := range res.Matches {
+			fmt.Printf("    doc %v, elements", m.Doc)
+			for _, p := range m.Postings {
+				fmt.Printf(" %v", p.SID)
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("\ntraffic by class:")
+	fmt.Print(cluster.TrafficReport())
+}

@@ -1,0 +1,3 @@
+module kadop
+
+go 1.22

@@ -1,0 +1,212 @@
+// Package bloom implements the basic Bloom filter [Bloom 1970] used by
+// KadoP's Structural Bloom Filters (Section 5 of the paper).
+//
+// The filter is a bit vector of n bits with k hash functions; an element
+// is inserted by setting the k bits it hashes to, and a membership
+// look-up answers positively iff all k bits are set. Look-ups of
+// inserted elements always succeed; look-ups of absent elements fail
+// except with the filter's false-positive probability, which depends on
+// n, k and the number of insertions.
+//
+// The k hash functions are derived from one 128-bit hash by the
+// standard double-hashing construction h_i(e) = h1(e) + i*h2(e), which
+// is indistinguishable from independent hashes for Bloom-filter
+// purposes (Kirsch & Mitzenmacher).
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Filter is a Bloom filter over 64-bit keys.
+type Filter struct {
+	bits  []uint64
+	nbits uint64
+	k     int
+	count uint64 // number of insertions, for fill-ratio estimation
+}
+
+// New returns a filter with nbits bits (rounded up to a multiple of 64,
+// minimum 64) and k hash functions (clamped to [1, 32]).
+func New(nbits uint64, k int) *Filter {
+	if nbits < 64 {
+		nbits = 64
+	}
+	words := (nbits + 63) / 64
+	if k < 1 {
+		k = 1
+	}
+	if k > 32 {
+		k = 32
+	}
+	return &Filter{bits: make([]uint64, words), nbits: words * 64, k: k}
+}
+
+// OptimalParams returns the bit count and hash count minimising space
+// for n expected insertions at target false-positive rate fp:
+// m = -n ln fp / (ln 2)^2, k = (m/n) ln 2.
+func OptimalParams(n uint64, fp float64) (nbits uint64, k int) {
+	if n == 0 {
+		n = 1
+	}
+	if fp <= 0 {
+		fp = 1e-9
+	}
+	if fp >= 1 {
+		fp = 0.999
+	}
+	ln2 := math.Ln2
+	m := math.Ceil(-float64(n) * math.Log(fp) / (ln2 * ln2))
+	nbits = uint64(m)
+	k = int(math.Round(m / float64(n) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 32 {
+		k = 32
+	}
+	return nbits, k
+}
+
+// NewOptimal returns a filter sized for n insertions at false-positive
+// rate fp.
+func NewOptimal(n uint64, fp float64) *Filter {
+	nbits, k := OptimalParams(n, fp)
+	return New(nbits, k)
+}
+
+// mix128 produces two independent 64-bit hashes of key using a
+// SplitMix64-style finalizer over two distinct stream constants.
+func mix128(key uint64) (h1, h2 uint64) {
+	h1 = finalize(key + 0x9e3779b97f4a7c15)
+	h2 = finalize(key ^ 0xbf58476d1ce4e5b9)
+	h2 |= 1 // odd, so the double-hash probes cover the table
+	return
+}
+
+func finalize(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Insert adds a 64-bit key to the filter.
+func (f *Filter) Insert(key uint64) {
+	h1, h2 := mix128(key)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[bit>>6] |= 1 << (bit & 63)
+	}
+	f.count++
+}
+
+// Contains reports whether key may have been inserted. False positives
+// occur with the filter's error probability; false negatives never.
+func (f *Filter) Contains(key uint64) bool {
+	h1, h2 := mix128(key)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of insertions performed.
+func (f *Filter) Count() uint64 { return f.count }
+
+// Bits returns the size of the filter in bits.
+func (f *Filter) Bits() uint64 { return f.nbits }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// SizeBytes returns the wire size of the filter; this is what the
+// Bloom reducer traffic accounting charges for shipping it.
+func (f *Filter) SizeBytes() int { return 16 + len(f.bits)*8 }
+
+// FillRatio returns the fraction of set bits, an estimator of the
+// filter's current false-positive behaviour (fp ~= fill^k).
+func (f *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.nbits)
+}
+
+// EstimatedFP returns the filter's estimated false-positive rate given
+// its current fill.
+func (f *Filter) EstimatedFP() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}
+
+// Marshal serialises the filter to a compact binary form.
+func (f *Filter) Marshal() []byte {
+	buf := make([]byte, 0, f.SizeBytes())
+	buf = binary.AppendUvarint(buf, f.nbits)
+	buf = binary.AppendUvarint(buf, uint64(f.k))
+	buf = binary.AppendUvarint(buf, f.count)
+	for _, w := range f.bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// Unmarshal reconstructs a filter serialised by Marshal.
+func Unmarshal(buf []byte) (*Filter, error) {
+	nbits, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("bloom: bad nbits")
+	}
+	off := sz
+	k, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 || k == 0 || k > 32 {
+		return nil, fmt.Errorf("bloom: bad k")
+	}
+	off += sz
+	count, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("bloom: bad count")
+	}
+	off += sz
+	if nbits%64 != 0 || nbits == 0 {
+		return nil, fmt.Errorf("bloom: nbits %d not a positive multiple of 64", nbits)
+	}
+	words := int(nbits / 64)
+	if len(buf[off:]) < words*8 {
+		return nil, fmt.Errorf("bloom: truncated bit vector: want %d words, have %d bytes", words, len(buf[off:]))
+	}
+	f := &Filter{bits: make([]uint64, words), nbits: nbits, k: int(k), count: count}
+	for i := 0; i < words; i++ {
+		f.bits[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+	}
+	return f, nil
+}
+
+// Union merges other into f (bitwise or). Both filters must have
+// identical geometry; Union returns an error otherwise. It is used when
+// a reduced posting list is assembled from several DPP blocks whose
+// filters were built independently.
+func (f *Filter) Union(other *Filter) error {
+	if f.nbits != other.nbits || f.k != other.k {
+		return fmt.Errorf("bloom: geometry mismatch: (%d,%d) vs (%d,%d)", f.nbits, f.k, other.nbits, other.k)
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.count += other.count
+	return nil
+}

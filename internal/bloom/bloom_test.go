@@ -1,0 +1,195 @@
+package bloom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewOptimal(1000, 0.01)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+	if f.Count() != 1000 {
+		t.Errorf("Count = %d", f.Count())
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	for _, target := range []float64{0.01, 0.05, 0.20} {
+		f := NewOptimal(5000, target)
+		rng := rand.New(rand.NewSource(2))
+		inserted := make(map[uint64]bool, 5000)
+		for i := 0; i < 5000; i++ {
+			k := rng.Uint64()
+			inserted[k] = true
+			f.Insert(k)
+		}
+		fp := 0
+		probes := 50000
+		for i := 0; i < probes; i++ {
+			k := rng.Uint64()
+			if inserted[k] {
+				continue
+			}
+			if f.Contains(k) {
+				fp++
+			}
+		}
+		rate := float64(fp) / float64(probes)
+		if rate > target*1.6 {
+			t.Errorf("target fp %.3f: measured %.4f (too high)", target, rate)
+		}
+		if target >= 0.05 && rate < target*0.3 {
+			t.Errorf("target fp %.3f: measured %.4f (suspiciously low: wrong sizing?)", target, rate)
+		}
+	}
+}
+
+func TestOptimalParams(t *testing.T) {
+	nbits, k := OptimalParams(1000, 0.01)
+	// Theory: m ~= 9.585*n for 1% fp, k ~= 7.
+	if nbits < 9000 || nbits > 10500 {
+		t.Errorf("nbits = %d, want ~9585", nbits)
+	}
+	if k < 6 || k > 8 {
+		t.Errorf("k = %d, want ~7", k)
+	}
+	// Degenerate inputs must not panic or return nonsense.
+	nbits, k = OptimalParams(0, -1)
+	if nbits == 0 || k < 1 {
+		t.Errorf("degenerate OptimalParams = %d,%d", nbits, k)
+	}
+	_, k = OptimalParams(10, 2)
+	if k < 1 {
+		t.Errorf("fp>=1 should still give k>=1")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := NewOptimal(500, 0.02)
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	buf := f.Marshal()
+	if len(buf) > f.SizeBytes() {
+		t.Errorf("Marshal produced %d bytes, SizeBytes = %d", len(buf), f.SizeBytes())
+	}
+	g, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() || g.K() != f.K() || g.Count() != f.Count() {
+		t.Fatal("geometry lost in round trip")
+	}
+	for _, k := range keys {
+		if !g.Contains(k) {
+			t.Fatal("round-tripped filter lost a key")
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	f := New(128, 3)
+	f.Insert(42)
+	buf := f.Marshal()
+	for cut := 0; cut < len(buf)-1; cut += 5 {
+		if _, err := Unmarshal(buf[:cut]); err == nil {
+			t.Fatalf("Unmarshal of %d-byte prefix should fail", cut)
+		}
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("Unmarshal(nil) should fail")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New(1024, 4)
+	b := New(1024, 4)
+	a.Insert(1)
+	b.Insert(2)
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Contains(1) || !a.Contains(2) {
+		t.Fatal("union must contain both keys")
+	}
+	c := New(2048, 4)
+	if err := a.Union(c); err == nil {
+		t.Fatal("Union with mismatched geometry should fail")
+	}
+}
+
+func TestFillRatioAndEstimatedFP(t *testing.T) {
+	f := New(1024, 4)
+	if f.FillRatio() != 0 {
+		t.Fatal("empty filter fill should be 0")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		f.Insert(rng.Uint64())
+	}
+	fill := f.FillRatio()
+	if fill <= 0 || fill >= 1 {
+		t.Fatalf("fill = %f", fill)
+	}
+	if est := f.EstimatedFP(); math.Abs(est-math.Pow(fill, 4)) > 1e-12 {
+		t.Fatalf("EstimatedFP = %f", est)
+	}
+}
+
+func TestInsertedAlwaysFound(t *testing.T) {
+	f := New(4096, 5)
+	prop := func(key uint64) bool {
+		f.Insert(key)
+		return f.Contains(key)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	f := New(1, 0)
+	if f.Bits() < 64 || f.K() != 1 {
+		t.Errorf("clamped filter: bits=%d k=%d", f.Bits(), f.K())
+	}
+	f = New(100, 100)
+	if f.K() != 32 {
+		t.Errorf("k should clamp to 32, got %d", f.K())
+	}
+	if f.Bits()%64 != 0 {
+		t.Errorf("bits should round to word multiple, got %d", f.Bits())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f := NewOptimal(uint64(b.N)+1, 0.01)
+	for i := 0; i < b.N; i++ {
+		f.Insert(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := NewOptimal(100000, 0.01)
+	for i := 0; i < 100000; i++ {
+		f.Insert(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i))
+	}
+}

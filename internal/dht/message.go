@@ -1,0 +1,240 @@
+package dht
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"kadop/internal/metrics"
+	"kadop/internal/postings"
+)
+
+// MsgType enumerates the DHT wire messages.
+type MsgType uint8
+
+// Wire message types. Ping/FindNode are the routing substrate; Append,
+// Get and GetStream are the store operations of Sections 2-3; App
+// carries application-level procedures registered by the KadoP layer.
+const (
+	MsgPing MsgType = iota + 1
+	MsgPong
+	MsgFindNode
+	MsgNodes
+	MsgAppend
+	MsgGet
+	MsgGetStream
+	MsgDelete
+	MsgDeleteKey
+	MsgChunk
+	MsgEnd
+	MsgAck
+	MsgError
+	MsgApp
+	MsgAppReply
+)
+
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgPing: "ping", MsgPong: "pong", MsgFindNode: "find-node",
+		MsgNodes: "nodes", MsgAppend: "append", MsgGet: "get",
+		MsgGetStream: "get-stream", MsgDelete: "delete", MsgDeleteKey: "delete-key",
+		MsgChunk: "chunk", MsgEnd: "end", MsgAck: "ack", MsgError: "error",
+		MsgApp: "app", MsgAppReply: "app-reply",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("msg(%d)", t)
+}
+
+// Message is the single wire unit of both transports. Fields unused by
+// a message type are zero and cost two length bytes each on the wire.
+type Message struct {
+	Type     MsgType
+	From     Contact
+	Target   ID            // FindNode: lookup target
+	Key      string        // store operations: the term or pseudo key
+	Proc     string        // App: procedure name
+	Postings postings.List // Append payload / Get and Chunk responses
+	Contacts []Contact     // Nodes response
+	Blob     []byte        // App payloads, opaque to the DHT
+	Err      string        // Error responses
+}
+
+// Class attributes the message to a traffic class for accounting.
+// Application procedures choose their class by name prefix: "filter:"
+// counts as filter traffic, "index:" as indexing traffic, "stream:" as
+// posting transfers; everything else is control traffic.
+func (m Message) Class() metrics.Class {
+	switch m.Type {
+	case MsgPing, MsgPong, MsgFindNode, MsgNodes:
+		return metrics.Routing
+	case MsgAppend:
+		return metrics.Index
+	case MsgGet, MsgGetStream, MsgChunk, MsgEnd:
+		return metrics.Postings
+	case MsgApp, MsgAppReply:
+		switch {
+		case strings.HasPrefix(m.Proc, "filter:ab"), strings.HasPrefix(m.Proc, "filter:hybrid-ab"):
+			return metrics.FiltersAB
+		case strings.HasPrefix(m.Proc, "filter:db"), strings.HasPrefix(m.Proc, "filter:hybrid-db"):
+			return metrics.FiltersDB
+		case strings.HasPrefix(m.Proc, "filter:"):
+			return metrics.Filters
+		case strings.HasPrefix(m.Proc, "index:"):
+			return metrics.Index
+		case strings.HasPrefix(m.Proc, "stream:"):
+			return metrics.Postings
+		}
+		return metrics.Control
+	case MsgDelete, MsgDeleteKey:
+		return metrics.Index
+	case MsgAck:
+		// Acks answering a blocking get carry the full posting list;
+		// plain acks are control chatter.
+		if len(m.Postings) > 0 {
+			return metrics.Postings
+		}
+		return metrics.Control
+	}
+	return metrics.Other
+}
+
+// Encode serialises the message. Both transports use this codec, so a
+// message costs identical bytes in the simulated and the TCP network.
+func (m Message) Encode() ([]byte, error) {
+	buf := make([]byte, 0, 64+len(m.Blob)+len(m.Postings)*6)
+	buf = append(buf, byte(m.Type))
+	buf = appendContact(buf, m.From)
+	buf = append(buf, m.Target[:]...)
+	buf = appendString(buf, m.Key)
+	buf = appendString(buf, m.Proc)
+	enc, err := postings.Encode(m.Postings)
+	if err != nil {
+		return nil, fmt.Errorf("dht: encode %s: %w", m.Type, err)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(enc)))
+	buf = append(buf, enc...)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Contacts)))
+	for _, c := range m.Contacts {
+		buf = appendContact(buf, c)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Blob)))
+	buf = append(buf, m.Blob...)
+	buf = appendString(buf, m.Err)
+	return buf, nil
+}
+
+// DecodeMessage parses a message serialised by Encode.
+func DecodeMessage(buf []byte) (Message, error) {
+	var m Message
+	r := reader{buf: buf}
+	m.Type = MsgType(r.byte())
+	m.From = r.contact()
+	copy(m.Target[:], r.take(IDBytes))
+	m.Key = r.str()
+	m.Proc = r.str()
+	encLen := int(r.uvarint())
+	if r.err == nil {
+		encBytes := r.take(encLen)
+		if r.err == nil {
+			l, _, err := postings.Decode(encBytes)
+			if err != nil {
+				return m, fmt.Errorf("dht: decode message: %w", err)
+			}
+			m.Postings = l
+		}
+	}
+	nc := int(r.uvarint())
+	if r.err == nil && nc > len(buf) {
+		return m, fmt.Errorf("dht: decode message: implausible contact count %d", nc)
+	}
+	for i := 0; i < nc && r.err == nil; i++ {
+		m.Contacts = append(m.Contacts, r.contact())
+	}
+	blobLen := int(r.uvarint())
+	if r.err == nil {
+		m.Blob = append([]byte(nil), r.take(blobLen)...)
+		if len(m.Blob) == 0 {
+			m.Blob = nil
+		}
+	}
+	m.Err = r.str()
+	if r.err != nil {
+		return m, fmt.Errorf("dht: decode message: %w", r.err)
+	}
+	return m, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendContact(buf []byte, c Contact) []byte {
+	buf = append(buf, c.ID[:]...)
+	return appendString(buf, c.Addr)
+}
+
+// reader is a cursor over an encoded message that latches the first
+// error instead of panicking on truncated input.
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated at offset %d", r.pos)
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil || r.pos >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || n < 0 || r.pos+n > len(r.buf) {
+		r.fail()
+		return make([]byte, n&0xffff)
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.uvarint())
+	if r.err != nil || n > len(r.buf)-r.pos {
+		r.fail()
+		return ""
+	}
+	return string(r.take(n))
+}
+
+func (r *reader) contact() Contact {
+	var c Contact
+	copy(c.ID[:], r.take(IDBytes))
+	c.Addr = r.str()
+	return c
+}

@@ -1,0 +1,543 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+	"kadop/internal/store"
+)
+
+// Config holds the overlay parameters.
+type Config struct {
+	// K is the bucket size and lookup width (default 8).
+	K int
+	// Alpha is the lookup parallelism (default 3).
+	Alpha int
+	// Replication is how many closest peers hold each key (default 1;
+	// the experiments use 1 unless fault tolerance is under test).
+	Replication int
+	// ChunkSize is the number of postings per stream chunk of the
+	// pipelined get (default 512).
+	ChunkSize int
+	// Client makes the node an observer: it can look up, fetch and call,
+	// but never advertises itself, so it joins no routing table and owns
+	// no keys. Ephemeral query clients use it — a short-lived full peer
+	// would take ownership of keys and poison the overlay when it exits
+	// (the paper's low-volatility assumption).
+	Client bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 3
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 512
+	}
+	return c
+}
+
+// ProcHandler serves one application-level procedure (registered by the
+// KadoP layer on top of the DHT).
+type ProcHandler func(from Contact, key string, blob []byte) ([]byte, error)
+
+// StreamProcHandler serves one streaming application procedure; it
+// sends posting batches through send.
+type StreamProcHandler func(from Contact, key string, blob []byte, send func(postings.List) error) error
+
+// Node is one DHT peer: routing table, local store, and the wire
+// handlers for the DHT interface (plus registered application
+// procedures).
+type Node struct {
+	self  Contact
+	cfg   Config
+	table *Table
+	store store.Store
+	tr    Transport
+
+	mu          sync.RWMutex
+	procs       map[string]ProcHandler
+	streamProcs map[string]StreamProcHandler
+}
+
+// NewNode creates a peer over the given transport and local store, and
+// starts serving. The node's identifier derives from the transport
+// address.
+func NewNode(tr Transport, st store.Store, cfg Config) (*Node, error) {
+	n := &Node{
+		self:        Contact{ID: PeerIDFromSeed(tr.Addr()), Addr: tr.Addr()},
+		cfg:         cfg.withDefaults(),
+		store:       st,
+		tr:          tr,
+		procs:       map[string]ProcHandler{},
+		streamProcs: map[string]StreamProcHandler{},
+	}
+	n.table = NewTable(n.self.ID, n.cfg.K)
+	if err := tr.Serve(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Self returns this peer's contact record.
+func (n *Node) Self() Contact { return n.self }
+
+// from is the sender contact stamped on outgoing requests; client nodes
+// send an anonymous contact so receivers do not record them.
+func (n *Node) from() Contact {
+	if n.cfg.Client {
+		return Contact{}
+	}
+	return n.self
+}
+
+// Store exposes the local index store (used by the KadoP layer for
+// local index organisation such as DPP blocks).
+func (n *Node) Store() store.Store { return n.store }
+
+// Table exposes the routing table (for diagnostics).
+func (n *Node) Table() *Table { return n.table }
+
+// Handle registers an application procedure.
+func (n *Node) Handle(proc string, h ProcHandler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.procs[proc] = h
+}
+
+// HandleStreamProc registers a streaming application procedure. By
+// convention stream procedure names begin with "stream:".
+func (n *Node) HandleStreamProc(proc string, h StreamProcHandler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.streamProcs[proc] = h
+}
+
+// Bootstrap joins the overlay through the given contacts: it seeds the
+// routing table and performs a lookup of the node's own identifier,
+// which populates buckets along the path (the standard Kademlia join).
+func (n *Node) Bootstrap(seeds ...Contact) error {
+	for _, c := range seeds {
+		if c.ID.IsZero() {
+			c.ID = PeerIDFromSeed(c.Addr)
+		}
+		n.table.Update(c)
+	}
+	_, err := n.Lookup(n.self.ID)
+	return err
+}
+
+// Lookup performs an iterative Kademlia lookup and returns up to K
+// contacts closest to target (including, possibly, this node).
+func (n *Node) Lookup(target ID) ([]Contact, error) {
+	type entry struct {
+		c       Contact
+		queried bool
+	}
+	shortlist := map[ID]*entry{}
+	if !n.cfg.Client {
+		shortlist[n.self.ID] = &entry{c: n.self, queried: true}
+	}
+	for _, c := range n.table.Closest(target, n.cfg.K) {
+		shortlist[c.ID] = &entry{c: c}
+	}
+	closestOf := func() []Contact {
+		out := make([]Contact, 0, len(shortlist))
+		for _, e := range shortlist {
+			out = append(out, e.c)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			return out[i].ID.XOR(target).Less(out[j].ID.XOR(target))
+		})
+		if len(out) > n.cfg.K {
+			out = out[:n.cfg.K]
+		}
+		return out
+	}
+
+	for {
+		// Pick up to Alpha unqueried contacts among the current closest.
+		var batch []Contact
+		for _, c := range closestOf() {
+			e := shortlist[c.ID]
+			if !e.queried {
+				batch = append(batch, c)
+				if len(batch) == n.cfg.Alpha {
+					break
+				}
+			}
+		}
+		if len(batch) == 0 {
+			return closestOf(), nil
+		}
+		type result struct {
+			from     Contact
+			contacts []Contact
+			err      error
+		}
+		results := make(chan result, len(batch))
+		for _, c := range batch {
+			shortlist[c.ID].queried = true
+			go func(c Contact) {
+				resp, err := n.tr.Call(c, Message{Type: MsgFindNode, From: n.from(), Target: target})
+				results <- result{from: c, contacts: resp.Contacts, err: err}
+			}(c)
+		}
+		for range batch {
+			r := <-results
+			if r.err != nil {
+				n.table.Remove(r.from.ID)
+				delete(shortlist, r.from.ID)
+				continue
+			}
+			n.table.Update(r.from)
+			for _, c := range r.contacts {
+				if _, ok := shortlist[c.ID]; !ok {
+					shortlist[c.ID] = &entry{c: c}
+				}
+				n.table.Update(c)
+			}
+		}
+	}
+}
+
+// Locate returns the peer in charge of an application key (the closest
+// peer to the key's identifier), implementing the DHT interface's
+// locate(k).
+func (n *Node) Locate(key string) (Contact, error) {
+	cs, err := n.Lookup(KeyID(key))
+	if err != nil {
+		return Contact{}, err
+	}
+	if len(cs) == 0 {
+		return Contact{}, fmt.Errorf("dht: locate %q: no peers known", key)
+	}
+	return cs[0], nil
+}
+
+// owners returns the Replication closest peers to the key.
+func (n *Node) owners(key string) ([]Contact, error) {
+	cs, err := n.Lookup(KeyID(key))
+	if err != nil {
+		return nil, err
+	}
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("dht: no peers for key %q", key)
+	}
+	if len(cs) > n.cfg.Replication {
+		cs = cs[:n.cfg.Replication]
+	}
+	return cs, nil
+}
+
+// Append adds postings to the key's list on its owner peers — the
+// linear-cost indexing operation of Section 3.
+func (n *Node) Append(key string, ps postings.List) error {
+	owners, err := n.owners(key)
+	if err != nil {
+		return err
+	}
+	for _, o := range owners {
+		if o.ID == n.self.ID {
+			if err := n.store.Append(key, ps); err != nil {
+				return err
+			}
+			continue
+		}
+		sorted := ps.Clone()
+		sorted.Sort()
+		if _, err := n.tr.Call(o, Message{Type: MsgAppend, From: n.from(), Key: key, Postings: sorted}); err != nil {
+			return fmt.Errorf("dht: append %q to %s: %w", key, o.Addr, err)
+		}
+	}
+	return nil
+}
+
+// AppendAt adds postings to a key's list on one specific peer,
+// bypassing the owner lookup. The DPP layer uses it for overflow
+// blocks, whose placement the root block records explicitly (the
+// paper's pointer function); DHT replication deliberately does not
+// apply to such blocks (Section 4.2 notes the DHT's fixed replication
+// does not fit the DPP's needs).
+func (n *Node) AppendAt(to Contact, key string, ps postings.List) error {
+	if to.ID == n.self.ID {
+		return n.store.Append(key, ps)
+	}
+	sorted := ps.Clone()
+	sorted.Sort()
+	_, err := n.tr.Call(to, Message{Type: MsgAppend, From: n.from(), Key: key, Postings: sorted})
+	return err
+}
+
+// Get retrieves the key's full posting list from its owner — the
+// blocking get of the standard DHT API.
+func (n *Node) Get(key string) (postings.List, error) {
+	owner, err := n.Locate(key)
+	if err != nil {
+		return nil, err
+	}
+	if owner.ID == n.self.ID {
+		return n.store.Get(key)
+	}
+	resp, err := n.tr.Call(owner, Message{Type: MsgGet, From: n.from(), Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Postings, nil
+}
+
+// GetStream retrieves the key's posting list as a pipelined stream —
+// the paper's pipelined get. The returned stream delivers postings in
+// canonical order while the transfer is still in progress.
+func (n *Node) GetStream(key string) (postings.Stream, error) {
+	owner, err := n.Locate(key)
+	if err != nil {
+		return nil, err
+	}
+	return n.StreamFrom(owner, Message{Type: MsgGetStream, From: n.from(), Key: key})
+}
+
+// StreamFrom opens a posting stream for an arbitrary request against a
+// specific peer (used by the DPP layer to fetch blocks).
+func (n *Node) StreamFrom(owner Contact, req Message) (postings.Stream, error) {
+	if owner.ID == n.self.ID {
+		// Local fast path: serve from the store through a pipe so the
+		// consumer sees the same streaming behaviour.
+		pipe := postings.NewPipe(n.cfg.ChunkSize * 2)
+		go func() {
+			err := n.HandleStream(n.self, req, func(chunk Message) error {
+				if !pipe.Send(chunk.Postings) {
+					return fmt.Errorf("dht: local stream consumer closed")
+				}
+				return nil
+			})
+			pipe.Close(err)
+		}()
+		return pipe, nil
+	}
+	ms, err := n.tr.OpenStream(owner, req)
+	if err != nil {
+		return nil, err
+	}
+	pipe := postings.NewPipe(n.cfg.ChunkSize * 2)
+	go func() {
+		for {
+			m, err := ms.Recv()
+			if errors.Is(err, io.EOF) {
+				pipe.Close(nil)
+				return
+			}
+			if err != nil {
+				pipe.Close(err)
+				return
+			}
+			if !pipe.Send(m.Postings) {
+				ms.Close()
+				return
+			}
+		}
+	}()
+	return pipe, nil
+}
+
+// Delete removes one posting from the key's list on all owners.
+func (n *Node) Delete(key string, p sid.Posting) error {
+	owners, err := n.owners(key)
+	if err != nil {
+		return err
+	}
+	for _, o := range owners {
+		if o.ID == n.self.ID {
+			if err := n.store.Delete(key, p); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := n.tr.Call(o, Message{Type: MsgDelete, From: n.from(), Key: key, Postings: postings.List{p}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteAt removes one posting from a key's list on a specific peer
+// (the DPP's block-targeted deletion).
+func (n *Node) DeleteAt(to Contact, key string, p sid.Posting) error {
+	if to.ID == n.self.ID {
+		return n.store.Delete(key, p)
+	}
+	_, err := n.tr.Call(to, Message{Type: MsgDelete, From: n.from(), Key: key, Postings: postings.List{p}})
+	return err
+}
+
+// DeleteKey removes the key's entire list on all owners.
+func (n *Node) DeleteKey(key string) error {
+	owners, err := n.owners(key)
+	if err != nil {
+		return err
+	}
+	for _, o := range owners {
+		if o.ID == n.self.ID {
+			if err := n.store.DeleteTerm(key); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := n.tr.Call(o, Message{Type: MsgDeleteKey, From: n.from(), Key: key}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CallProc invokes an application procedure on the owner of key.
+func (n *Node) CallProc(key, proc string, blob []byte) ([]byte, error) {
+	owner, err := n.Locate(key)
+	if err != nil {
+		return nil, err
+	}
+	return n.CallProcOn(owner, key, proc, blob)
+}
+
+// CallProcOn invokes an application procedure on a specific peer.
+func (n *Node) CallProcOn(to Contact, key, proc string, blob []byte) ([]byte, error) {
+	if to.ID == n.self.ID {
+		h := n.lookupProc(proc)
+		if h == nil {
+			return nil, fmt.Errorf("dht: unknown procedure %q", proc)
+		}
+		return h(n.self, key, blob)
+	}
+	resp, err := n.tr.Call(to, Message{Type: MsgApp, From: n.from(), Key: key, Proc: proc, Blob: blob})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Blob, nil
+}
+
+// OpenProcStream opens a posting stream served by a streaming
+// application procedure on a specific peer.
+func (n *Node) OpenProcStream(to Contact, key, proc string, blob []byte) (postings.Stream, error) {
+	return n.StreamFrom(to, Message{Type: MsgApp, From: n.from(), Key: key, Proc: proc, Blob: blob})
+}
+
+func (n *Node) lookupProc(proc string) ProcHandler {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.procs[proc]
+}
+
+func (n *Node) lookupStreamProc(proc string) StreamProcHandler {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.streamProcs[proc]
+}
+
+// HandleCall implements Handler (the server side of the wire protocol).
+func (n *Node) HandleCall(from Contact, req Message) Message {
+	if !from.ID.IsZero() {
+		n.table.Update(from)
+	}
+	fail := func(err error) Message {
+		return Message{Type: MsgError, From: n.self, Err: err.Error()}
+	}
+	switch req.Type {
+	case MsgPing:
+		return Message{Type: MsgPong, From: n.self}
+	case MsgFindNode:
+		return Message{Type: MsgNodes, From: n.self, Contacts: n.table.Closest(req.Target, n.cfg.K)}
+	case MsgAppend:
+		if err := n.store.Append(req.Key, req.Postings); err != nil {
+			return fail(err)
+		}
+		return Message{Type: MsgAck, From: n.self}
+	case MsgGet:
+		l, err := n.store.Get(req.Key)
+		if err != nil {
+			return fail(err)
+		}
+		return Message{Type: MsgAck, From: n.self, Postings: l}
+	case MsgDelete:
+		for _, p := range req.Postings {
+			if err := n.store.Delete(req.Key, p); err != nil {
+				return fail(err)
+			}
+		}
+		return Message{Type: MsgAck, From: n.self}
+	case MsgDeleteKey:
+		if err := n.store.DeleteTerm(req.Key); err != nil {
+			return fail(err)
+		}
+		return Message{Type: MsgAck, From: n.self}
+	case MsgApp:
+		h := n.lookupProc(req.Proc)
+		if h == nil {
+			return fail(fmt.Errorf("unknown procedure %q", req.Proc))
+		}
+		blob, err := h(from, req.Key, req.Blob)
+		if err != nil {
+			return fail(err)
+		}
+		return Message{Type: MsgAppReply, From: n.self, Proc: req.Proc, Blob: blob}
+	}
+	return fail(fmt.Errorf("unexpected message type %s", req.Type))
+}
+
+// HandleStream implements Handler for pipelined transfers.
+func (n *Node) HandleStream(from Contact, req Message, send func(Message) error) error {
+	if !from.ID.IsZero() {
+		n.table.Update(from)
+	}
+	switch req.Type {
+	case MsgGetStream:
+		return n.streamList(req.Key, send)
+	case MsgApp:
+		h := n.lookupStreamProc(req.Proc)
+		if h == nil {
+			return fmt.Errorf("unknown stream procedure %q", req.Proc)
+		}
+		return h(from, req.Key, req.Blob, func(batch postings.List) error {
+			return send(Message{Type: MsgChunk, From: n.self, Postings: batch})
+		})
+	}
+	return fmt.Errorf("unexpected stream request %s", req.Type)
+}
+
+// streamList scans the local store and ships the list in chunks.
+func (n *Node) streamList(key string, send func(Message) error) error {
+	batch := make(postings.List, 0, n.cfg.ChunkSize)
+	var sendErr error
+	err := n.store.Scan(key, sid.MinPosting, func(p sid.Posting) bool {
+		batch = append(batch, p)
+		if len(batch) == n.cfg.ChunkSize {
+			sendErr = send(Message{Type: MsgChunk, From: n.self, Postings: batch})
+			batch = batch[:0]
+			return sendErr == nil
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	if len(batch) > 0 {
+		return send(Message{Type: MsgChunk, From: n.self, Postings: batch})
+	}
+	return nil
+}
+
+// Close shuts the node's transport down.
+func (n *Node) Close() error { return n.tr.Close() }

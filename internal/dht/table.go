@@ -1,0 +1,98 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+)
+
+// Table is a Kademlia routing table: one k-bucket per distance prefix.
+// Buckets hold least-recently-seen contacts first; a full bucket drops
+// the newcomer (the classic policy favouring long-lived peers, which
+// matches the paper's assumption of low peer volatility).
+type Table struct {
+	mu      sync.RWMutex
+	self    ID
+	k       int
+	buckets [IDBytes * 8][]Contact
+}
+
+// NewTable returns a routing table for the peer with the given id and
+// bucket capacity k.
+func NewTable(self ID, k int) *Table {
+	if k < 1 {
+		k = 1
+	}
+	return &Table{self: self, k: k}
+}
+
+// Update records that a contact was seen. Known contacts move to the
+// bucket tail (most recently seen); new contacts are appended if the
+// bucket has room.
+func (t *Table) Update(c Contact) {
+	if c.ID == t.self || c.ID.IsZero() {
+		return
+	}
+	i := t.self.BucketIndex(c.ID)
+	if i < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buckets[i]
+	for j := range b {
+		if b[j].ID == c.ID {
+			// Move to tail, refreshing the address.
+			copy(b[j:], b[j+1:])
+			b[len(b)-1] = c
+			return
+		}
+	}
+	if len(b) < t.k {
+		t.buckets[i] = append(b, c)
+	}
+}
+
+// Remove drops a contact (after a failed call).
+func (t *Table) Remove(id ID) {
+	i := t.self.BucketIndex(id)
+	if i < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buckets[i]
+	for j := range b {
+		if b[j].ID == id {
+			t.buckets[i] = append(b[:j], b[j+1:]...)
+			return
+		}
+	}
+}
+
+// Closest returns up to n known contacts closest to target under XOR.
+func (t *Table) Closest(target ID, n int) []Contact {
+	t.mu.RLock()
+	var all []Contact
+	for i := range t.buckets {
+		all = append(all, t.buckets[i]...)
+	}
+	t.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		return all[i].ID.XOR(target).Less(all[j].ID.XOR(target))
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Size returns the number of contacts in the table.
+func (t *Table) Size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for i := range t.buckets {
+		n += len(t.buckets[i])
+	}
+	return n
+}

@@ -1,0 +1,233 @@
+package dht
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"kadop/internal/metrics"
+)
+
+// maxFrame bounds a single wire frame; posting-list chunks are far
+// smaller, so anything beyond this is a protocol error, not data.
+const maxFrame = 64 << 20
+
+// TCPTransport carries DHT messages over TCP with length-prefixed
+// frames. Each Call opens one connection (simple and adequate for the
+// deployment sizes KadoP targets); streams hold their connection until
+// the final chunk.
+type TCPTransport struct {
+	ln        net.Listener
+	collector *metrics.Collector
+	timeout   time.Duration
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewTCPTransport listens on addr (e.g. "127.0.0.1:0"). The collector
+// may be nil; a timeout of 0 means 10 seconds per request.
+func NewTCPTransport(addr string, collector *metrics.Collector, timeout time.Duration) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dht: tcp listen: %w", err)
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &TCPTransport{ln: ln, collector: collector, timeout: timeout}, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Serve implements Transport.
+func (t *TCPTransport) Serve(h Handler) error {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return nil
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer conn.Close()
+			t.serveConn(conn)
+		}()
+	}
+}
+
+func (t *TCPTransport) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	req, err := readFrame(br, t.collector)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	h := t.handler
+	t.mu.Unlock()
+	if h == nil {
+		writeFrame(conn, Message{Type: MsgError, Err: "not serving"}, t.collector)
+		return
+	}
+	if req.Type == MsgGetStream || (req.Type == MsgApp && isStreamProc(req.Proc)) {
+		err := h.HandleStream(req.From, req, func(chunk Message) error {
+			return writeFrame(conn, chunk, t.collector)
+		})
+		end := Message{Type: MsgEnd}
+		if err != nil {
+			end = Message{Type: MsgError, Err: err.Error()}
+		}
+		writeFrame(conn, end, t.collector)
+		return
+	}
+	resp := h.HandleCall(req.From, req)
+	writeFrame(conn, resp, t.collector)
+}
+
+// isStreamProc reports whether an application procedure uses streaming
+// responses; such procedures carry the "stream:" name prefix.
+func isStreamProc(proc string) bool {
+	return len(proc) >= 7 && proc[:7] == "stream:"
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(to Contact, req Message) (Message, error) {
+	conn, err := net.DialTimeout("tcp", to.Addr, t.timeout)
+	if err != nil {
+		return Message{}, fmt.Errorf("dht: dial %s: %w", to.Addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(t.timeout))
+	if err := writeFrame(conn, req, t.collector); err != nil {
+		return Message{}, err
+	}
+	resp, err := readFrame(bufio.NewReader(conn), t.collector)
+	if err != nil {
+		return Message{}, err
+	}
+	if resp.Type == MsgError {
+		return resp, fmt.Errorf("dht: remote %s: %s", to.Addr, resp.Err)
+	}
+	return resp, nil
+}
+
+// OpenStream implements Transport.
+func (t *TCPTransport) OpenStream(to Contact, req Message) (MsgStream, error) {
+	conn, err := net.DialTimeout("tcp", to.Addr, t.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dht: dial %s: %w", to.Addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(t.timeout))
+	if err := writeFrame(conn, req, t.collector); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &tcpStream{conn: conn, br: bufio.NewReader(conn), collector: t.collector}, nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+type tcpStream struct {
+	conn      net.Conn
+	br        *bufio.Reader
+	collector *metrics.Collector
+	finished  bool
+}
+
+func (s *tcpStream) Recv() (Message, error) {
+	if s.finished {
+		return Message{}, io.EOF
+	}
+	m, err := readFrame(s.br, s.collector)
+	if err != nil {
+		s.finished = true
+		s.conn.Close()
+		return Message{}, err
+	}
+	switch m.Type {
+	case MsgEnd:
+		s.finished = true
+		s.conn.Close()
+		return Message{}, io.EOF
+	case MsgError:
+		s.finished = true
+		s.conn.Close()
+		return Message{}, fmt.Errorf("dht: stream error: %s", m.Err)
+	}
+	return m, nil
+}
+
+func (s *tcpStream) Close() {
+	if !s.finished {
+		s.finished = true
+		s.conn.Close()
+	}
+}
+
+func writeFrame(w io.Writer, m Message, collector *metrics.Collector) error {
+	enc, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(enc)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("dht: write frame: %w", err)
+	}
+	if _, err := w.Write(enc); err != nil {
+		return fmt.Errorf("dht: write frame: %w", err)
+	}
+	collector.Count(m.Class(), len(enc))
+	return nil
+}
+
+func readFrame(r io.Reader, collector *metrics.Collector) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, fmt.Errorf("dht: read frame: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return Message{}, fmt.Errorf("dht: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Message{}, fmt.Errorf("dht: read frame body: %w", err)
+	}
+	m, err := DecodeMessage(buf)
+	if err != nil {
+		return Message{}, err
+	}
+	// The receiver does not double-count: the sender charged the bytes.
+	_ = collector
+	return m, nil
+}

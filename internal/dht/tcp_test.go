@@ -1,0 +1,168 @@
+package dht
+
+import (
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"kadop/internal/metrics"
+	"kadop/internal/postings"
+	"kadop/internal/store"
+)
+
+func tcpNode(t *testing.T, timeout time.Duration) *Node {
+	t.Helper()
+	tr, err := NewTCPTransport("127.0.0.1:0", metrics.NewCollector(), timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(tr, store.NewMem(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func TestTCPStreamProc(t *testing.T) {
+	a, b := tcpNode(t, 0), tcpNode(t, 0)
+	if err := b.Bootstrap(a.Self()); err != nil {
+		t.Fatal(err)
+	}
+	want := randomPostings(rand.New(rand.NewSource(1)), 300)
+	a.HandleStreamProc("stream:test", func(_ Contact, _ string, _ []byte, send func(postings.List) error) error {
+		for i := 0; i < len(want); i += 64 {
+			end := i + 64
+			if end > len(want) {
+				end = len(want)
+			}
+			if err := send(want[i:end]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	s, err := b.OpenProcStream(a.Self(), "k", "stream:test", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := postings.Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tcp stream proc: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestTCPCallTimeout(t *testing.T) {
+	// A listener that accepts but never answers: the client must give up
+	// within its timeout instead of hanging.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			// Swallow the request, never reply.
+		}
+	}()
+	client := tcpNode(t, 300*time.Millisecond)
+	start := time.Now()
+	_, err = client.tr.Call(Contact{ID: PeerIDFromSeed("x"), Addr: ln.Addr().String()},
+		Message{Type: MsgPing, From: client.Self()})
+	if err == nil {
+		t.Fatal("call to a mute server should time out")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatalf("timeout took %v", time.Since(start))
+	}
+}
+
+func TestTCPStreamEarlyClose(t *testing.T) {
+	a, b := tcpNode(t, 0), tcpNode(t, 0)
+	if err := b.Bootstrap(a.Self()); err != nil {
+		t.Fatal(err)
+	}
+	big := make(postings.List, 50000)
+	for i := range big {
+		s := uint32(2*i + 1)
+		big[i].Peer = 1
+		big[i].Doc = 1
+		big[i].SID.Start = s
+		big[i].SID.End = s + 1
+	}
+	if err := a.Store().Append("l:big", big); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := b.tr.OpenStream(a.Self(), Message{Type: MsgGetStream, From: b.Self(), Key: "l:big"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	ms.Close() // abandon mid-stream; server write fails and its goroutine exits
+	// The node keeps serving.
+	resp, err := b.tr.Call(a.Self(), Message{Type: MsgPing, From: b.Self()})
+	if err != nil || resp.Type != MsgPong {
+		t.Fatalf("ping after abandoned stream: %v %v", resp.Type, err)
+	}
+}
+
+func TestTCPRejectsOversizeFrame(t *testing.T) {
+	node := tcpNode(t, 0)
+	conn, err := net.Dial("tcp", node.Self().Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A frame header claiming 1 GiB: the server must drop the
+	// connection, not allocate.
+	if _, err := conn.Write([]byte{0x40, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server should close the connection on an oversize frame")
+	}
+	// And keep serving others.
+	other := tcpNode(t, 0)
+	if _, err := other.tr.Call(node.Self(), Message{Type: MsgPing, From: other.Self()}); err != nil {
+		t.Fatalf("ping after oversize frame: %v", err)
+	}
+}
+
+func TestTCPCollectorCountsSends(t *testing.T) {
+	coll := metrics.NewCollector()
+	tr, err := NewTCPTransport("127.0.0.1:0", coll, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewNode(tr, store.NewMem(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b := tcpNode(t, 0)
+	if err := b.Bootstrap(a.Self()); err != nil {
+		t.Fatal(err)
+	}
+	l := randomPostings(rand.New(rand.NewSource(2)), 100)
+	if err := b.Append("l:x", l); err != nil {
+		t.Fatal(err)
+	}
+	// a's collector counted its outbound responses (routing replies).
+	if coll.TotalBytes() == 0 {
+		t.Error("server collector recorded nothing")
+	}
+}

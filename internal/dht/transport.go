@@ -1,0 +1,287 @@
+package dht
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"kadop/internal/metrics"
+)
+
+// Handler serves incoming messages on a peer.
+type Handler interface {
+	// HandleCall serves a request-response message.
+	HandleCall(from Contact, req Message) Message
+	// HandleStream serves a streaming request by calling send for each
+	// chunk; returning ends the stream (with the error, if non-nil).
+	HandleStream(from Contact, req Message, send func(Message) error) error
+}
+
+// MsgStream is the consumer side of a streaming response.
+type MsgStream interface {
+	// Recv returns the next chunk, or io.EOF after the final one.
+	Recv() (Message, error)
+	// Close abandons the stream early.
+	Close()
+}
+
+// Transport moves messages between peers. Implementations: the
+// in-process simulated network (Network) and the TCP transport.
+type Transport interface {
+	// Addr is this endpoint's address, routable by peers on the same
+	// transport.
+	Addr() string
+	// Call sends a request and waits for the response.
+	Call(to Contact, req Message) (Message, error)
+	// OpenStream sends a request whose response is a chunk stream.
+	OpenStream(to Contact, req Message) (MsgStream, error)
+	// Serve registers the handler for incoming messages and starts
+	// serving (non-blocking).
+	Serve(h Handler) error
+	// Close shuts the endpoint down.
+	Close() error
+}
+
+// LinkModel describes the simulated network links of the in-process
+// transport. The zero value models an infinitely fast network, which is
+// what unit tests use; experiments configure Grid5000-like numbers.
+type LinkModel struct {
+	// Latency is charged once per message.
+	Latency time.Duration
+	// BytesPerSec throttles each message's transfer time; 0 disables.
+	BytesPerSec int64
+}
+
+func (lm LinkModel) delay(bytes int) time.Duration {
+	d := lm.Latency
+	if lm.BytesPerSec > 0 {
+		d += time.Duration(int64(bytes) * int64(time.Second) / lm.BytesPerSec)
+	}
+	return d
+}
+
+// Network is the in-process simulated network: a registry of endpoints
+// that exchange encoded messages by direct invocation, charging every
+// byte to the Collector and sleeping according to the LinkModel. It
+// lets one process host hundreds of KadoP peers, which is how the
+// Figure 2/3 experiments run at 200-500 peers.
+type Network struct {
+	mu        sync.RWMutex
+	endpoints map[string]*inprocEndpoint
+	Collector *metrics.Collector
+	model     LinkModel
+	nextAddr  int
+}
+
+// NewNetwork returns an empty simulated network.
+func NewNetwork() *Network {
+	return &Network{endpoints: map[string]*inprocEndpoint{}, Collector: metrics.NewCollector()}
+}
+
+// SetModel installs a link model. It is safe to call while traffic is
+// in flight; messages charged afterwards use the new model.
+func (n *Network) SetModel(m LinkModel) {
+	n.mu.Lock()
+	n.model = m
+	n.mu.Unlock()
+}
+
+// Model returns the current link model.
+func (n *Network) Model() LinkModel {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.model
+}
+
+// NewEndpoint creates a transport endpoint with a fresh address.
+func (n *Network) NewEndpoint() Transport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextAddr++
+	addr := fmt.Sprintf("sim://%d", n.nextAddr)
+	ep := &inprocEndpoint{net: n, addr: addr}
+	n.endpoints[addr] = ep
+	return ep
+}
+
+func (n *Network) lookup(addr string) (*inprocEndpoint, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ep, ok := n.endpoints[addr]
+	if !ok || ep.closed {
+		return nil, fmt.Errorf("dht: no endpoint at %s", addr)
+	}
+	return ep, nil
+}
+
+// Partition removes an endpoint from the network without closing it,
+// simulating a peer failure (used by fault-injection tests).
+func (n *Network) Partition(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, addr)
+}
+
+// charge accounts and delays one message transfer.
+func (n *Network) charge(m Message) (int, error) {
+	enc, err := m.Encode()
+	if err != nil {
+		return 0, err
+	}
+	n.Collector.Count(m.Class(), len(enc))
+	if d := n.Model().delay(len(enc)); d > 0 {
+		time.Sleep(d)
+	}
+	return len(enc), nil
+}
+
+type inprocEndpoint struct {
+	net     *Network
+	addr    string
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+}
+
+func (e *inprocEndpoint) Addr() string { return e.addr }
+
+func (e *inprocEndpoint) Serve(h Handler) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+	return nil
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.net.Partition(e.addr)
+	return nil
+}
+
+func (e *inprocEndpoint) getHandler() (Handler, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, fmt.Errorf("dht: endpoint %s closed", e.addr)
+	}
+	if e.handler == nil {
+		return nil, fmt.Errorf("dht: endpoint %s not serving", e.addr)
+	}
+	return e.handler, nil
+}
+
+func (e *inprocEndpoint) Call(to Contact, req Message) (Message, error) {
+	target, err := e.net.lookup(to.Addr)
+	if err != nil {
+		return Message{}, err
+	}
+	h, err := target.getHandler()
+	if err != nil {
+		return Message{}, err
+	}
+	if _, err := e.net.charge(req); err != nil {
+		return Message{}, err
+	}
+	// Round-trip through the codec so the handler sees exactly what a
+	// remote peer would see (catches any unencodable state early).
+	enc, err := req.Encode()
+	if err != nil {
+		return Message{}, err
+	}
+	dec, err := DecodeMessage(enc)
+	if err != nil {
+		return Message{}, err
+	}
+	resp := h.HandleCall(dec.From, dec)
+	if _, err := e.net.charge(resp); err != nil {
+		return Message{}, err
+	}
+	if resp.Type == MsgError {
+		return resp, fmt.Errorf("dht: remote %s: %s", to.Addr, resp.Err)
+	}
+	return resp, nil
+}
+
+func (e *inprocEndpoint) OpenStream(to Contact, req Message) (MsgStream, error) {
+	target, err := e.net.lookup(to.Addr)
+	if err != nil {
+		return nil, err
+	}
+	h, err := target.getHandler()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.net.charge(req); err != nil {
+		return nil, err
+	}
+	st := &inprocStream{ch: make(chan Message, 8), done: make(chan struct{})}
+	go func() {
+		err := h.HandleStream(req.From, req, func(chunk Message) error {
+			// Round-trip through the codec: accounts the bytes and gives
+			// the consumer its own copy, exactly like a real network
+			// (producers reuse their chunk buffers between sends).
+			enc, cerr := chunk.Encode()
+			if cerr != nil {
+				return cerr
+			}
+			e.net.Collector.Count(chunk.Class(), len(enc))
+			if d := e.net.Model().delay(len(enc)); d > 0 {
+				time.Sleep(d)
+			}
+			dec, cerr := DecodeMessage(enc)
+			if cerr != nil {
+				return cerr
+			}
+			select {
+			case st.ch <- dec:
+				return nil
+			case <-st.done:
+				return fmt.Errorf("dht: stream consumer closed")
+			}
+		})
+		end := Message{Type: MsgEnd}
+		if err != nil {
+			end = Message{Type: MsgError, Err: err.Error()}
+		}
+		e.net.charge(end)
+		select {
+		case st.ch <- end:
+		case <-st.done:
+		}
+		close(st.ch)
+	}()
+	return st, nil
+}
+
+type inprocStream struct {
+	ch        chan Message
+	done      chan struct{}
+	closeOnce sync.Once
+	finished  bool
+}
+
+func (s *inprocStream) Recv() (Message, error) {
+	if s.finished {
+		return Message{}, io.EOF
+	}
+	m, ok := <-s.ch
+	if !ok {
+		return Message{}, io.EOF
+	}
+	switch m.Type {
+	case MsgEnd:
+		s.finished = true
+		return Message{}, io.EOF
+	case MsgError:
+		s.finished = true
+		return Message{}, fmt.Errorf("dht: stream error: %s", m.Err)
+	}
+	return m, nil
+}
+
+func (s *inprocStream) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}

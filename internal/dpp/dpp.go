@@ -1,0 +1,728 @@
+// Package dpp implements Distributed Posting Partitioning (Section 4 of
+// the paper): long posting lists are split horizontally by range
+// conditions into blocks that migrate to other peers, so that a query
+// peer can fetch a popular term's list from many peers in parallel and
+// skip blocks whose condition cannot contribute to the query.
+//
+// The organisation follows the paper's two-level implementation: the
+// peer in charge of a term keeps the root block — the ordered list of
+// conditions [lo, hi] with a pseudo-key per block — while the blocks
+// themselves live at the peers in charge of the pseudo-keys
+// "overflow:<n>:<term>". A block that outgrows the bound splits in two,
+// one half moving to a fresh pseudo-key, and the root replaces the old
+// condition with the two new ones.
+//
+// Fetching applies the document-interval filtering of Section 4.2:
+// given the roots of all the query's terms, only blocks intersecting
+// the interval [min, max] of document identifiers common to all terms
+// are transferred, and each block ships only its intersection with that
+// interval.
+package dpp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"kadop/internal/dht"
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+)
+
+// Proc names registered on every peer. The prefixes route traffic
+// accounting: index: for publishing, stream: for posting transfers.
+const (
+	ProcAppend = "index:dpp:append"
+	ProcRoot   = "dpp:root"
+	ProcBlock  = "stream:dpp:block"
+)
+
+// DefaultBlockSize is the default bound on postings per block. The
+// paper uses 4 MB blocks; at ~4 bytes per encoded posting this
+// default models the same magnitude scaled to the experiments here.
+const DefaultBlockSize = 4096
+
+// BlockRef is one root-block entry: the condition [Lo, Hi] (in posting
+// order), the pseudo-key of the block, the address of the peer holding
+// it (the materialised pointer of the paper's ϕ function — fetches go
+// straight to the holder instead of re-routing the pseudo-key), and
+// its size.
+type BlockRef struct {
+	Lo, Hi sid.Posting
+	Key    string
+	Owner  string
+	Count  int
+	// Types are the document types present in the block (Section 4.1:
+	// conditions carry type information so queries can skip blocks whose
+	// types cannot match). Empty means untyped content: never skipped.
+	Types []string
+}
+
+// Root is the root DPP block for one term. A term that has not
+// overflowed has no blocks; its list is inline at the home peer, and
+// Count/Lo/Hi summarise it so the query planner can still compute the
+// document-interval filter of Section 4.2.
+type Root struct {
+	Term    string
+	Ordered bool // false for the randomised-split ablation
+	Blocks  []BlockRef
+	Count   int         // inline only: posting count
+	Lo, Hi  sid.Posting // inline only: list bounds (when Count > 0)
+	// Types are the document types of the term's postings (inline or
+	// across all blocks); empty means untyped.
+	Types []string
+}
+
+// maxTrackedTypes caps per-condition type sets; content with more
+// distinct types degrades to untyped (never skipped), which keeps the
+// filter conservative.
+const maxTrackedTypes = 16
+
+// addType inserts a type into a sorted set under the cap. The second
+// return is false when the set overflowed and must be treated as
+// untyped.
+func addType(set []string, t string) ([]string, bool) {
+	if t == "" {
+		return set, true
+	}
+	for _, x := range set {
+		if x == t {
+			return set, true
+		}
+	}
+	if len(set) >= maxTrackedTypes {
+		return set, false
+	}
+	set = append(set, t)
+	sort.Strings(set)
+	return set, true
+}
+
+// typeMatches reports whether a condition's type set admits any of the
+// allowed types (nil allowed or nil set means no constraint).
+func typeMatches(set, allowed []string) bool {
+	if len(set) == 0 || allowed == nil {
+		return true
+	}
+	for _, a := range allowed {
+		for _, s := range set {
+			if a == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Manager runs the DPP logic on one peer: the home-side maintenance of
+// roots and blocks, and the query-side parallel fetch. Register must be
+// called once per peer so the manager's procedures are reachable.
+type Manager struct {
+	node      *dht.Node
+	blockSize int
+	ordered   bool
+
+	mu          sync.Mutex
+	roots       map[string]*Root
+	inlineTypes map[string][]string // term -> types of its inline list
+	next        int                 // pseudo-key counter
+}
+
+// Options configure a Manager.
+type Options struct {
+	// BlockSize bounds postings per block (DefaultBlockSize if 0).
+	BlockSize int
+	// RandomSplit selects the randomised split ablation of Section 4.1:
+	// blocks still distribute across peers but carry no order, so
+	// fetches must merge and cannot filter by condition.
+	RandomSplit bool
+}
+
+// NewManager creates the DPP manager for a node and registers its
+// procedures on the node.
+func NewManager(node *dht.Node, opts Options) *Manager {
+	bs := opts.BlockSize
+	if bs <= 0 {
+		bs = DefaultBlockSize
+	}
+	m := &Manager{node: node, blockSize: bs, ordered: !opts.RandomSplit,
+		roots: map[string]*Root{}, inlineTypes: map[string][]string{}}
+	node.Handle(ProcAppend, m.handleAppend)
+	node.Handle(ProcDelete, m.handleDelete)
+	node.Handle(ProcRoot, m.handleRoot)
+	node.HandleStreamProc(ProcBlock, m.handleBlock)
+	return m
+}
+
+// Append routes postings for a term through the term's home peer, which
+// maintains the DPP structure. It is the publishing-side entry point.
+func (m *Manager) Append(term string, ps postings.List) error {
+	return m.AppendTyped(term, ps, "")
+}
+
+// AppendTyped is Append for postings of a typed document (Section 4.1):
+// the type is recorded in the conditions of the blocks that receive the
+// postings, so queries constrained to other types skip them.
+func (m *Manager) AppendTyped(term string, ps postings.List, dtype string) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	sorted := ps.Clone()
+	sorted.Sort()
+	blob := appendStr(nil, dtype)
+	enc, err := postings.Encode(sorted)
+	if err != nil {
+		return err
+	}
+	blob = append(blob, enc...)
+	_, err = m.node.CallProc(term, ProcAppend, blob)
+	return err
+}
+
+// handleAppend runs at the term's home peer.
+func (m *Manager) handleAppend(_ dht.Contact, term string, blob []byte) ([]byte, error) {
+	dtype, pos, err := readStr(blob, 0)
+	if err != nil {
+		return nil, fmt.Errorf("dpp: append %q: %w", term, err)
+	}
+	ps, _, err := postings.Decode(blob[pos:])
+	if err != nil {
+		return nil, fmt.Errorf("dpp: append %q: %w", term, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	root := m.roots[term]
+	if root == nil {
+		// Still inline: append locally, then split on overflow.
+		if err := m.node.Store().Append(term, ps); err != nil {
+			return nil, err
+		}
+		set, ok := addType(m.inlineTypes[term], dtype)
+		if !ok {
+			set = nil
+		}
+		m.inlineTypes[term] = set
+		n, err := m.node.Store().Count(term)
+		if err != nil {
+			return nil, err
+		}
+		if n <= m.blockSize {
+			return nil, nil
+		}
+		return nil, m.overflow(term)
+	}
+	return nil, m.routeToBlocks(root, ps, dtype)
+}
+
+// overflow converts an inline list into a DPP of bound-respecting
+// blocks. A list that barely overflowed splits in two (the paper's
+// base case); bulk loads split into as many blocks as the bound
+// requires.
+func (m *Manager) overflow(term string) error {
+	list, err := m.node.Store().Get(term)
+	if err != nil {
+		return err
+	}
+	root := &Root{Term: term, Ordered: m.ordered, Types: m.inlineTypes[term]}
+	m.roots[term] = root
+	for _, h := range m.partition(list) {
+		if err := m.pushBlock(root, h, root.Types); err != nil {
+			return err
+		}
+	}
+	return m.node.Store().DeleteTerm(term)
+}
+
+// partition divides a sorted list into ceil(n/blockSize) blocks of
+// nearly equal size (at least two), each within the bound. Ordered mode
+// cuts by ranges; the randomised ablation deals round-robin.
+func (m *Manager) partition(list postings.List) []postings.List {
+	k := (len(list) + m.blockSize - 1) / m.blockSize
+	if k < 2 {
+		k = 2
+	}
+	parts := make([]postings.List, k)
+	if m.ordered {
+		per := (len(list) + k - 1) / k
+		for i := 0; i < k; i++ {
+			lo := i * per
+			hi := lo + per
+			if lo > len(list) {
+				lo = len(list)
+			}
+			if hi > len(list) {
+				hi = len(list)
+			}
+			parts[i] = list[lo:hi]
+		}
+	} else {
+		for i, p := range list {
+			parts[i%k] = append(parts[i%k], p)
+		}
+	}
+	out := parts[:0]
+	for _, p := range parts {
+		if len(p) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// pushBlock ships a new block to its pseudo-key's peer and appends its
+// reference to the root.
+func (m *Manager) pushBlock(root *Root, block postings.List, types []string) error {
+	if len(block) == 0 {
+		return nil
+	}
+	m.next++
+	key := fmt.Sprintf("overflow:%d:%s", m.next, root.Term)
+	owner, err := m.node.Locate(key)
+	if err != nil {
+		return err
+	}
+	if err := m.node.AppendAt(owner, key, block); err != nil {
+		return err
+	}
+	root.Blocks = append(root.Blocks, BlockRef{
+		Lo: block[0], Hi: block[len(block)-1], Key: key, Owner: owner.Addr,
+		Count: len(block), Types: append([]string(nil), types...),
+	})
+	return nil
+}
+
+// routeToBlocks distributes sorted postings to the blocks whose
+// conditions cover them, widening boundary conditions as needed, and
+// splits blocks that exceed the bound.
+func (m *Manager) routeToBlocks(root *Root, ps postings.List, dtype string) error {
+	if len(root.Blocks) == 0 {
+		var types []string
+		if dtype != "" {
+			types = []string{dtype}
+		}
+		return m.pushBlock(root, ps, types)
+	}
+	if !root.Ordered {
+		// Random mode: spread arrivals round-robin across blocks.
+		parts := make([]postings.List, len(root.Blocks))
+		for i, p := range ps {
+			j := i % len(root.Blocks)
+			parts[j] = append(parts[j], p)
+		}
+		for i, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			if err := m.appendToBlock(root, i, part, dtype); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Ordered mode: walk blocks and postings together.
+	i := 0
+	for bi := range root.Blocks {
+		if i >= len(ps) {
+			break
+		}
+		var chunk postings.List
+		if bi == len(root.Blocks)-1 {
+			chunk = ps[i:] // everything else goes to the last block
+			i = len(ps)
+		} else {
+			hi := root.Blocks[bi].Hi
+			j := i
+			for j < len(ps) && ps[j].Compare(hi) <= 0 {
+				j++
+			}
+			chunk = ps[i:j]
+			i = j
+		}
+		if len(chunk) == 0 {
+			continue
+		}
+		if err := m.appendToBlock(root, bi, chunk, dtype); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendToBlock adds a chunk to block bi, widening its condition, and
+// splits it if it overflows.
+func (m *Manager) appendToBlock(root *Root, bi int, chunk postings.List, dtype string) error {
+	ref := &root.Blocks[bi]
+	if err := m.node.Append(ref.Key, chunk); err != nil {
+		return err
+	}
+	ref.Count += len(chunk)
+	set, ok := addType(ref.Types, dtype)
+	if !ok {
+		set = nil
+	}
+	ref.Types = set
+	if chunk[0].Compare(ref.Lo) < 0 {
+		ref.Lo = chunk[0]
+	}
+	if chunk[len(chunk)-1].Compare(ref.Hi) > 0 {
+		ref.Hi = chunk[len(chunk)-1]
+	}
+	if ref.Count <= m.blockSize {
+		return nil
+	}
+	return m.splitBlock(root, bi)
+}
+
+// splitBlock fetches an overflowing block, splits it into
+// bound-respecting pieces, moves them to fresh pseudo-keys and replaces
+// the root condition with the new ones (the C -> C1, C2 step of
+// Section 4.1, generalised for bulk appends).
+func (m *Manager) splitBlock(root *Root, bi int) error {
+	old := root.Blocks[bi]
+	list, err := m.node.Get(old.Key)
+	if err != nil {
+		return err
+	}
+	if err := m.node.DeleteKey(old.Key); err != nil {
+		return err
+	}
+	halves := m.partition(list)
+	var refs []BlockRef
+	for _, h := range halves {
+		if len(h) == 0 {
+			continue
+		}
+		m.next++
+		key := fmt.Sprintf("overflow:%d:%s", m.next, root.Term)
+		owner, err := m.node.Locate(key)
+		if err != nil {
+			return err
+		}
+		if err := m.node.AppendAt(owner, key, h); err != nil {
+			return err
+		}
+		refs = append(refs, BlockRef{Lo: h[0], Hi: h[len(h)-1], Key: key, Owner: owner.Addr,
+			Count: len(h), Types: append([]string(nil), old.Types...)})
+	}
+	root.Blocks = append(root.Blocks[:bi], append(refs, root.Blocks[bi+1:]...)...)
+	return nil
+}
+
+// handleRoot serves the root block of a term this peer is home for.
+// A term that never overflowed reports itself inline, with its local
+// list's bounds attached for the document-interval computation.
+func (m *Manager) handleRoot(_ dht.Contact, term string, _ []byte) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	root := m.roots[term]
+	if root == nil {
+		inline := &Root{Term: term, Types: m.inlineTypes[term]}
+		first := true
+		err := m.node.Store().Scan(term, sid.MinPosting, func(p sid.Posting) bool {
+			if first {
+				inline.Lo = p
+				first = false
+			}
+			inline.Hi = p
+			inline.Count++
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		return encodeRoot(inline), nil
+	}
+	return encodeRoot(root), nil
+}
+
+// handleBlock streams a block's postings, clipped to the requested
+// document interval (empty blob means no clipping).
+func (m *Manager) handleBlock(_ dht.Contact, key string, blob []byte, send func(postings.List) error) error {
+	lo, hi, clip, err := decodeInterval(blob)
+	if err != nil {
+		return err
+	}
+	const batchSize = 512
+	batch := make(postings.List, 0, batchSize)
+	var sendErr error
+	err = m.node.Store().Scan(key, sid.MinPosting, func(p sid.Posting) bool {
+		if clip {
+			k := p.Key()
+			if k.Compare(lo) < 0 {
+				return true
+			}
+			if k.Compare(hi) > 0 {
+				return false // sorted: nothing further can match
+			}
+		}
+		batch = append(batch, p)
+		if len(batch) == batchSize {
+			sendErr = send(batch)
+			batch = batch[:0]
+			return sendErr == nil
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	if len(batch) > 0 {
+		return send(batch)
+	}
+	return nil
+}
+
+// Root fetches the root block of a term from its home peer.
+func (m *Manager) Root(term string) (*Root, error) {
+	blob, err := m.node.CallProc(term, ProcRoot, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRoot(blob)
+}
+
+// encoding of roots and intervals ------------------------------------
+
+func encodeRoot(r *Root) []byte {
+	buf := make([]byte, 0, 32+len(r.Blocks)*48)
+	buf = appendStr(buf, r.Term)
+	if r.Ordered {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(r.Count))
+	buf = appendPosting(buf, r.Lo)
+	buf = appendPosting(buf, r.Hi)
+	buf = appendStrs(buf, r.Types)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Blocks)))
+	for _, b := range r.Blocks {
+		buf = appendStr(buf, b.Key)
+		buf = appendStr(buf, b.Owner)
+		buf = appendPosting(buf, b.Lo)
+		buf = appendPosting(buf, b.Hi)
+		buf = binary.AppendUvarint(buf, uint64(b.Count))
+		buf = appendStrs(buf, b.Types)
+	}
+	return buf
+}
+
+func appendStrs(buf []byte, ss []string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ss)))
+	for _, s := range ss {
+		buf = appendStr(buf, s)
+	}
+	return buf
+}
+
+func readStrs(buf []byte, pos int) ([]string, int, error) {
+	n, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 || n > uint64(len(buf)) {
+		return nil, pos, fmt.Errorf("dpp: bad string-set length at %d", pos)
+	}
+	pos += sz
+	var out []string
+	for i := uint64(0); i < n; i++ {
+		var s string
+		var err error
+		if s, pos, err = readStr(buf, pos); err != nil {
+			return nil, pos, err
+		}
+		out = append(out, s)
+	}
+	return out, pos, nil
+}
+
+func decodeRoot(buf []byte) (*Root, error) {
+	r := &Root{}
+	pos := 0
+	var err error
+	if r.Term, pos, err = readStr(buf, pos); err != nil {
+		return nil, fmt.Errorf("dpp: decode root: %w", err)
+	}
+	if pos >= len(buf) {
+		return nil, fmt.Errorf("dpp: decode root: truncated")
+	}
+	r.Ordered = buf[pos] == 1
+	pos++
+	cnt, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("dpp: decode root: bad inline count")
+	}
+	pos += sz
+	r.Count = int(cnt)
+	if r.Lo, pos, err = readPosting(buf, pos); err != nil {
+		return nil, err
+	}
+	if r.Hi, pos, err = readPosting(buf, pos); err != nil {
+		return nil, err
+	}
+	if r.Types, pos, err = readStrs(buf, pos); err != nil {
+		return nil, err
+	}
+	n, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 || n > uint64(len(buf)) {
+		return nil, fmt.Errorf("dpp: decode root: bad block count")
+	}
+	pos += sz
+	for i := uint64(0); i < n; i++ {
+		var b BlockRef
+		if b.Key, pos, err = readStr(buf, pos); err != nil {
+			return nil, fmt.Errorf("dpp: decode root block %d: %w", i, err)
+		}
+		if b.Owner, pos, err = readStr(buf, pos); err != nil {
+			return nil, fmt.Errorf("dpp: decode root block %d owner: %w", i, err)
+		}
+		if b.Lo, pos, err = readPosting(buf, pos); err != nil {
+			return nil, err
+		}
+		if b.Hi, pos, err = readPosting(buf, pos); err != nil {
+			return nil, err
+		}
+		c, sz := binary.Uvarint(buf[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("dpp: decode root: bad count")
+		}
+		pos += sz
+		b.Count = int(c)
+		if b.Types, pos, err = readStrs(buf, pos); err != nil {
+			return nil, err
+		}
+		r.Blocks = append(r.Blocks, b)
+	}
+	return r, nil
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readStr(buf []byte, pos int) (string, int, error) {
+	n, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 || pos+sz+int(n) > len(buf) {
+		return "", pos, fmt.Errorf("truncated string at %d", pos)
+	}
+	pos += sz
+	return string(buf[pos : pos+int(n)]), pos + int(n), nil
+}
+
+func appendPosting(buf []byte, p sid.Posting) []byte {
+	var b [18]byte
+	binary.BigEndian.PutUint32(b[0:], uint32(p.Peer))
+	binary.BigEndian.PutUint32(b[4:], uint32(p.Doc))
+	binary.BigEndian.PutUint32(b[8:], p.SID.Start)
+	binary.BigEndian.PutUint32(b[12:], p.SID.End)
+	binary.BigEndian.PutUint16(b[16:], p.SID.Level)
+	return append(buf, b[:]...)
+}
+
+func readPosting(buf []byte, pos int) (sid.Posting, int, error) {
+	if pos+18 > len(buf) {
+		return sid.Posting{}, pos, fmt.Errorf("dpp: truncated posting at %d", pos)
+	}
+	b := buf[pos:]
+	p := sid.Posting{
+		Peer: sid.PeerID(binary.BigEndian.Uint32(b[0:])),
+		Doc:  sid.DocID(binary.BigEndian.Uint32(b[4:])),
+		SID: sid.SID{
+			Start: binary.BigEndian.Uint32(b[8:]),
+			End:   binary.BigEndian.Uint32(b[12:]),
+			Level: binary.BigEndian.Uint16(b[16:]),
+		},
+	}
+	return p, pos + 18, nil
+}
+
+func encodeInterval(lo, hi sid.DocKey) []byte {
+	buf := make([]byte, 0, 17)
+	buf = append(buf, 1)
+	var b [16]byte
+	binary.BigEndian.PutUint32(b[0:], uint32(lo.Peer))
+	binary.BigEndian.PutUint32(b[4:], uint32(lo.Doc))
+	binary.BigEndian.PutUint32(b[8:], uint32(hi.Peer))
+	binary.BigEndian.PutUint32(b[12:], uint32(hi.Doc))
+	return append(buf, b[:]...)
+}
+
+func decodeInterval(blob []byte) (lo, hi sid.DocKey, clip bool, err error) {
+	if len(blob) == 0 {
+		return sid.DocKey{}, sid.DocKey{}, false, nil
+	}
+	if len(blob) != 17 || blob[0] != 1 {
+		return sid.DocKey{}, sid.DocKey{}, false, fmt.Errorf("dpp: malformed interval blob (%d bytes)", len(blob))
+	}
+	b := blob[1:]
+	lo = sid.DocKey{Peer: sid.PeerID(binary.BigEndian.Uint32(b[0:])), Doc: sid.DocID(binary.BigEndian.Uint32(b[4:]))}
+	hi = sid.DocKey{Peer: sid.PeerID(binary.BigEndian.Uint32(b[8:])), Doc: sid.DocID(binary.BigEndian.Uint32(b[12:]))}
+	return lo, hi, true, nil
+}
+
+// ProcDelete is the deletion procedure: the home peer routes a
+// posting's removal to the block holding it (document modification is
+// deletion followed by re-insertion, as in Section 2).
+const ProcDelete = "index:dpp:delete"
+
+// Delete removes postings of a term through the term's home peer, so
+// deletions reach overflow blocks as well as inline lists.
+func (m *Manager) Delete(term string, ps postings.List) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	sorted := ps.Clone()
+	sorted.Sort()
+	enc, err := postings.Encode(sorted)
+	if err != nil {
+		return err
+	}
+	_, err = m.node.CallProc(term, ProcDelete, enc)
+	return err
+}
+
+// handleDelete runs at the term's home peer.
+func (m *Manager) handleDelete(_ dht.Contact, term string, blob []byte) ([]byte, error) {
+	ps, _, err := postings.Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("dpp: delete %q: %w", term, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	root := m.roots[term]
+	if root == nil {
+		for _, p := range ps {
+			if err := m.node.Store().Delete(term, p); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	for _, p := range ps {
+		for bi := range root.Blocks {
+			ref := &root.Blocks[bi]
+			if p.Compare(ref.Lo) < 0 || p.Compare(ref.Hi) > 0 {
+				continue
+			}
+			owner := dht.Contact{ID: dht.PeerIDFromSeed(ref.Owner), Addr: ref.Owner}
+			if err := m.node.DeleteAt(owner, ref.Key, p); err != nil {
+				return nil, err
+			}
+			if ref.Count > 0 {
+				ref.Count--
+			}
+			break
+		}
+	}
+	// Drop emptied blocks from the root.
+	kept := root.Blocks[:0]
+	for _, b := range root.Blocks {
+		if b.Count > 0 {
+			kept = append(kept, b)
+		}
+	}
+	root.Blocks = kept
+	return nil, nil
+}

@@ -1,0 +1,226 @@
+package dpp
+
+import (
+	"fmt"
+	"sync"
+
+	"kadop/internal/dht"
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+)
+
+// FetchPlan reports what a fetch decided: how many blocks the term has,
+// how many the document-interval filter kept, and whether the list was
+// still inline at its home peer.
+type FetchPlan struct {
+	Term       string
+	Inline     bool
+	Blocks     int
+	Fetched    int
+	Parallel   int
+	DocClipped bool
+}
+
+// FetchOptions configure the query-side fetch.
+type FetchOptions struct {
+	// Parallel is the maximum number of blocks in flight (the paper's
+	// degree of parallelism K; default 4).
+	Parallel int
+	// Filter restricts the fetch to postings of documents within
+	// [FilterLo, FilterHi] (Section 4.2). Zero values mean no filter.
+	Filter             bool
+	FilterLo, FilterHi sid.DocKey
+	// NoConditionFilter disables the block-level condition filtering
+	// while keeping the interval clip, for the ablation benchmarks.
+	NoConditionFilter bool
+	// AllowedTypes restricts the fetch to blocks whose type sets
+	// intersect it (Section 4.1's type filtering); nil means no type
+	// constraint, and untyped blocks are always transferred.
+	AllowedTypes []string
+}
+
+// Fetch returns a stream over the term's full (possibly clipped)
+// posting list, transferring DPP blocks from their peers with bounded
+// parallelism. For ordered DPPs the blocks concatenate in canonical
+// order; the randomised ablation merges them.
+func (m *Manager) Fetch(term string, opts FetchOptions) (postings.Stream, *FetchPlan, error) {
+	root, err := m.Root(term)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m.FetchWithRoot(root, opts)
+}
+
+// FetchWithRoot is Fetch for a root already retrieved (the query
+// planner gets all roots first to compute the document interval).
+func (m *Manager) FetchWithRoot(root *Root, opts FetchOptions) (postings.Stream, *FetchPlan, error) {
+	if opts.Parallel <= 0 {
+		opts.Parallel = 4
+	}
+	plan := &FetchPlan{Term: root.Term, Blocks: len(root.Blocks), Parallel: opts.Parallel, DocClipped: opts.Filter}
+	if len(root.Blocks) == 0 {
+		// Inline list at the home peer.
+		plan.Inline = true
+		if !typeMatches(root.Types, opts.AllowedTypes) {
+			return postings.NewSliceStream(nil), plan, nil
+		}
+		s, err := m.node.GetStream(root.Term)
+		if err != nil {
+			return nil, nil, err
+		}
+		if opts.Filter {
+			s = clipStream(s, opts.FilterLo, opts.FilterHi)
+		}
+		return s, plan, nil
+	}
+
+	// Select blocks: keep those whose condition intersects the filter
+	// and whose types can match.
+	var keep []BlockRef
+	for _, b := range root.Blocks {
+		if opts.Filter && root.Ordered && !opts.NoConditionFilter {
+			if b.Hi.Key().Compare(opts.FilterLo) < 0 || b.Lo.Key().Compare(opts.FilterHi) > 0 {
+				continue
+			}
+		}
+		if !opts.NoConditionFilter && !typeMatches(b.Types, opts.AllowedTypes) {
+			continue
+		}
+		keep = append(keep, b)
+	}
+	plan.Fetched = len(keep)
+	if len(keep) == 0 {
+		return postings.NewSliceStream(nil), plan, nil
+	}
+
+	var blob []byte
+	if opts.Filter {
+		blob = encodeInterval(opts.FilterLo, opts.FilterHi)
+	}
+
+	// Fetch with a sliding window of Parallel blocks in flight. Each
+	// slot drains its block stream in the background; the consumer reads
+	// the results in block order (ordered DPP) or merged (random DPP).
+	results := make([]chan fetched, len(keep))
+	for i := range results {
+		results[i] = make(chan fetched, 1)
+	}
+	sem := make(chan struct{}, opts.Parallel)
+	go func() {
+		for i, b := range keep {
+			sem <- struct{}{}
+			go func(i int, b BlockRef) {
+				defer func() { <-sem }()
+				list, err := m.fetchBlock(b, blob)
+				results[i] <- fetched{list: list, err: err}
+			}(i, b)
+		}
+	}()
+
+	if root.Ordered {
+		out := postings.NewPipe(m.blockSize)
+		go func() {
+			for i := range results {
+				r := <-results[i]
+				if r.err != nil {
+					out.Close(fmt.Errorf("dpp: fetch block %s: %w", keep[i].Key, r.err))
+					return
+				}
+				if !out.Send(r.list) {
+					return
+				}
+			}
+			out.Close(nil)
+		}()
+		return out, plan, nil
+	}
+
+	// Random ablation: gather everything, merge.
+	var wg sync.WaitGroup
+	lists := make([]postings.List, len(keep))
+	var firstErr error
+	var mu sync.Mutex
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := <-results[i]
+			mu.Lock()
+			defer mu.Unlock()
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+			lists[i] = r.list
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	streams := make([]postings.Stream, len(lists))
+	for i, l := range lists {
+		streams[i] = postings.NewSliceStream(l)
+	}
+	return postings.MergeStreams(streams...), plan, nil
+}
+
+type fetched struct {
+	list postings.List
+	err  error
+}
+
+// fetchBlock contacts the block's holder (recorded in the root block;
+// a lookup of the pseudo-key is the fallback when the pointer is
+// stale) and drains its (clipped) stream.
+func (m *Manager) fetchBlock(b BlockRef, intervalBlob []byte) (postings.List, error) {
+	owner := dht.Contact{ID: dht.PeerIDFromSeed(b.Owner), Addr: b.Owner}
+	if b.Owner == "" {
+		var err error
+		owner, err = m.node.Locate(b.Key)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s, err := m.node.OpenProcStream(owner, b.Key, ProcBlock, intervalBlob)
+	if err != nil {
+		// Stale pointer (the holder left): fall back to routing.
+		owner, lerr := m.node.Locate(b.Key)
+		if lerr != nil {
+			return nil, err
+		}
+		s, err = m.node.OpenProcStream(owner, b.Key, ProcBlock, intervalBlob)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return postings.Drain(s)
+}
+
+// clipStream filters a stream to the document interval (client side,
+// for inline lists, where the transfer already happened and only the
+// join input needs narrowing).
+func clipStream(s postings.Stream, lo, hi sid.DocKey) postings.Stream {
+	return &clippedStream{s: s, lo: lo, hi: hi}
+}
+
+type clippedStream struct {
+	s      postings.Stream
+	lo, hi sid.DocKey
+}
+
+func (c *clippedStream) Next() (sid.Posting, error) {
+	for {
+		p, err := c.s.Next()
+		if err != nil {
+			return p, err
+		}
+		k := p.Key()
+		if k.Compare(c.lo) < 0 {
+			continue
+		}
+		if k.Compare(c.hi) > 0 {
+			continue
+		}
+		return p, nil
+	}
+}

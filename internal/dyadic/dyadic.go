@@ -1,0 +1,177 @@
+// Package dyadic implements the dyadic interval decomposition that
+// underlies Structural Bloom Filters (Section 5 of the paper).
+//
+// For a positive integer l, the dyadic decomposition of [1, 2^l] at
+// level j (0 <= j <= l) partitions it into 2^(l-j) disjoint intervals of
+// length 2^j. Any interval [x, y] within [1, 2^l] can be written as the
+// union of at most 2l disjoint dyadic intervals, and there is a unique
+// such representation with the fewest intervals — the dyadic cover
+// D[x, y]. Dually, the dyadic containers Dc[x, y] are the dyadic
+// intervals that contain [x, y]; there are at most l+1 of them, one per
+// level, forming a chain under inclusion.
+package dyadic
+
+import "fmt"
+
+// MaxLevel is the largest supported decomposition level: intervals live
+// inside [1, 2^MaxLevel]. 32 levels cover any uint32 start/end position
+// produced by the XML indexer.
+const MaxLevel = 32
+
+// Interval is a dyadic interval, identified by its level and its
+// (0-based) index at that level: the interval covers positions
+// [index*2^level + 1, (index+1)*2^level].
+type Interval struct {
+	Level uint8
+	Index uint64
+}
+
+// Lo returns the smallest position in the interval (1-based).
+func (iv Interval) Lo() uint64 { return iv.Index<<iv.Level + 1 }
+
+// Hi returns the largest position in the interval.
+func (iv Interval) Hi() uint64 { return (iv.Index + 1) << iv.Level }
+
+// Width returns the number of positions the interval covers, 2^level.
+func (iv Interval) Width() uint64 { return 1 << iv.Level }
+
+// Contains reports whether iv contains the dyadic interval jv.
+func (iv Interval) Contains(jv Interval) bool {
+	if jv.Level > iv.Level {
+		return false
+	}
+	return jv.Index>>(iv.Level-jv.Level) == iv.Index
+}
+
+// Parent returns the dyadic interval one level up that contains iv.
+func (iv Interval) Parent() Interval {
+	return Interval{Level: iv.Level + 1, Index: iv.Index >> 1}
+}
+
+// Key returns a canonical 64-bit encoding of the interval, used as hash
+// input by the structural Bloom filters. Levels are at most MaxLevel and
+// indices fit in 56 bits for any realistic document, so the packing is
+// collision-free.
+func (iv Interval) Key() uint64 {
+	return uint64(iv.Level)<<56 | iv.Index&((1<<56)-1)
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%d,%d]", iv.Lo(), iv.Hi())
+}
+
+// Cover appends the dyadic cover D[x, y] of the interval [x, y]
+// (1-based, inclusive, x <= y) to dst and returns the extended slice.
+// The cover is the unique minimal set of disjoint dyadic intervals whose
+// union is [x, y], produced in left-to-right order.
+//
+// The greedy construction takes, at each step, the largest dyadic
+// interval that starts at the current position and does not extend past
+// y; this is the textbook decomposition and yields at most
+// 2*ceil(log2(y-x+1)) intervals.
+func Cover(dst []Interval, x, y uint64) []Interval {
+	if x == 0 || y < x {
+		return dst
+	}
+	pos := x
+	for pos <= y {
+		// Largest level at which a dyadic interval starts at pos:
+		// the number of trailing zero bits of (pos-1).
+		lvl := trailingZeros(pos - 1)
+		// Shrink until the interval fits within [pos, y].
+		for lvl > 0 && pos+(1<<lvl)-1 > y {
+			lvl--
+		}
+		if pos+(1<<lvl)-1 > y {
+			lvl = 0
+		}
+		iv := Interval{Level: lvl, Index: (pos - 1) >> lvl}
+		dst = append(dst, iv)
+		pos = iv.Hi() + 1
+		if pos == 0 { // overflow guard at the top of the position space
+			break
+		}
+	}
+	return dst
+}
+
+func trailingZeros(v uint64) uint8 {
+	if v == 0 {
+		return MaxLevel
+	}
+	var n uint8
+	for v&1 == 0 {
+		v >>= 1
+		n++
+		if n >= MaxLevel {
+			break
+		}
+	}
+	return n
+}
+
+// CoverSize returns |D[x, y]| without materialising the cover.
+func CoverSize(x, y uint64) int {
+	if x == 0 || y < x {
+		return 0
+	}
+	n := 0
+	pos := x
+	for pos <= y {
+		lvl := trailingZeros(pos - 1)
+		for lvl > 0 && pos+(1<<lvl)-1 > y {
+			lvl--
+		}
+		if pos+(1<<lvl)-1 > y {
+			lvl = 0
+		}
+		n++
+		pos = (((pos-1)>>lvl)+1)<<lvl + 1
+		if pos == 0 {
+			break
+		}
+	}
+	return n
+}
+
+// Containers appends the dyadic containers Dc[x, y] of [x, y] to dst, in
+// increasing level order, up to and including maxLevel. The containers
+// of an interval form a chain: the smallest dyadic interval containing
+// [x, y], its parent, and so on up to [1, 2^maxLevel].
+func Containers(dst []Interval, x, y uint64, maxLevel uint8) []Interval {
+	if x == 0 || y < x {
+		return dst
+	}
+	if maxLevel > MaxLevel {
+		maxLevel = MaxLevel
+	}
+	// Find the smallest level at which x and y fall in the same dyadic
+	// interval.
+	lvl := uint8(0)
+	for lvl <= maxLevel {
+		if (x-1)>>lvl == (y-1)>>lvl {
+			break
+		}
+		lvl++
+	}
+	for ; lvl <= maxLevel; lvl++ {
+		dst = append(dst, Interval{Level: lvl, Index: (x - 1) >> lvl})
+	}
+	return dst
+}
+
+// SmallestContainer returns the smallest dyadic interval containing
+// [x, y]. It reports ok=false for a malformed interval.
+func SmallestContainer(x, y uint64) (Interval, bool) {
+	if x == 0 || y < x {
+		return Interval{}, false
+	}
+	lvl := uint8(0)
+	for lvl <= MaxLevel {
+		if (x-1)>>lvl == (y-1)>>lvl {
+			return Interval{Level: lvl, Index: (x - 1) >> lvl}, true
+		}
+		lvl++
+	}
+	return Interval{}, false
+}

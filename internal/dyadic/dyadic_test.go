@@ -1,0 +1,260 @@
+package dyadic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBounds(t *testing.T) {
+	cases := []struct {
+		iv     Interval
+		lo, hi uint64
+	}{
+		{Interval{Level: 0, Index: 0}, 1, 1},
+		{Interval{Level: 0, Index: 4}, 5, 5},
+		{Interval{Level: 1, Index: 0}, 1, 2},
+		{Interval{Level: 2, Index: 1}, 5, 8},
+		{Interval{Level: 3, Index: 0}, 1, 8},
+	}
+	for _, c := range cases {
+		if c.iv.Lo() != c.lo || c.iv.Hi() != c.hi {
+			t.Errorf("%+v: Lo/Hi = %d,%d want %d,%d", c.iv, c.iv.Lo(), c.iv.Hi(), c.lo, c.hi)
+		}
+		if c.iv.Width() != c.hi-c.lo+1 {
+			t.Errorf("%+v: Width = %d", c.iv, c.iv.Width())
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	big := Interval{Level: 3, Index: 0}   // [1,8]
+	small := Interval{Level: 1, Index: 2} // [5,6]
+	other := Interval{Level: 1, Index: 4} // [9,10]
+	if !big.Contains(small) {
+		t.Error("[1,8] contains [5,6]")
+	}
+	if big.Contains(other) {
+		t.Error("[1,8] does not contain [9,10]")
+	}
+	if small.Contains(big) {
+		t.Error("containment is not symmetric")
+	}
+	if !big.Contains(big) {
+		t.Error("an interval contains itself")
+	}
+}
+
+func TestParent(t *testing.T) {
+	iv := Interval{Level: 1, Index: 3} // [7,8]
+	p := iv.Parent()                   // [5,8]
+	if p.Level != 2 || p.Index != 1 {
+		t.Fatalf("Parent = %+v", p)
+	}
+	if !p.Contains(iv) {
+		t.Fatal("parent must contain child")
+	}
+}
+
+// TestCoverPaperExample checks the example from the paper: for l=3,
+// D[1,7] = {[1,4],[5,6],[7,7]}.
+func TestCoverPaperExample(t *testing.T) {
+	cov := Cover(nil, 1, 7)
+	want := []Interval{
+		{Level: 2, Index: 0}, // [1,4]
+		{Level: 1, Index: 2}, // [5,6]
+		{Level: 0, Index: 6}, // [7,7]
+	}
+	if len(cov) != len(want) {
+		t.Fatalf("Cover(1,7) = %v", cov)
+	}
+	for i := range want {
+		if cov[i] != want[i] {
+			t.Fatalf("Cover(1,7)[%d] = %v, want %v", i, cov[i], want[i])
+		}
+	}
+}
+
+// TestContainersPaperExample checks the paper's example
+// Dc[3,4] = {[3,4],[1,4],[1,8]} (restricted to maxLevel=3).
+func TestContainersPaperExample(t *testing.T) {
+	cs := Containers(nil, 3, 4, 3)
+	want := []Interval{
+		{Level: 1, Index: 1}, // [3,4]
+		{Level: 2, Index: 0}, // [1,4]
+		{Level: 3, Index: 0}, // [1,8]
+	}
+	if len(cs) != len(want) {
+		t.Fatalf("Containers(3,4) = %v", cs)
+	}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Fatalf("Containers(3,4)[%d] = %v, want %v", i, cs[i], want[i])
+		}
+	}
+}
+
+func coverIsValid(t *testing.T, x, y uint64, cov []Interval) {
+	t.Helper()
+	// Disjoint, ordered, and exactly covering [x,y].
+	pos := x
+	for _, iv := range cov {
+		if iv.Lo() != pos {
+			t.Fatalf("Cover(%d,%d): gap or overlap at %v (pos=%d)", x, y, iv, pos)
+		}
+		pos = iv.Hi() + 1
+	}
+	if pos != y+1 {
+		t.Fatalf("Cover(%d,%d): ends at %d", x, y, pos-1)
+	}
+}
+
+func TestCoverExhaustiveSmall(t *testing.T) {
+	for x := uint64(1); x <= 64; x++ {
+		for y := x; y <= 64; y++ {
+			cov := Cover(nil, x, y)
+			coverIsValid(t, x, y, cov)
+			if got := CoverSize(x, y); got != len(cov) {
+				t.Fatalf("CoverSize(%d,%d) = %d, len(Cover) = %d", x, y, got, len(cov))
+			}
+			// Minimality bound: |D[x,y]| <= 2*l where 2^l >= width.
+			width := y - x + 1
+			l := 0
+			for (uint64(1) << l) < width {
+				l++
+			}
+			bound := 2 * l
+			if bound == 0 {
+				bound = 1
+			}
+			if len(cov) > bound {
+				t.Fatalf("Cover(%d,%d) has %d intervals, bound %d", x, y, len(cov), bound)
+			}
+		}
+	}
+}
+
+func TestCoverDegenerate(t *testing.T) {
+	if c := Cover(nil, 0, 5); len(c) != 0 {
+		t.Error("Cover with x=0 should be empty")
+	}
+	if c := Cover(nil, 5, 4); len(c) != 0 {
+		t.Error("Cover with y<x should be empty")
+	}
+	if CoverSize(0, 5) != 0 || CoverSize(5, 4) != 0 {
+		t.Error("CoverSize degenerate cases should be 0")
+	}
+}
+
+func TestCoverQuickRandom(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x := uint64(a%100000) + 1
+		y := x + uint64(b%10000)
+		cov := Cover(nil, x, y)
+		pos := x
+		for _, iv := range cov {
+			if iv.Lo() != pos {
+				return false
+			}
+			pos = iv.Hi() + 1
+		}
+		return pos == y+1 && CoverSize(x, y) == len(cov)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainersChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		x := uint64(rng.Intn(1<<16)) + 1
+		y := x + uint64(rng.Intn(1<<10))
+		cs := Containers(nil, x, y, 20)
+		if len(cs) == 0 {
+			t.Fatalf("Containers(%d,%d) empty", x, y)
+		}
+		for i, iv := range cs {
+			if iv.Lo() > x || iv.Hi() < y {
+				t.Fatalf("Containers(%d,%d)[%d] = %v does not contain the interval", x, y, i, iv)
+			}
+			if i > 0 && !iv.Contains(cs[i-1]) {
+				t.Fatalf("containers do not form a chain at %d", i)
+			}
+		}
+		// The chain extends to maxLevel.
+		if cs[len(cs)-1].Level != 20 {
+			t.Fatalf("chain should reach maxLevel, got %d", cs[len(cs)-1].Level)
+		}
+	}
+}
+
+// TestCoverContainerDuality verifies the structural-join property the
+// Bloom filters rely on (Theorem 1 machinery): [x2,y2] is contained in
+// [x1,y1] iff every interval of D[x2,y2] has a container in D[x1,y1].
+func TestCoverContainerDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 500; trial++ {
+		x1 := uint64(rng.Intn(500)) + 1
+		y1 := x1 + uint64(rng.Intn(200))
+		x2 := uint64(rng.Intn(500)) + 1
+		y2 := x2 + uint64(rng.Intn(200))
+		contained := x1 <= x2 && y2 <= y1
+
+		d1 := Cover(nil, x1, y1)
+		d2 := Cover(nil, x2, y2)
+		all := true
+		for _, iv := range d2 {
+			found := false
+			for _, jv := range d1 {
+				if jv.Contains(iv) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				all = false
+				break
+			}
+		}
+		if all != contained {
+			t.Fatalf("duality violated: [%d,%d] in [%d,%d]: contained=%v coverCheck=%v",
+				x2, y2, x1, y1, contained, all)
+		}
+	}
+}
+
+func TestSmallestContainer(t *testing.T) {
+	iv, ok := SmallestContainer(3, 4)
+	if !ok || iv != (Interval{Level: 1, Index: 1}) {
+		t.Fatalf("SmallestContainer(3,4) = %v %v", iv, ok)
+	}
+	iv, ok = SmallestContainer(4, 5)
+	// 4 and 5 straddle a level-1 and level-2 boundary: [1,8] is smallest.
+	if !ok || iv != (Interval{Level: 3, Index: 0}) {
+		t.Fatalf("SmallestContainer(4,5) = %v %v", iv, ok)
+	}
+	if _, ok := SmallestContainer(0, 3); ok {
+		t.Fatal("SmallestContainer of malformed interval should fail")
+	}
+}
+
+func TestKeyUnique(t *testing.T) {
+	seen := make(map[uint64]Interval)
+	for lvl := uint8(0); lvl <= 10; lvl++ {
+		for idx := uint64(0); idx < 64; idx++ {
+			iv := Interval{Level: lvl, Index: idx}
+			k := iv.Key()
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("Key collision: %v and %v", prev, iv)
+			}
+			seen[k] = iv
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Interval{Level: 2, Index: 1}).String(); s != "[5,8]" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kadop/internal/kadop"
+	"kadop/internal/metrics"
+	"kadop/internal/pattern"
+	"kadop/internal/workload"
+)
+
+// The Figure 7 queries.
+const (
+	Fig7aQuery = `//article[. contains "Ullman"]`
+	Fig7bQuery = `//article//author[. contains "Ullman"]`
+	Fig7cQuery = `//article[//title]//author[. contains "Ullman"]`
+)
+
+// Fig7Options scale the Figure 7 experiment: the normalized data
+// volume of the Bloom-reducer strategies.
+type Fig7Options struct {
+	// Variant selects the sub-figure: "a", "b" or "c".
+	Variant string
+	Records int
+	Peers   int
+	Seed    int64
+}
+
+func (o Fig7Options) defaults() Fig7Options {
+	if o.Variant == "" {
+		o.Variant = "a"
+	}
+	if o.Records <= 0 {
+		o.Records = 4000
+	}
+	if o.Peers <= 0 {
+		o.Peers = 16
+	}
+	return o
+}
+
+// Fig7Row is one strategy's measurement, broken down as in the figure.
+type Fig7Row struct {
+	Strategy      kadop.Strategy
+	PostingBytes  int64
+	ABFilterBytes int64
+	DBFilterBytes int64
+	Normalized    float64 // total volume / conventional posting volume
+	IndexMatches  int
+}
+
+// Fig7Result is one sub-figure's set of bars.
+type Fig7Result struct {
+	Variant  string
+	Query    string
+	Baseline int64 // conventional strategy's posting bytes
+	Rows     []Fig7Row
+}
+
+// RunFig7 reproduces one Figure 7 sub-figure: the total data volume of
+// each filter-based strategy, normalized by the volume the conventional
+// strategy ships, split into posting and filter transfers.
+func RunFig7(o Fig7Options) (*Fig7Result, error) {
+	o = o.defaults()
+	query := Fig7aQuery
+	strategies := []kadop.Strategy{kadop.ABReducer, kadop.DBReducer, kadop.BloomReducer}
+	switch o.Variant {
+	case "a":
+	case "b":
+		query = Fig7bQuery
+	case "c":
+		query = Fig7cQuery
+		strategies = append(strategies, kadop.SubQueryReducer)
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure 7 variant %q", o.Variant)
+	}
+	q := pattern.MustParse(query)
+	res := &Fig7Result{Variant: o.Variant, Query: query}
+
+	docs := workload.DBLP{Seed: o.Seed, Records: o.Records}.Documents()
+
+	run := func(strategy kadop.Strategy) (*Fig7Row, error) {
+		cl, err := NewCluster(ClusterOptions{Peers: o.Peers})
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		if _, err := cl.PublishAll(docs, 4); err != nil {
+			return nil, err
+		}
+		cl.Net.Collector.Reset()
+		r, err := cl.NonOwnerPeer(q).Query(q, kadop.QueryOptions{Strategy: strategy, IndexOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		return &Fig7Row{
+			Strategy:      strategy,
+			PostingBytes:  cl.Net.Collector.Bytes(metrics.Postings),
+			ABFilterBytes: cl.Net.Collector.Bytes(metrics.FiltersAB),
+			DBFilterBytes: cl.Net.Collector.Bytes(metrics.FiltersDB),
+			IndexMatches:  r.IndexMatches,
+		}, nil
+	}
+
+	base, err := run(kadop.Conventional)
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = base.PostingBytes
+	for _, s := range strategies {
+		row, err := run(s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7%s %v: %w", o.Variant, s, err)
+		}
+		if row.IndexMatches != base.IndexMatches {
+			return nil, fmt.Errorf("experiments: fig7%s: strategy %v changed the answer (%d vs %d index matches)",
+				o.Variant, s, row.IndexMatches, base.IndexMatches)
+		}
+		total := row.PostingBytes + row.ABFilterBytes + row.DBFilterBytes
+		row.Normalized = float64(total) / float64(res.Baseline)
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// Format renders the sub-figure's bars.
+func (r *Fig7Result) Format() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Strategy.String(),
+			fmt.Sprintf("%.3f", row.Normalized),
+			mb(row.PostingBytes),
+			mb(row.ABFilterBytes),
+			mb(row.DBFilterBytes),
+		})
+	}
+	return fmt.Sprintf("Figure 7(%s) — normalized data volume for %s (baseline %s MB of postings)\n",
+		r.Variant, r.Query, mb(r.Baseline)) +
+		table([]string{"strategy", "normalized", "postings(MB)", "AB filters(MB)", "DB filters(MB)"}, rows)
+}

@@ -1,0 +1,343 @@
+package fundex
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"kadop/internal/dht"
+	"kadop/internal/kadop"
+	"kadop/internal/pattern"
+	"kadop/internal/sid"
+	"kadop/internal/store"
+)
+
+// corpus models the INEX-HCO-like setting of Section 6: publication
+// documents referencing separate abstract files.
+type corpus struct {
+	hosts map[string]string // uri -> xml
+	files map[string]string // referenced uri -> xml
+}
+
+func inexCorpus(n int) *corpus {
+	c := &corpus{hosts: map[string]string{}, files: map[string]string{}}
+	for i := 0; i < n; i++ {
+		kind := "abstract"
+		if i%3 == 2 {
+			kind = "appendix" // a second include "type" for the
+			// representative-data-indexing comparison
+		}
+		title := fmt.Sprintf("paper %d about storage", i)
+		body := fmt.Sprintf("generic words paper %d", i)
+		if i == 4 || i == 10 {
+			title = fmt.Sprintf("a system paper %d", i)
+			body = fmt.Sprintf("a fine interface study %d", i)
+		}
+		fileURI := fmt.Sprintf("%s%d.xml", kind, i)
+		c.files[fileURI] = fmt.Sprintf(`<%s>%s</%s>`, kind, body, kind)
+		c.hosts[fmt.Sprintf("host%d.xml", i)] = fmt.Sprintf(`<?xml version="1.0"?>
+<!DOCTYPE article [
+<!ENTITY inc SYSTEM "%s">
+]>
+<article><title>%s</title>&inc;</article>`, fileURI, title)
+	}
+	return c
+}
+
+func (c *corpus) resolver() Resolver {
+	return func(uri string) ([]byte, error) {
+		s, ok := c.files[uri]
+		if !ok {
+			return nil, fmt.Errorf("no file %q", uri)
+		}
+		return []byte(s), nil
+	}
+}
+
+// deploy builds a cluster of peers with fundex indexers in a mode and
+// publishes the corpus.
+func deploy(t testing.TB, co *corpus, mode Mode, peers int) []*Indexer {
+	t.Helper()
+	net := dht.NewNetwork()
+	var nodes []*dht.Node
+	for i := 0; i < peers; i++ {
+		nd, err := dht.NewNode(net.NewEndpoint(), store.NewMem(), dht.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	for i := 1; i < peers; i++ {
+		if err := nodes[i].Bootstrap(nodes[0].Self()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, nd := range nodes {
+		nd.Lookup(nd.Self().ID)
+	}
+	var ixs []*Indexer
+	for i, nd := range nodes {
+		p, err := kadop.NewPeer(nd, sid.PeerID(i+1), kadop.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ixs = append(ixs, New(p, mode, co.resolver()))
+	}
+	for _, ix := range ixs {
+		if err := ix.Peer().Announce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	for uri, xml := range co.hosts {
+		if _, err := ixs[i%len(ixs)].Publish([]byte(xml), uri); err != nil {
+			t.Fatalf("publish %s in mode %v: %v", uri, mode, err)
+		}
+		i++
+	}
+	return ixs
+}
+
+const inexQuery = `//article[contains(.//title,'system')][contains(.//abstract,'interface')]`
+
+// hostDocs filters an answer's documents to non-functional ones.
+func hostDocs(docs []sid.DocKey) []sid.DocKey {
+	var out []sid.DocKey
+	for _, d := range docs {
+		if !IsFunctionalDoc(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func answerURIs(t *testing.T, ix *Indexer, ans *Answer) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	for _, d := range hostDocs(ans.Docs) {
+		uri, err := ix.Peer().URI(d)
+		if err != nil {
+			t.Fatalf("URI(%v): %v", d, err)
+		}
+		out[uri] = true
+	}
+	return out
+}
+
+func TestInlineFindsCrossBoundaryAnswers(t *testing.T) {
+	co := inexCorpus(15)
+	ixs := deploy(t, co, Inline, 6)
+	ans, err := ixs[1].Query(pattern.MustParse(inexQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answerURIs(t, ixs[1], ans)
+	want := map[string]bool{"host4.xml": true, "host10.xml": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("inline answers = %v, want %v", got, want)
+	}
+}
+
+func TestNaiveMissesIntensionalAnswers(t *testing.T) {
+	co := inexCorpus(15)
+	ixs := deploy(t, co, Naive, 6)
+	ans, err := ixs[0].Query(pattern.MustParse(inexQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Matches) != 0 {
+		t.Fatalf("naive mode should miss answers behind includes, got %d", len(ans.Matches))
+	}
+}
+
+func TestBrutalOverApproximates(t *testing.T) {
+	co := inexCorpus(15)
+	ixs := deploy(t, co, Brutal, 6)
+	ans, err := ixs[0].Query(pattern.MustParse(inexQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete at document level: both true answers among candidates...
+	got := answerURIs(t, ixs[0], ans)
+	if !got["host4.xml"] || !got["host10.xml"] {
+		t.Fatalf("brutal candidates must cover true answers, got %v", got)
+	}
+	// ...but grossly imprecise: every intensional document is contacted.
+	if len(got) < 14 {
+		t.Fatalf("brutal should contact (almost) all docs, got %d", len(got))
+	}
+}
+
+func TestFundexCompleteAndPrecise(t *testing.T) {
+	co := inexCorpus(15)
+	ixs := deploy(t, co, Fundex, 6)
+	ans, err := ixs[2].Query(pattern.MustParse(inexQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answerURIs(t, ixs[2], ans)
+	want := map[string]bool{"host4.xml": true, "host10.xml": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fundex answers = %v, want %v", got, want)
+	}
+	if len(ans.Matches) == 0 {
+		t.Fatal("fundex produced no completed tuples")
+	}
+	if ans.RevLookups == 0 {
+		t.Fatal("fundex should have chased reverse pointers")
+	}
+	// Completed tuples mix host elements and functional elements.
+	foundFunctional := false
+	for _, m := range ans.Matches {
+		for _, p := range m.Postings {
+			if IsFunctionalDoc(p.Key()) {
+				foundFunctional = true
+			}
+		}
+	}
+	if !foundFunctional {
+		t.Error("completed tuples should reference functional elements")
+	}
+}
+
+func TestRepresentativeCompleteAndPrecise(t *testing.T) {
+	co := inexCorpus(15)
+	ixs := deploy(t, co, Representative, 6)
+	ans, err := ixs[3].Query(pattern.MustParse(inexQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answerURIs(t, ixs[3], ans)
+	want := map[string]bool{"host4.xml": true, "host10.xml": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("representative answers = %v, want %v", got, want)
+	}
+}
+
+func TestRepresentativePrunesByStructure(t *testing.T) {
+	// A purely structural query over the included type: the skeleton
+	// answers it from the host index without touching words.
+	co := inexCorpus(15)
+	ixs := deploy(t, co, Representative, 6)
+	ans, err := ixs[0].Query(pattern.MustParse(`//article[//appendix]//title`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answerURIs(t, ixs[0], ans)
+	// Docs 2, 5, 8, 11, 14 have appendix-type includes.
+	if len(got) != 5 {
+		t.Fatalf("appendix-typed hosts = %v", got)
+	}
+}
+
+func TestFunctionalDocIndexedOnce(t *testing.T) {
+	// Two hosts referencing the same file: the functional document is
+	// materialised and indexed exactly once.
+	co := &corpus{
+		hosts: map[string]string{
+			"h1.xml": `<!DOCTYPE a [<!ENTITY s SYSTEM "shared.xml">]><article><title>one system</title>&s;</article>`,
+			"h2.xml": `<!DOCTYPE a [<!ENTITY s SYSTEM "shared.xml">]><article><title>two system</title>&s;</article>`,
+		},
+		files: map[string]string{
+			"shared.xml": `<abstract>a common interface text</abstract>`,
+		},
+	}
+	ixs := deploy(t, co, Fundex, 5)
+	// The functional document lives at exactly one peer.
+	holders := 0
+	for _, ix := range ixs {
+		if _, _, ok := ix.Peer().Document(fid("shared.xml")); ok {
+			holders++
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("functional doc held by %d peers, want 1", holders)
+	}
+	// Both hosts are answers, completed through the shared file.
+	ans, err := ixs[0].Query(pattern.MustParse(inexQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answerURIs(t, ixs[0], ans)
+	if !got["h1.xml"] || !got["h2.xml"] || len(got) != 2 {
+		t.Fatalf("shared-file answers = %v", got)
+	}
+}
+
+func TestWholePatternInsideReference(t *testing.T) {
+	// The entire pattern matches inside the referenced file: the host
+	// documents still surface as answers through Rev.
+	co := &corpus{
+		hosts: map[string]string{
+			"h1.xml": `<!DOCTYPE a [<!ENTITY s SYSTEM "f.xml">]><wrapper>&s;</wrapper>`,
+		},
+		files: map[string]string{
+			"f.xml": `<record><name>inner match</name></record>`,
+		},
+	}
+	ixs := deploy(t, co, Fundex, 4)
+	ans, err := ixs[0].Query(pattern.MustParse(`//record//name[. contains "inner"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answerURIs(t, ixs[0], ans)
+	if !got["h1.xml"] {
+		t.Fatalf("whole-pattern-in-reference answers = %v", got)
+	}
+}
+
+func TestInlineExpandCycleDetected(t *testing.T) {
+	co := &corpus{
+		hosts: map[string]string{
+			"h.xml": `<!DOCTYPE a [<!ENTITY x SYSTEM "a.xml">]><doc>&x;</doc>`,
+		},
+		files: map[string]string{
+			"a.xml": `<!DOCTYPE a [<!ENTITY y SYSTEM "b.xml">]><a>&y;</a>`,
+			"b.xml": `<!DOCTYPE b [<!ENTITY z SYSTEM "a.xml">]><b>&z;</b>`,
+		},
+	}
+	net := dht.NewNetwork()
+	nd, err := dht.NewNode(net.NewEndpoint(), store.NewMem(), dht.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := kadop.NewPeer(nd, 1, kadop.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Announce(); err != nil {
+		t.Fatal(err)
+	}
+	ix := New(p, Inline, co.resolver())
+	if _, err := ix.Publish([]byte(co.hosts["h.xml"]), "h.xml"); err == nil {
+		t.Fatal("reference cycle should be detected")
+	}
+}
+
+func TestFidDisjointFromSequentialIDs(t *testing.T) {
+	if !IsFunctionalDoc(sid.DocKey{Peer: 1, Doc: fid("x.xml")}) {
+		t.Error("fid must carry the functional bit")
+	}
+	if IsFunctionalDoc(sid.DocKey{Peer: 1, Doc: 12345}) {
+		t.Error("sequential ids must not look functional")
+	}
+}
+
+func TestDocKeyCodec(t *testing.T) {
+	k := sid.DocKey{Peer: 0x01020304, Doc: 0xfafbfcfd}
+	got, err := decodeDocKey(encodeDocKey(k))
+	if err != nil || got != k {
+		t.Fatalf("round trip: %v (%v)", got, err)
+	}
+	if _, err := decodeDocKey([]byte{1, 2}); err == nil {
+		t.Error("short key should fail")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for _, m := range []Mode{Naive, Brutal, Fundex, Inline, Representative} {
+		if m.String() == "" {
+			t.Error("empty mode string")
+		}
+	}
+}

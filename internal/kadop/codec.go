@@ -1,0 +1,163 @@
+package kadop
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kadop/internal/sid"
+	"kadop/internal/twigjoin"
+)
+
+// Binary helpers shared by the KadoP control messages. All control
+// payloads use explicit length-prefixed encoding so traffic accounting
+// reflects exactly what a deployment would ship.
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readStr(buf []byte, pos int) (string, int, error) {
+	n, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 || pos+sz+int(n) > len(buf) {
+		return "", pos, fmt.Errorf("kadop: truncated string at offset %d", pos)
+	}
+	pos += sz
+	return string(buf[pos : pos+int(n)]), pos + int(n), nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readBytes(buf []byte, pos int) ([]byte, int, error) {
+	n, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 || pos+sz+int(n) > len(buf) {
+		return nil, pos, fmt.Errorf("kadop: truncated bytes at offset %d", pos)
+	}
+	pos += sz
+	out := append([]byte(nil), buf[pos:pos+int(n)]...)
+	return out, pos + int(n), nil
+}
+
+func appendUint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+func readUint(buf []byte, pos int) (uint64, int, error) {
+	v, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 {
+		return 0, pos, fmt.Errorf("kadop: truncated varint at offset %d", pos)
+	}
+	return v, pos + sz, nil
+}
+
+func appendPosting(buf []byte, p sid.Posting) []byte {
+	var b [18]byte
+	binary.BigEndian.PutUint32(b[0:], uint32(p.Peer))
+	binary.BigEndian.PutUint32(b[4:], uint32(p.Doc))
+	binary.BigEndian.PutUint32(b[8:], p.SID.Start)
+	binary.BigEndian.PutUint32(b[12:], p.SID.End)
+	binary.BigEndian.PutUint16(b[16:], p.SID.Level)
+	return append(buf, b[:]...)
+}
+
+func readPosting(buf []byte, pos int) (sid.Posting, int, error) {
+	if pos+18 > len(buf) {
+		return sid.Posting{}, pos, fmt.Errorf("kadop: truncated posting at offset %d", pos)
+	}
+	b := buf[pos:]
+	p := sid.Posting{
+		Peer: sid.PeerID(binary.BigEndian.Uint32(b[0:])),
+		Doc:  sid.DocID(binary.BigEndian.Uint32(b[4:])),
+		SID: sid.SID{
+			Start: binary.BigEndian.Uint32(b[8:]),
+			End:   binary.BigEndian.Uint32(b[12:]),
+			Level: binary.BigEndian.Uint16(b[16:]),
+		},
+	}
+	return p, pos + 18, nil
+}
+
+// encodeMatches serialises answer tuples (phase-two responses).
+func encodeMatches(ms []twigjoin.Match) []byte {
+	buf := appendUint(nil, uint64(len(ms)))
+	for _, m := range ms {
+		buf = appendUint(buf, uint64(m.Doc.Peer))
+		buf = appendUint(buf, uint64(m.Doc.Doc))
+		buf = appendUint(buf, uint64(len(m.Postings)))
+		for _, p := range m.Postings {
+			buf = appendPosting(buf, p)
+		}
+	}
+	return buf
+}
+
+func decodeMatches(buf []byte) ([]twigjoin.Match, error) {
+	n, pos, err := readUint(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(buf)) {
+		return nil, fmt.Errorf("kadop: implausible match count %d", n)
+	}
+	out := make([]twigjoin.Match, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var m twigjoin.Match
+		var v uint64
+		if v, pos, err = readUint(buf, pos); err != nil {
+			return nil, err
+		}
+		m.Doc.Peer = sid.PeerID(v)
+		if v, pos, err = readUint(buf, pos); err != nil {
+			return nil, err
+		}
+		m.Doc.Doc = sid.DocID(v)
+		if v, pos, err = readUint(buf, pos); err != nil {
+			return nil, err
+		}
+		if v > uint64(len(buf)) {
+			return nil, fmt.Errorf("kadop: implausible tuple width %d", v)
+		}
+		for j := uint64(0); j < v; j++ {
+			var p sid.Posting
+			if p, pos, err = readPosting(buf, pos); err != nil {
+				return nil, err
+			}
+			m.Postings = append(m.Postings, p)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// encodeDocKeys serialises a document-key list (phase-two requests).
+func encodeDocKeys(keys []sid.DocKey) []byte {
+	buf := appendUint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		buf = appendUint(buf, uint64(k.Peer))
+		buf = appendUint(buf, uint64(k.Doc))
+	}
+	return buf
+}
+
+func decodeDocKeys(buf []byte) ([]sid.DocKey, error) {
+	n, pos, err := readUint(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(buf)) {
+		return nil, fmt.Errorf("kadop: implausible key count %d", n)
+	}
+	out := make([]sid.DocKey, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var p, d uint64
+		if p, pos, err = readUint(buf, pos); err != nil {
+			return nil, err
+		}
+		if d, pos, err = readUint(buf, pos); err != nil {
+			return nil, err
+		}
+		out = append(out, sid.DocKey{Peer: sid.PeerID(p), Doc: sid.DocID(d)})
+	}
+	return out, nil
+}

@@ -1,0 +1,383 @@
+// Package kadop implements the KadoP peer itself: the publishing
+// pipeline, the two-phase query processing of Section 2, and the
+// Bloom-reducer query strategies of Section 5.3, on top of the dht,
+// dpp, twigjoin and sbf substrates.
+//
+// A peer stores the XML documents it publishes, contributes a slice of
+// the distributed Term index through its DHT node, and can submit
+// queries. Query processing first runs an index query — a holistic twig
+// join over the posting lists of the query's terms, fetched from their
+// home peers (optionally via the DPP partitioning and optionally
+// reduced by structural Bloom filters) — and then sends the query to
+// the peers holding the candidate documents, where the final answers
+// are computed.
+package kadop
+
+import (
+	"fmt"
+	"sync"
+
+	"kadop/internal/dht"
+	"kadop/internal/dpp"
+	"kadop/internal/pattern"
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+	"kadop/internal/twigjoin"
+	"kadop/internal/xmltree"
+)
+
+// Proc names registered by every KadoP peer.
+const (
+	procDirPut   = "index:dir:put"
+	procDirGet   = "dir:get"
+	procAnswer   = "query:answer"
+	procPush     = "stream:push"
+	procCount    = "term:count"
+	procABReduce = "filter:abreduce"
+	procDBReduce = "filter:dbreduce"
+	procHybridAB = "filter:hybrid-ab"
+	procHybridDB = "filter:hybrid-db"
+)
+
+// Config configures a KadoP peer.
+type Config struct {
+	// UseDPP enables the distributed posting partitioning of Section 4.
+	UseDPP bool
+	// DPP holds the partitioning options when UseDPP is set.
+	DPP dpp.Options
+	// Pipelined selects the pipelined get of Section 3 for index
+	// queries (default true; the blocking baseline is kept for the
+	// ablation experiments).
+	Pipelined *bool
+	// Parallel is the DPP fetch parallelism K (default 4).
+	Parallel int
+	// Extract controls term extraction at publishing time.
+	Extract xmltree.ExtractOptions
+	// ABBasicFP and DBBasicFP are the basic false-positive rates of the
+	// structural Bloom filters (defaults 0.20 and 0.01, the paper's
+	// choices: AB filters tolerate a loose basic filter).
+	ABBasicFP float64
+	DBBasicFP float64
+}
+
+func (c Config) pipelined() bool { return c.Pipelined == nil || *c.Pipelined }
+
+func (c Config) abFP() float64 {
+	if c.ABBasicFP <= 0 {
+		return 0.20
+	}
+	return c.ABBasicFP
+}
+
+func (c Config) dbFP() float64 {
+	if c.DBBasicFP <= 0 {
+		return 0.01
+	}
+	return c.DBBasicFP
+}
+
+// Peer is one KadoP peer.
+type Peer struct {
+	node *dht.Node
+	id   sid.PeerID
+	cfg  Config
+	dpp  *dpp.Manager
+
+	mu       sync.Mutex
+	docs     map[sid.DocID]*xmltree.Document
+	uris     map[sid.DocID]string
+	docTypes map[sid.DocID]string
+	nextDoc  sid.DocID
+	dir      map[string][]byte // directory entries this peer is home for
+
+	sessMu sync.Mutex
+	sess   map[string]chan pushMsg  // open query sessions at this peer
+	hybrid map[string]postings.List // Bloom Reducer intermediate lists
+}
+
+// NewPeer creates a KadoP peer with internal identifier id on an
+// existing DHT node, registering all its procedures.
+func NewPeer(node *dht.Node, id sid.PeerID, cfg Config) (*Peer, error) {
+	p := &Peer{
+		node:     node,
+		id:       id,
+		cfg:      cfg,
+		docs:     map[sid.DocID]*xmltree.Document{},
+		uris:     map[sid.DocID]string{},
+		docTypes: map[sid.DocID]string{},
+		dir:      map[string][]byte{},
+		sess:     map[string]chan pushMsg{},
+		hybrid:   map[string]postings.List{},
+	}
+	if cfg.UseDPP {
+		p.dpp = dpp.NewManager(node, cfg.DPP)
+	}
+	node.Handle(procDirPut, p.handleDirPut)
+	node.Handle(procDirGet, p.handleDirGet)
+	node.Handle(procAnswer, p.handleAnswer)
+	node.Handle(procCount, p.handleCount)
+	node.Handle(procPush, p.handlePush)
+	node.Handle(procABReduce, p.handleABReduce)
+	node.Handle(procDBReduce, p.handleDBReduce)
+	node.Handle(procHybridAB, p.handleHybridAB)
+	node.Handle(procHybridDB, p.handleHybridDB)
+	return p, nil
+}
+
+// Announce registers the peer in the distributed Peer relation so
+// other peers can resolve its internal identifier to a network address.
+// Call it once the overlay is in place (after every peer that may be
+// home for the entry has been created); publishing and phase-two query
+// processing rely on it.
+func (p *Peer) Announce() error {
+	if err := p.dirPut(peerKey(p.id), []byte(p.node.Self().Addr)); err != nil {
+		return fmt.Errorf("kadop: register peer %d: %w", p.id, err)
+	}
+	return nil
+}
+
+// Node returns the peer's DHT node.
+func (p *Peer) Node() *dht.Node { return p.node }
+
+// ID returns the peer's internal identifier.
+func (p *Peer) ID() sid.PeerID { return p.id }
+
+// DPP returns the peer's DPP manager (nil when disabled).
+func (p *Peer) DPP() *dpp.Manager { return p.dpp }
+
+func peerKey(id sid.PeerID) string { return fmt.Sprintf("peer:%d", id) }
+func docKey(k sid.DocKey) string   { return fmt.Sprintf("doc:%d:%d", k.Peer, k.Doc) }
+
+// directory --------------------------------------------------------
+
+// dirPut stores a small directory entry at the home peer of key. It
+// implements the Peer and Doc relations of the data model.
+func (p *Peer) dirPut(key string, blob []byte) error {
+	_, err := p.node.CallProc(key, procDirPut, blob)
+	return err
+}
+
+// dirGet retrieves a directory entry.
+func (p *Peer) dirGet(key string) ([]byte, error) {
+	return p.node.CallProc(key, procDirGet, nil)
+}
+
+func (p *Peer) handleDirPut(_ dht.Contact, key string, blob []byte) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dir[key] = append([]byte(nil), blob...)
+	return nil, nil
+}
+
+func (p *Peer) handleDirGet(_ dht.Contact, key string, _ []byte) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	blob, ok := p.dir[key]
+	if !ok {
+		return nil, fmt.Errorf("kadop: no directory entry for %q", key)
+	}
+	return blob, nil
+}
+
+// contactOf resolves a peer's internal identifier to its DHT contact.
+func (p *Peer) contactOf(id sid.PeerID) (dht.Contact, error) {
+	if id == p.id {
+		return p.node.Self(), nil
+	}
+	blob, err := p.dirGet(peerKey(id))
+	if err != nil {
+		return dht.Contact{}, fmt.Errorf("kadop: resolve peer %d: %w", id, err)
+	}
+	addr := string(blob)
+	return dht.Contact{ID: dht.PeerIDFromSeed(addr), Addr: addr}, nil
+}
+
+// publishing --------------------------------------------------------
+
+// Publish checks a parsed document into the collection: the document
+// stays at this peer, its term postings are routed to their home peers
+// (through the DPP when enabled), and its URI is registered in the Doc
+// relation. It returns the document's global key.
+func (p *Peer) Publish(doc *xmltree.Document, uri string) (sid.DocKey, error) {
+	return p.PublishTyped(doc, uri, "")
+}
+
+// PublishTyped is Publish for a document with a user-specified type
+// (Section 4.1). With the DPP enabled, the type is recorded in the
+// conditions of the blocks receiving the document's postings, and
+// type-constrained queries skip blocks of other types.
+func (p *Peer) PublishTyped(doc *xmltree.Document, uri, dtype string) (sid.DocKey, error) {
+	p.mu.Lock()
+	id := p.nextDoc
+	p.nextDoc++
+	p.docs[id] = doc
+	p.uris[id] = uri
+	if dtype != "" {
+		p.docTypes[id] = dtype
+	}
+	p.mu.Unlock()
+	key := sid.DocKey{Peer: p.id, Doc: id}
+
+	tps := xmltree.Extract(doc, p.id, id, p.cfg.Extract)
+	// Batch postings per term (Section 3: buffering postings of the same
+	// term cuts per-posting routing costs).
+	byTerm := map[string]postings.List{}
+	for _, tp := range tps {
+		k := tp.Term.Key()
+		byTerm[k] = append(byTerm[k], tp.Posting)
+	}
+	for term, list := range byTerm {
+		list.Sort()
+		if err := p.appendIndex(term, list, dtype); err != nil {
+			return key, fmt.Errorf("kadop: publish %q: index %q: %w", uri, term, err)
+		}
+	}
+	if err := p.dirPut(docKey(key), []byte(uri)); err != nil {
+		return key, err
+	}
+	return key, nil
+}
+
+// appendIndex routes one term's postings into the distributed index.
+func (p *Peer) appendIndex(term string, list postings.List, dtype string) error {
+	if p.dpp != nil {
+		return p.dpp.AppendTyped(term, list, dtype)
+	}
+	return p.node.Append(term, list)
+}
+
+// PublishAt indexes a document under an explicit document identifier.
+// The Fundex machinery (Section 6) uses it to index a functional
+// document under its functional id (p, h'(w)) instead of a sequential
+// id; the document is retained locally so phase-two evaluation can
+// serve answers from it.
+func (p *Peer) PublishAt(id sid.DocID, doc *xmltree.Document, uri string) (sid.DocKey, error) {
+	p.mu.Lock()
+	if _, dup := p.docs[id]; dup {
+		p.mu.Unlock()
+		return sid.DocKey{Peer: p.id, Doc: id}, fmt.Errorf("kadop: document id %d already in use", id)
+	}
+	p.docs[id] = doc
+	p.uris[id] = uri
+	p.mu.Unlock()
+	key := sid.DocKey{Peer: p.id, Doc: id}
+
+	tps := xmltree.Extract(doc, p.id, id, p.cfg.Extract)
+	byTerm := map[string]postings.List{}
+	for _, tp := range tps {
+		k := tp.Term.Key()
+		byTerm[k] = append(byTerm[k], tp.Posting)
+	}
+	for term, list := range byTerm {
+		list.Sort()
+		if err := p.appendIndex(term, list, ""); err != nil {
+			return key, fmt.Errorf("kadop: publish %q: index %q: %w", uri, term, err)
+		}
+	}
+	if err := p.dirPut(docKey(key), []byte(uri)); err != nil {
+		return key, err
+	}
+	return key, nil
+}
+
+// PublishXML parses and publishes an XML document held as bytes.
+func (p *Peer) PublishXML(raw []byte, uri string) (sid.DocKey, error) {
+	doc, err := xmltree.ParseBytes(raw)
+	if err != nil {
+		return sid.DocKey{}, fmt.Errorf("kadop: publish %q: %w", uri, err)
+	}
+	return p.Publish(doc, uri)
+}
+
+// Unpublish removes a document from the collection: its postings are
+// deleted from the index and the document is dropped. Modification is
+// deletion followed by re-publication, as in the paper.
+func (p *Peer) Unpublish(id sid.DocID) error {
+	p.mu.Lock()
+	doc := p.docs[id]
+	delete(p.docs, id)
+	delete(p.uris, id)
+	p.mu.Unlock()
+	if doc == nil {
+		return fmt.Errorf("kadop: no local document %d", id)
+	}
+	tps := xmltree.Extract(doc, p.id, id, p.cfg.Extract)
+	byTerm := map[string]postings.List{}
+	for _, tp := range tps {
+		byTerm[tp.Term.Key()] = append(byTerm[tp.Term.Key()], tp.Posting)
+	}
+	for term, list := range byTerm {
+		if p.dpp != nil {
+			if err := p.dpp.Delete(term, list); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, posting := range list {
+			if err := p.node.Delete(term, posting); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Document returns a locally stored document.
+func (p *Peer) Document(id sid.DocID) (*xmltree.Document, string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.docs[id]
+	return d, p.uris[id], ok
+}
+
+// DocumentCount returns the number of locally published documents.
+func (p *Peer) DocumentCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.docs)
+}
+
+// URI resolves any document key in the collection to its URI via the
+// Doc relation.
+func (p *Peer) URI(k sid.DocKey) (string, error) {
+	blob, err := p.dirGet(docKey(k))
+	if err != nil {
+		return "", err
+	}
+	return string(blob), nil
+}
+
+// handleAnswer serves phase-two query evaluation: given a query and a
+// set of local document ids, it evaluates the full tree pattern on the
+// stored documents and returns the answer tuples.
+func (p *Peer) handleAnswer(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+	queryText, pos, err := readStr(blob, 0)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := decodeDocKeys(blob[pos:])
+	if err != nil {
+		return nil, err
+	}
+	q, err := pattern.Parse(queryText)
+	if err != nil {
+		return nil, fmt.Errorf("kadop: answer: %w", err)
+	}
+	var all []twigjoin.Match
+	for _, k := range keys {
+		p.mu.Lock()
+		doc := p.docs[k.Doc]
+		p.mu.Unlock()
+		if doc == nil || k.Peer != p.id {
+			continue
+		}
+		for _, m := range pattern.MatchDocument(q, doc, k) {
+			ps := make([]sid.Posting, len(m.Elements))
+			for i, e := range m.Elements {
+				ps[i] = sid.Posting{Peer: k.Peer, Doc: k.Doc, SID: e}
+			}
+			all = append(all, twigjoin.Match{Doc: k, Postings: ps})
+		}
+	}
+	return encodeMatches(all), nil
+}

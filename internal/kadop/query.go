@@ -1,0 +1,743 @@
+package kadop
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"kadop/internal/dpp"
+	"kadop/internal/pattern"
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+	"kadop/internal/twigjoin"
+)
+
+// QueryOptions tune one query execution.
+type QueryOptions struct {
+	// Strategy selects the phase-one transfer plan (default
+	// Conventional).
+	Strategy Strategy
+	// IndexOnly skips phase two: the result carries the candidate
+	// documents and the index matches but no final answers. The paper's
+	// response-time experiments measure exactly this phase.
+	IndexOnly bool
+	// ParallelJoin runs the Section 4.2 parallel twig join: the document
+	// space is cut at the DPP block boundaries of the query's most
+	// partitioned term, and up to this many vector joins run
+	// concurrently, each fetching only its slice of every list. Answers
+	// stream unordered (the paper relaxes result order for time to first
+	// answer). 0 or 1 disables; requires the DPP.
+	ParallelJoin int
+	// SubQuery restricts Bloom filtering to the sub-pattern rooted at
+	// the node with this pre-order position (SubQueryReducer only).
+	SubQuery []int
+	// AllowPartial tolerates unreachable document peers in phase two:
+	// their answers are omitted and the result is marked incomplete,
+	// matching the paper's timeout behaviour ("in this case, the answer
+	// is incomplete"). Without it, a failed peer fails the query.
+	AllowPartial bool
+	// DocType restricts the query to documents published with this
+	// type; with the DPP enabled, blocks whose type sets exclude it are
+	// not transferred (the type filtering of Section 4.1).
+	DocType string
+}
+
+// Strategy is a phase-one query evaluation strategy.
+type Strategy int
+
+// Strategies of Section 5.3 plus the conventional baseline.
+const (
+	// Conventional transfers every term's full posting list to the
+	// query peer.
+	Conventional Strategy = iota
+	// ABReducer forwards Ancestor Bloom filters root-to-leaves.
+	ABReducer
+	// DBReducer forwards Descendant Bloom filters leaves-to-root.
+	DBReducer
+	// BloomReducer combines both passes (AB top-down, then DB
+	// bottom-up).
+	BloomReducer
+	// SubQueryReducer applies DBReducer to a low-selectivity sub-query
+	// only (the fourth strategy of Figure 7(c)).
+	SubQueryReducer
+	// AutoStrategy picks a plan per query with the paper's heuristic
+	// (Section 5.4): when the stored posting-list sizes reveal a branch
+	// of guaranteed low selectivity, filter that sub-query with
+	// structural Bloom filters; otherwise ship full lists — filtering a
+	// non-selective query costs more than it saves (Figure 7(c)).
+	AutoStrategy
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Conventional:
+		return "conventional"
+	case ABReducer:
+		return "ab-reducer"
+	case DBReducer:
+		return "db-reducer"
+	case BloomReducer:
+		return "bloom-reducer"
+	case SubQueryReducer:
+		return "subquery-reducer"
+	case AutoStrategy:
+		return "auto"
+	}
+	return fmt.Sprintf("strategy(%d)", s)
+}
+
+// Result is the outcome of a query.
+type Result struct {
+	// Matches are the final answer tuples (empty when IndexOnly).
+	Matches []twigjoin.Match
+	// Docs are the candidate documents identified by the index query.
+	Docs []sid.DocKey
+	// IndexMatches counts the tuples produced by the index twig join.
+	IndexMatches int
+	// IndexTime is the duration of phase one.
+	IndexTime time.Duration
+	// FirstAnswer is the time to the first index answer.
+	FirstAnswer time.Duration
+	// Total is the full duration including phase two.
+	Total time.Duration
+	// Plans describes the DPP fetch decisions per term.
+	Plans []*dpp.FetchPlan
+	// Incomplete reports that some document peers were unreachable in
+	// phase two and their answers are missing (AllowPartial only).
+	Incomplete bool
+	// FailedPeers counts the unreachable document peers.
+	FailedPeers int
+}
+
+// Query evaluates a tree-pattern query: phase one computes the
+// candidate documents from the distributed index, phase two retrieves
+// the answers from the document peers.
+func (p *Peer) Query(q *pattern.Query, opts QueryOptions) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{}
+
+	iq, err := ProjectIndexQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	docs, err := p.indexQuery(iq, opts, res, start)
+	if err != nil {
+		return nil, err
+	}
+	res.Docs = docs
+	res.IndexTime = time.Since(start)
+
+	if !opts.IndexOnly {
+		matches, failed, err := p.secondPhase(q, docs)
+		if err != nil && !opts.AllowPartial {
+			return nil, err
+		}
+		res.Matches = matches
+		res.FailedPeers = failed
+		res.Incomplete = failed > 0
+	}
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+// indexQuery runs phase one and returns the candidate document keys.
+func (p *Peer) indexQuery(iq *indexQuery, opts QueryOptions, res *Result, start time.Time) ([]sid.DocKey, error) {
+	docSet := map[sid.DocKey]bool{}
+	for si, sub := range iq.subtrees {
+		var subDocs []sid.DocKey
+		var err error
+		if opts.ParallelJoin > 1 && p.dpp != nil && opts.Strategy == Conventional {
+			subDocs, err = p.parallelIndexJoin(sub, opts, res, start)
+		} else {
+			subDocs, err = p.sequentialIndexJoin(sub, opts, res, start)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if si == 0 {
+			for _, d := range subDocs {
+				docSet[d] = true
+			}
+		} else {
+			// Wildcard projection split the pattern: candidate documents
+			// must match every connected subtree.
+			keep := map[sid.DocKey]bool{}
+			for _, d := range subDocs {
+				if docSet[d] {
+					keep[d] = true
+				}
+			}
+			docSet = keep
+		}
+	}
+	docs := make([]sid.DocKey, 0, len(docSet))
+	for d := range docSet {
+		docs = append(docs, d)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Compare(docs[j]) < 0 })
+	return docs, nil
+}
+
+// sequentialIndexJoin is the default phase-one evaluation: one holistic
+// twig join over the full streams.
+func (p *Peer) sequentialIndexJoin(sub *pattern.Query, opts QueryOptions, res *Result, start time.Time) ([]sid.DocKey, error) {
+	streams, plans, err := p.fetchStreams(sub, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Plans = append(res.Plans, plans...)
+	var subDocs []sid.DocKey
+	err = twigjoin.Run(sub, streams, func(m twigjoin.Match) error {
+		if res.FirstAnswer == 0 {
+			res.FirstAnswer = time.Since(start)
+		}
+		res.IndexMatches++
+		if len(subDocs) == 0 || subDocs[len(subDocs)-1] != m.Doc {
+			subDocs = append(subDocs, m.Doc)
+		}
+		return nil
+	})
+	return subDocs, err
+}
+
+// parallelIndexJoin implements the Section 4.2 parallel twig join: the
+// candidate document space is partitioned at the block boundaries of
+// the most partitioned term, and the vectors join concurrently, each
+// fetching only its document slice of every list. The vectors' document
+// ranges are disjoint, so answers need no deduplication; they are
+// produced out of order, improving the time to the first answer.
+func (p *Peer) parallelIndexJoin(sub *pattern.Query, opts QueryOptions, res *Result, start time.Time) ([]sid.DocKey, error) {
+	terms := sub.Terms()
+	roots := map[string]*dpp.Root{}
+	var widest *dpp.Root
+	for _, t := range terms {
+		r, err := p.dpp.Root(t.Key())
+		if err != nil {
+			return nil, err
+		}
+		roots[t.Key()] = r
+		if widest == nil || len(r.Blocks) > len(widest.Blocks) {
+			widest = r
+		}
+	}
+	lo, hi, _ := docInterval(roots)
+	if hi.Compare(lo) < 0 {
+		return nil, nil // empty intersection: no term can contribute
+	}
+	allowed := allowedTypes(roots, opts.DocType)
+
+	// Cut points: the widest term's block boundaries, clipped to the
+	// document interval. Boundary documents belong to the vector of the
+	// block holding their first postings; since vectors are whole-doc
+	// ranges, each document joins in exactly one vector.
+	vectors := cutVectors(widest, lo, hi, opts.ParallelJoin)
+
+	nodes := sub.Nodes()
+	dup := termDup(nodes)
+	var (
+		mu      sync.Mutex
+		subDocs = map[sid.DocKey]bool{}
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstE  error
+	)
+	sem := make(chan struct{}, opts.ParallelJoin)
+	for _, v := range vectors {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(v docRange) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			streams := map[string]postings.Stream{}
+			for _, t := range terms {
+				s, plan, err := p.dpp.FetchWithRoot(roots[t.Key()], dpp.FetchOptions{
+					Parallel: p.cfg.Parallel,
+					Filter:   true, FilterLo: v.lo, FilterHi: v.hi,
+					AllowedTypes: allowed,
+				})
+				if err != nil {
+					errOnce.Do(func() { firstE = err })
+					return
+				}
+				mu.Lock()
+				res.Plans = append(res.Plans, plan)
+				mu.Unlock()
+				if dup[t.Key()] {
+					l, err := postings.Drain(s)
+					if err != nil {
+						errOnce.Do(func() { firstE = err })
+						return
+					}
+					s = postings.NewSliceStream(l)
+				}
+				streams[t.Key()] = s
+			}
+			nodeStreams, err := assignStreams(nodes, streams, dup)
+			if err != nil {
+				errOnce.Do(func() { firstE = err })
+				return
+			}
+			err = twigjoin.Run(sub, nodeStreams, func(m twigjoin.Match) error {
+				mu.Lock()
+				if res.FirstAnswer == 0 {
+					res.FirstAnswer = time.Since(start)
+				}
+				res.IndexMatches++
+				subDocs[m.Doc] = true
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				errOnce.Do(func() { firstE = err })
+			}
+		}(v)
+	}
+	wg.Wait()
+	if firstE != nil {
+		return nil, firstE
+	}
+	out := make([]sid.DocKey, 0, len(subDocs))
+	for d := range subDocs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// docRange is one vector's document slice.
+type docRange struct {
+	lo, hi sid.DocKey
+}
+
+// cutVectors derives disjoint whole-document ranges covering [lo, hi]
+// from a root's block boundaries, at most maxVectors of them (adjacent
+// blocks merge when there are more blocks than the parallelism allows).
+func cutVectors(widest *dpp.Root, lo, hi sid.DocKey, maxVectors int) []docRange {
+	var cuts []sid.DocKey // inclusive upper bounds
+	if widest != nil {
+		for _, b := range widest.Blocks {
+			k := b.Hi.Key()
+			if k.Compare(lo) < 0 || k.Compare(hi) >= 0 {
+				continue
+			}
+			if len(cuts) == 0 || cuts[len(cuts)-1].Compare(k) < 0 {
+				cuts = append(cuts, k)
+			}
+		}
+	}
+	cuts = append(cuts, hi)
+	// Merge down to maxVectors ranges.
+	if maxVectors < 1 {
+		maxVectors = 1
+	}
+	for len(cuts) > maxVectors {
+		merged := cuts[:0]
+		for i := 0; i < len(cuts); i += 2 {
+			if i+1 < len(cuts) {
+				merged = append(merged, cuts[i+1])
+			} else {
+				merged = append(merged, cuts[i])
+			}
+		}
+		cuts = merged
+	}
+	var out []docRange
+	cur := lo
+	for _, c := range cuts {
+		out = append(out, docRange{lo: cur, hi: c})
+		cur = sid.DocKey{Peer: c.Peer, Doc: c.Doc + 1}
+		if c.Doc == ^sid.DocID(0) {
+			cur = sid.DocKey{Peer: c.Peer + 1, Doc: 0}
+		}
+	}
+	return out
+}
+
+// fetchStreams obtains one posting stream per query node of a subtree,
+// according to the configured transfer machinery and the selected
+// strategy.
+func (p *Peer) fetchStreams(sub *pattern.Query, opts QueryOptions) (map[*pattern.Node]postings.Stream, []*dpp.FetchPlan, error) {
+	if opts.Strategy == AutoStrategy {
+		chosen, err := p.chooseStrategy(sub)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Strategy = chosen
+	}
+	if opts.Strategy != Conventional {
+		lists, err := p.reducedLists(sub, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		streams := map[*pattern.Node]postings.Stream{}
+		for i, n := range sub.Nodes() {
+			streams[n] = postings.NewSliceStream(lists[i])
+		}
+		return streams, nil, nil
+	}
+
+	terms := sub.Terms()
+	nodes := sub.Nodes()
+
+	// With DPP: fetch all roots first, compute the document interval of
+	// Section 4.2, then fetch blocks in parallel with condition filtering.
+	if p.dpp != nil {
+		roots := map[string]*dpp.Root{}
+		for _, t := range terms {
+			r, err := p.dpp.Root(t.Key())
+			if err != nil {
+				return nil, nil, err
+			}
+			roots[t.Key()] = r
+		}
+		lo, hi, filter := docInterval(roots)
+		allowed := allowedTypes(roots, opts.DocType)
+		lists := map[string]postings.Stream{}
+		var plans []*dpp.FetchPlan
+		dup := termDup(nodes)
+		for _, t := range terms {
+			s, plan, err := p.dpp.FetchWithRoot(roots[t.Key()], dpp.FetchOptions{
+				Parallel: p.cfg.Parallel,
+				Filter:   filter, FilterLo: lo, FilterHi: hi,
+				AllowedTypes: allowed,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			plans = append(plans, plan)
+			if dup[t.Key()] {
+				// The same term appears at several query nodes: buffer it.
+				l, err := postings.Drain(s)
+				if err != nil {
+					return nil, nil, err
+				}
+				s = postings.NewSliceStream(l)
+			}
+			lists[t.Key()] = s
+		}
+		streams, err := assignStreams(nodes, lists, dup)
+		return streams, plans, err
+	}
+
+	// Plain transfers: pipelined get (default) or the blocking baseline.
+	lists := map[string]postings.Stream{}
+	dup := termDup(nodes)
+	for _, t := range terms {
+		var s postings.Stream
+		if p.cfg.pipelined() {
+			var err error
+			s, err = p.node.GetStream(t.Key())
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			l, err := p.node.Get(t.Key())
+			if err != nil {
+				return nil, nil, err
+			}
+			s = postings.NewSliceStream(l)
+		}
+		if dup[t.Key()] {
+			l, err := postings.Drain(s)
+			if err != nil {
+				return nil, nil, err
+			}
+			s = postings.NewSliceStream(l)
+		}
+		lists[t.Key()] = s
+	}
+	streams, err := assignStreams(nodes, lists, dup)
+	return streams, nil, err
+}
+
+// termDup reports which term keys label more than one query node.
+func termDup(nodes []*pattern.Node) map[string]bool {
+	count := map[string]int{}
+	for _, n := range nodes {
+		count[n.Term.Key()]++
+	}
+	dup := map[string]bool{}
+	for k, c := range count {
+		if c > 1 {
+			dup[k] = true
+		}
+	}
+	return dup
+}
+
+// assignStreams gives each query node its stream; duplicated terms get
+// independent replays of the buffered list.
+func assignStreams(nodes []*pattern.Node, lists map[string]postings.Stream, dup map[string]bool) (map[*pattern.Node]postings.Stream, error) {
+	streams := map[*pattern.Node]postings.Stream{}
+	for _, n := range nodes {
+		k := n.Term.Key()
+		s, ok := lists[k]
+		if !ok {
+			return nil, fmt.Errorf("kadop: no stream fetched for term %q", k)
+		}
+		if dup[k] {
+			ss, ok := s.(*postings.SliceStream)
+			if !ok {
+				return nil, fmt.Errorf("kadop: duplicated term %q not buffered", k)
+			}
+			streams[n] = postings.NewSliceStream(ss.Rest())
+		} else {
+			streams[n] = s
+		}
+	}
+	return streams, nil
+}
+
+// docInterval computes the [min, max] document interval of Section 4.2
+// from the roots of all the query's terms: every answer document lies
+// within every term's own document range, so the interval is the
+// intersection — [max of the minima, min of the maxima].
+func docInterval(roots map[string]*dpp.Root) (lo, hi sid.DocKey, ok bool) {
+	lo = sid.MinDocKey
+	hi = sid.MaxDocKey
+	for _, r := range roots {
+		rlo, rhi, known := rootDocRange(r)
+		if !known {
+			// A term with no postings: the join is empty anyway; an empty
+			// interval lets the fetches skip everything.
+			return sid.MaxDocKey, sid.MinDocKey, true
+		}
+		if rlo.Compare(lo) > 0 {
+			lo = rlo
+		}
+		if rhi.Compare(hi) < 0 {
+			hi = rhi
+		}
+	}
+	return lo, hi, true
+}
+
+func rootDocRange(r *dpp.Root) (lo, hi sid.DocKey, ok bool) {
+	if len(r.Blocks) > 0 {
+		return r.Blocks[0].Lo.Key(), r.Blocks[len(r.Blocks)-1].Hi.Key(), true
+	}
+	if r.Count > 0 {
+		return r.Lo.Key(), r.Hi.Key(), true
+	}
+	return sid.DocKey{}, sid.DocKey{}, false
+}
+
+// secondPhase contacts the peers holding candidate documents and
+// gathers the final answers. It returns the matches, the number of
+// unreachable peers, and the first error encountered.
+func (p *Peer) secondPhase(q *pattern.Query, docs []sid.DocKey) ([]twigjoin.Match, int, error) {
+	byPeer := map[sid.PeerID][]sid.DocKey{}
+	for _, d := range docs {
+		byPeer[d.Peer] = append(byPeer[d.Peer], d)
+	}
+	var (
+		mu      sync.Mutex
+		all     []twigjoin.Match
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstE  error
+		failed  int
+	)
+	for pid, keys := range byPeer {
+		wg.Add(1)
+		go func(pid sid.PeerID, keys []sid.DocKey) {
+			defer wg.Done()
+			fail := func(err error) {
+				errOnce.Do(func() { firstE = err })
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+			contact, err := p.contactOf(pid)
+			if err != nil {
+				fail(err)
+				return
+			}
+			blob := appendStr(nil, q.String())
+			blob = append(blob, encodeDocKeys(keys)...)
+			out, err := p.node.CallProcOn(contact, "", procAnswer, blob)
+			if err != nil {
+				// The paper detects faulty peers with time-outs and accepts
+				// an incomplete answer; we record the failure and keep going.
+				fail(err)
+				return
+			}
+			ms, err := decodeMatches(out)
+			if err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			all = append(all, ms...)
+			mu.Unlock()
+		}(pid, keys)
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool {
+		if c := all[i].Doc.Compare(all[j].Doc); c != 0 {
+			return c < 0
+		}
+		for k := range all[i].Postings {
+			if k >= len(all[j].Postings) {
+				return false
+			}
+			if c := all[i].Postings[k].Compare(all[j].Postings[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return all, failed, firstE
+}
+
+// indexQuery is a query projected for index evaluation: wildcards
+// removed, possibly splitting the pattern into connected subtrees.
+type indexQuery struct {
+	subtrees []*pattern.Query
+}
+
+// ProjectIndexQuery removes wildcard nodes from a query, reattaching
+// their children to the nearest non-wildcard ancestor with a descendant
+// axis. The result is a superset query: it never misses an answer
+// document (completeness), though it may admit documents the full
+// pattern rejects (the imprecision discussed in Section 2). If the
+// root itself is a wildcard, the pattern may split into independent
+// subtrees whose document sets intersect.
+func ProjectIndexQuery(q *pattern.Query) (*indexQuery, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var roots []*pattern.Node
+	var project func(n *pattern.Node, relaxed bool) []*pattern.Node
+	project = func(n *pattern.Node, relaxed bool) []*pattern.Node {
+		if n.IsWildcard() {
+			var out []*pattern.Node
+			for _, c := range n.Children {
+				out = append(out, project(c, true)...)
+			}
+			return out
+		}
+		clone := &pattern.Node{Term: n.Term, Axis: n.Axis}
+		if relaxed && clone.Axis == pattern.Child {
+			clone.Axis = pattern.Descendant
+		}
+		for _, c := range n.Children {
+			clone.Children = append(clone.Children, project(c, false)...)
+		}
+		return []*pattern.Node{clone}
+	}
+	roots = project(q.Root, false)
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("kadop: query has no indexable structure")
+	}
+	iq := &indexQuery{}
+	for _, r := range roots {
+		sub := &pattern.Query{Root: r}
+		if err := sub.Validate(); err != nil {
+			return nil, fmt.Errorf("kadop: index projection: %w", err)
+		}
+		iq.subtrees = append(iq.subtrees, sub)
+	}
+	return iq, nil
+}
+
+// selectivityRatio is the cost-model threshold of AutoStrategy: a
+// sub-query counts as selective when its smallest leaf list is at
+// least this many times smaller than the query's largest list, which
+// makes the Bloom-filter exchange (sized by the small list) cheap
+// relative to the transfer it can save.
+const selectivityRatio = 20
+
+// chooseStrategy implements the paper's plan-selection heuristic from
+// the stored posting-list sizes.
+func (p *Peer) chooseStrategy(sub *pattern.Query) (Strategy, error) {
+	minCount, maxCount := -1, 0
+	for _, n := range sub.Nodes() {
+		if n.IsWildcard() {
+			continue
+		}
+		c, err := p.termCount(n.Term.Key())
+		if err != nil {
+			return Conventional, err
+		}
+		if c > maxCount {
+			maxCount = c
+		}
+		if len(n.Children) == 0 && (minCount < 0 || c < minCount) {
+			minCount = c
+		}
+	}
+	if minCount >= 0 && minCount*selectivityRatio <= maxCount {
+		return SubQueryReducer, nil
+	}
+	return Conventional, nil
+}
+
+// allowedTypes computes the type constraint of Section 4.1: every
+// answer document's type must appear in every term's type set, so the
+// allowed set is the intersection of the known sets (terms without
+// type information impose no constraint), further narrowed by an
+// explicit query type. nil means unconstrained; an empty non-nil set
+// means no document can match and every typed block is skipped.
+func allowedTypes(roots map[string]*dpp.Root, queryType string) []string {
+	var allowed []string
+	constrained := false
+	intersect := func(set []string) {
+		if len(set) == 0 {
+			return // untyped term: no constraint
+		}
+		if !constrained {
+			allowed = append([]string(nil), set...)
+			constrained = true
+			return
+		}
+		var kept []string
+		for _, a := range allowed {
+			for _, s := range set {
+				if a == s {
+					kept = append(kept, a)
+					break
+				}
+			}
+		}
+		allowed = kept
+		if allowed == nil {
+			allowed = []string{}
+		}
+	}
+	for _, r := range roots {
+		set := r.Types
+		if len(r.Blocks) > 0 {
+			set = nil
+			seen := map[string]bool{}
+			typed := true
+			for _, b := range r.Blocks {
+				if len(b.Types) == 0 {
+					typed = false
+					break
+				}
+				for _, t := range b.Types {
+					if !seen[t] {
+						seen[t] = true
+						set = append(set, t)
+					}
+				}
+			}
+			if !typed {
+				set = nil
+			}
+		}
+		intersect(set)
+	}
+	if queryType != "" {
+		intersect([]string{queryType})
+	}
+	if !constrained {
+		return nil
+	}
+	return allowed
+}

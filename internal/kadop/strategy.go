@@ -1,0 +1,611 @@
+package kadop
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"kadop/internal/dht"
+	"kadop/internal/dpp"
+	"kadop/internal/pattern"
+	"kadop/internal/postings"
+	"kadop/internal/sbf"
+)
+
+// The Bloom-reducer strategies of Section 5.3. All strategies proceed
+// in two phases: peers exchange structural Bloom filters along the
+// query tree's edges and reduce their posting lists, then the reduced
+// lists are sent to the query peer for the final twig join. Filters
+// flow peer-to-peer (parent term home to child term home and vice
+// versa), and reduced lists are pushed directly to the query peer, so
+// the traffic accounting matches the paper's deployment.
+
+// filter kinds on the wire.
+const (
+	filterNone byte = iota
+	filterAB
+	filterDB
+)
+
+// reduceSpec is one query node in a strategy request: its pre-order
+// position (the push slot at the query peer), its term, and its
+// children.
+type reduceSpec struct {
+	nodeID   int
+	term     string
+	children []*reduceSpec
+}
+
+func buildSpec(n *pattern.Node, next *int) *reduceSpec {
+	s := &reduceSpec{nodeID: *next, term: n.Term.Key()}
+	*next++
+	for _, c := range n.Children {
+		s.children = append(s.children, buildSpec(c, next))
+	}
+	return s
+}
+
+func (s *reduceSpec) count() int {
+	n := 1
+	for _, c := range s.children {
+		n += c.count()
+	}
+	return n
+}
+
+func encodeSpec(buf []byte, s *reduceSpec) []byte {
+	buf = appendUint(buf, uint64(s.nodeID))
+	buf = appendStr(buf, s.term)
+	buf = appendUint(buf, uint64(len(s.children)))
+	for _, c := range s.children {
+		buf = encodeSpec(buf, c)
+	}
+	return buf
+}
+
+func decodeSpec(buf []byte, pos int) (*reduceSpec, int, error) {
+	id, pos, err := readUint(buf, pos)
+	if err != nil {
+		return nil, pos, err
+	}
+	s := &reduceSpec{nodeID: int(id)}
+	if s.term, pos, err = readStr(buf, pos); err != nil {
+		return nil, pos, err
+	}
+	n, pos, err := readUint(buf, pos)
+	if err != nil {
+		return nil, pos, err
+	}
+	if n > uint64(len(buf)) {
+		return nil, pos, fmt.Errorf("kadop: implausible spec fan-out %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var c *reduceSpec
+		if c, pos, err = decodeSpec(buf, pos); err != nil {
+			return nil, pos, err
+		}
+		s.children = append(s.children, c)
+	}
+	return s, pos, nil
+}
+
+// reduceReq is the wire form of a strategy step.
+type reduceReq struct {
+	session    string
+	queryAddr  string
+	abFP, dbFP float64
+	filterKind byte
+	filter     []byte
+	// skipReply marks the strategy's root call: the root's own filter
+	// has no consumer, so building and shipping it is suppressed.
+	skipReply bool
+	spec      *reduceSpec
+}
+
+func (r *reduceReq) encode() []byte {
+	buf := appendStr(nil, r.session)
+	buf = appendStr(buf, r.queryAddr)
+	buf = appendUint(buf, uint64(r.abFP*1e6))
+	buf = appendUint(buf, uint64(r.dbFP*1e6))
+	buf = append(buf, r.filterKind)
+	if r.skipReply {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendBytes(buf, r.filter)
+	return encodeSpec(buf, r.spec)
+}
+
+func decodeReduceReq(buf []byte) (*reduceReq, error) {
+	r := &reduceReq{}
+	var err error
+	pos := 0
+	if r.session, pos, err = readStr(buf, pos); err != nil {
+		return nil, err
+	}
+	if r.queryAddr, pos, err = readStr(buf, pos); err != nil {
+		return nil, err
+	}
+	var v uint64
+	if v, pos, err = readUint(buf, pos); err != nil {
+		return nil, err
+	}
+	r.abFP = float64(v) / 1e6
+	if v, pos, err = readUint(buf, pos); err != nil {
+		return nil, err
+	}
+	r.dbFP = float64(v) / 1e6
+	if pos >= len(buf) {
+		return nil, fmt.Errorf("kadop: truncated reduce request")
+	}
+	r.filterKind = buf[pos]
+	pos++
+	if pos >= len(buf) {
+		return nil, fmt.Errorf("kadop: truncated reduce request flags")
+	}
+	r.skipReply = buf[pos] == 1
+	pos++
+	if r.filter, pos, err = readBytes(buf, pos); err != nil {
+		return nil, err
+	}
+	if r.spec, _, err = decodeSpec(buf, pos); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// sessions at the query peer -----------------------------------------
+
+type pushMsg struct {
+	nodeID int
+	list   postings.List
+}
+
+var sessionCounter atomic.Int64
+
+func (p *Peer) newSession(capacity int) (string, chan pushMsg) {
+	id := fmt.Sprintf("s%d-%d", p.id, sessionCounter.Add(1))
+	ch := make(chan pushMsg, capacity)
+	p.sessMu.Lock()
+	p.sess[id] = ch
+	p.sessMu.Unlock()
+	return id, ch
+}
+
+func (p *Peer) dropSession(id string) {
+	p.sessMu.Lock()
+	delete(p.sess, id)
+	p.sessMu.Unlock()
+}
+
+// handlePush receives one reduced list at the query peer.
+func (p *Peer) handlePush(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+	session, pos, err := readStr(blob, 0)
+	if err != nil {
+		return nil, err
+	}
+	id, pos, err := readUint(blob, pos)
+	if err != nil {
+		return nil, err
+	}
+	list, _, err := postings.Decode(blob[pos:])
+	if err != nil {
+		return nil, err
+	}
+	p.sessMu.Lock()
+	ch := p.sess[session]
+	p.sessMu.Unlock()
+	if ch == nil {
+		return nil, fmt.Errorf("kadop: unknown session %q", session)
+	}
+	select {
+	case ch <- pushMsg{nodeID: int(id), list: list}:
+	default:
+		return nil, fmt.Errorf("kadop: session %q overflow", session)
+	}
+	return nil, nil
+}
+
+// pushList sends a (reduced) posting list to the query peer's slot.
+func (p *Peer) pushList(queryAddr, session string, nodeID int, list postings.List) error {
+	blob := appendStr(nil, session)
+	blob = appendUint(blob, uint64(nodeID))
+	enc, err := postings.Encode(list)
+	if err != nil {
+		return err
+	}
+	blob = append(blob, enc...)
+	to := dht.Contact{ID: dht.PeerIDFromSeed(queryAddr), Addr: queryAddr}
+	_, err = p.node.CallProcOn(to, "", procPush, blob)
+	return err
+}
+
+// listFor loads the full posting list of a term this peer is home for.
+// With DPP enabled the blocks are pulled back from their peers (the
+// strategies and the DPP are orthogonal; composing them costs the
+// block transfers, which the accounting reflects).
+func (p *Peer) listFor(term string) (postings.List, error) {
+	if p.dpp != nil {
+		s, _, err := p.dpp.Fetch(term, dpp.FetchOptions{Parallel: p.cfg.Parallel})
+		if err != nil {
+			return nil, err
+		}
+		return postings.Drain(s)
+	}
+	return p.node.Store().Get(term)
+}
+
+// applyIncoming filters a list by the request's incoming filter.
+func applyIncoming(req *reduceReq, list postings.List) (postings.List, error) {
+	switch req.filterKind {
+	case filterNone:
+		return list, nil
+	case filterAB:
+		ab, err := sbf.UnmarshalAB(req.filter)
+		if err != nil {
+			return nil, err
+		}
+		return ab.Filter(list), nil
+	case filterDB:
+		db, err := sbf.UnmarshalDB(req.filter)
+		if err != nil {
+			return nil, err
+		}
+		return db.Filter(list), nil
+	}
+	return nil, fmt.Errorf("kadop: unknown filter kind %d", req.filterKind)
+}
+
+// handleABReduce implements one AB Reducer step at a term's home peer:
+// filter the local list with the parent's AB filter, push the reduced
+// list to the query peer, and forward an AB filter of the reduced list
+// to the children (Figure 5).
+func (p *Peer) handleABReduce(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+	req, err := decodeReduceReq(blob)
+	if err != nil {
+		return nil, err
+	}
+	list, err := p.listFor(req.spec.term)
+	if err != nil {
+		return nil, err
+	}
+	reduced, err := applyIncoming(req, list)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.pushList(req.queryAddr, req.session, req.spec.nodeID, reduced); err != nil {
+		return nil, err
+	}
+	if len(req.spec.children) == 0 {
+		return nil, nil
+	}
+	ab := sbf.BuildAB(reduced, req.abFP, sbf.DefaultPsiC)
+	for _, c := range req.spec.children {
+		child := &reduceReq{
+			session: req.session, queryAddr: req.queryAddr,
+			abFP: req.abFP, dbFP: req.dbFP,
+			filterKind: filterAB, filter: ab.Marshal(), spec: c,
+		}
+		if _, err := p.node.CallProc(c.term, procABReduce, child.encode()); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// handleDBReduce implements one DB Reducer step: gather DB filters from
+// the children (recursively), reduce the local list by all of them,
+// push it to the query peer, and return a DB filter of the reduced list
+// to the caller (Figure 6). Leaves push their full lists.
+func (p *Peer) handleDBReduce(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+	req, err := decodeReduceReq(blob)
+	if err != nil {
+		return nil, err
+	}
+	list, err := p.listFor(req.spec.term)
+	if err != nil {
+		return nil, err
+	}
+	reduced := list
+	for _, c := range req.spec.children {
+		child := &reduceReq{
+			session: req.session, queryAddr: req.queryAddr,
+			abFP: req.abFP, dbFP: req.dbFP, spec: c,
+		}
+		dbBytes, err := p.node.CallProc(c.term, procDBReduce, child.encode())
+		if err != nil {
+			return nil, err
+		}
+		db, err := sbf.UnmarshalDB(dbBytes)
+		if err != nil {
+			return nil, err
+		}
+		reduced = db.Filter(reduced)
+	}
+	if err := p.pushList(req.queryAddr, req.session, req.spec.nodeID, reduced); err != nil {
+		return nil, err
+	}
+	if req.skipReply {
+		return nil, nil
+	}
+	db := sbf.BuildDB(reduced, req.dbFP, 0, 0)
+	return db.Marshal(), nil
+}
+
+// handleHybridAB is the first pass of Bloom Reducer: AB filters flow
+// top-down as in handleABReduce, but the reduced lists are retained at
+// their home peers (keyed by session and slot) instead of being pushed.
+func (p *Peer) handleHybridAB(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+	req, err := decodeReduceReq(blob)
+	if err != nil {
+		return nil, err
+	}
+	list, err := p.listFor(req.spec.term)
+	if err != nil {
+		return nil, err
+	}
+	reduced, err := applyIncoming(req, list)
+	if err != nil {
+		return nil, err
+	}
+	p.sessMu.Lock()
+	p.hybrid[hybridKey(req.session, req.spec.nodeID)] = reduced
+	p.sessMu.Unlock()
+	if len(req.spec.children) == 0 {
+		return nil, nil
+	}
+	ab := sbf.BuildAB(reduced, req.abFP, sbf.DefaultPsiC)
+	for _, c := range req.spec.children {
+		child := &reduceReq{
+			session: req.session, queryAddr: req.queryAddr,
+			abFP: req.abFP, dbFP: req.dbFP,
+			filterKind: filterAB, filter: ab.Marshal(), spec: c,
+		}
+		if _, err := p.node.CallProc(c.term, procHybridAB, child.encode()); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// handleHybridDB is the second pass of Bloom Reducer: DB filters flow
+// bottom-up over the AB-reduced lists retained by the first pass; the
+// final lists are pushed to the query peer.
+func (p *Peer) handleHybridDB(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+	req, err := decodeReduceReq(blob)
+	if err != nil {
+		return nil, err
+	}
+	key := hybridKey(req.session, req.spec.nodeID)
+	p.sessMu.Lock()
+	reduced, ok := p.hybrid[key]
+	delete(p.hybrid, key)
+	p.sessMu.Unlock()
+	if !ok {
+		// The AB pass did not reach this peer (e.g. strategy invoked
+		// without the first pass); fall back to the full list.
+		var err error
+		reduced, err = p.listFor(req.spec.term)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range req.spec.children {
+		child := &reduceReq{
+			session: req.session, queryAddr: req.queryAddr,
+			abFP: req.abFP, dbFP: req.dbFP, spec: c,
+		}
+		dbBytes, err := p.node.CallProc(c.term, procHybridDB, child.encode())
+		if err != nil {
+			return nil, err
+		}
+		db, err := sbf.UnmarshalDB(dbBytes)
+		if err != nil {
+			return nil, err
+		}
+		reduced = db.Filter(reduced)
+	}
+	if err := p.pushList(req.queryAddr, req.session, req.spec.nodeID, reduced); err != nil {
+		return nil, err
+	}
+	if req.skipReply {
+		return nil, nil
+	}
+	db := sbf.BuildDB(reduced, req.dbFP, 0, 0)
+	return db.Marshal(), nil
+}
+
+func hybridKey(session string, nodeID int) string {
+	return fmt.Sprintf("%s/%d", session, nodeID)
+}
+
+// reducedLists runs the selected strategy for one index subtree and
+// returns the (reduced) posting list per query node pre-order position.
+func (p *Peer) reducedLists(sub *pattern.Query, opts QueryOptions) (map[int]postings.List, error) {
+	nodes := sub.Nodes()
+	next := 0
+	spec := buildSpec(sub.Root, &next)
+
+	var (
+		reduceSpecs []*reduceSpec // subtrees evaluated through filters
+		plainIDs    []int         // nodes fetched conventionally
+	)
+	switch opts.Strategy {
+	case ABReducer, DBReducer, BloomReducer:
+		reduceSpecs = []*reduceSpec{spec}
+	case SubQueryReducer:
+		subSpec, rest, err := p.selectSubQuery(spec, nodes, opts.SubQuery)
+		if err != nil {
+			return nil, err
+		}
+		reduceSpecs = []*reduceSpec{subSpec}
+		plainIDs = rest
+	default:
+		return nil, fmt.Errorf("kadop: reducedLists with strategy %v", opts.Strategy)
+	}
+
+	want := 0
+	for _, s := range reduceSpecs {
+		want += s.count()
+	}
+	session, ch := p.newSession(want + 1)
+	defer p.dropSession(session)
+
+	for _, s := range reduceSpecs {
+		req := &reduceReq{
+			session: session, queryAddr: p.node.Self().Addr,
+			abFP: p.cfg.abFP(), dbFP: p.cfg.dbFP(), spec: s,
+			skipReply: true, // the root call's filter has no consumer
+		}
+		var err error
+		switch opts.Strategy {
+		case ABReducer:
+			_, err = p.node.CallProc(s.term, procABReduce, req.encode())
+		case DBReducer, SubQueryReducer:
+			_, err = p.node.CallProc(s.term, procDBReduce, req.encode())
+		case BloomReducer:
+			if _, err = p.node.CallProc(s.term, procHybridAB, req.encode()); err == nil {
+				_, err = p.node.CallProc(s.term, procHybridDB, req.encode())
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	lists := map[int]postings.List{}
+	deadline := time.After(30 * time.Second)
+	for received := 0; received < want; received++ {
+		select {
+		case m := <-ch:
+			lists[m.nodeID] = m.list
+		case <-deadline:
+			return nil, fmt.Errorf("kadop: strategy %v: timed out waiting for %d of %d lists", opts.Strategy, want-received, want)
+		}
+	}
+
+	// Conventionally fetched remainder (sub-query strategy).
+	for _, id := range plainIDs {
+		term := nodes[id].Term.Key()
+		s, err := p.node.GetStream(term)
+		if err != nil {
+			return nil, err
+		}
+		l, err := postings.Drain(s)
+		if err != nil {
+			return nil, err
+		}
+		lists[id] = l
+	}
+	return lists, nil
+}
+
+// selectSubQuery picks the sub-pattern the SubQueryReducer filters.
+// With explicit positions it uses those; otherwise it applies the
+// paper's heuristic — choose the root-to-leaf path ending at the leaf
+// with the smallest posting list, the query's most selective branch.
+func (p *Peer) selectSubQuery(spec *reduceSpec, nodes []*pattern.Node, explicit []int) (*reduceSpec, []int, error) {
+	inSub := map[int]bool{}
+	if len(explicit) > 0 {
+		for _, id := range explicit {
+			if id < 0 || id >= len(nodes) {
+				return nil, nil, fmt.Errorf("kadop: sub-query position %d out of range", id)
+			}
+			inSub[id] = true
+		}
+	} else {
+		// Find the smallest leaf list.
+		type leafInfo struct {
+			path []int
+			size int
+		}
+		var best *leafInfo
+		var walk func(s *reduceSpec, path []int) error
+		walk = func(s *reduceSpec, path []int) error {
+			path = append(path[:len(path):len(path)], s.nodeID)
+			if len(s.children) == 0 {
+				n, err := p.termCount(s.term)
+				if err != nil {
+					return err
+				}
+				if best == nil || n < best.size {
+					best = &leafInfo{path: path, size: n}
+				}
+				return nil
+			}
+			for _, c := range s.children {
+				if err := walk(c, path); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(spec, nil); err != nil {
+			return nil, nil, err
+		}
+		for _, id := range best.path {
+			inSub[id] = true
+		}
+	}
+	subSpec := projectSpec(spec, inSub)
+	if subSpec == nil {
+		return nil, nil, fmt.Errorf("kadop: sub-query does not include the root")
+	}
+	var rest []int
+	var collect func(s *reduceSpec)
+	collect = func(s *reduceSpec) {
+		if !inSub[s.nodeID] {
+			rest = append(rest, s.nodeID)
+		}
+		for _, c := range s.children {
+			collect(c)
+		}
+	}
+	collect(spec)
+	return subSpec, rest, nil
+}
+
+// projectSpec keeps only the nodes in the set, preserving ancestry.
+func projectSpec(s *reduceSpec, keep map[int]bool) *reduceSpec {
+	if !keep[s.nodeID] {
+		return nil
+	}
+	out := &reduceSpec{nodeID: s.nodeID, term: s.term}
+	for _, c := range s.children {
+		if pc := projectSpec(c, keep); pc != nil {
+			out.children = append(out.children, pc)
+		}
+	}
+	return out
+}
+
+// termCount asks the home peer of a term for its posting count (used
+// by the sub-query selection heuristic).
+func (p *Peer) termCount(term string) (int, error) {
+	blob, err := p.node.CallProc(term, procCount, nil)
+	if err != nil {
+		return 0, err
+	}
+	n, _, err := readUint(blob, 0)
+	return int(n), err
+}
+
+// handleCount serves termCount at the home peer.
+func (p *Peer) handleCount(_ dht.Contact, term string, _ []byte) ([]byte, error) {
+	if p.dpp != nil {
+		root, err := p.dpp.Root(term)
+		if err == nil && len(root.Blocks) > 0 {
+			n := 0
+			for _, b := range root.Blocks {
+				n += b.Count
+			}
+			return appendUint(nil, uint64(n)), nil
+		}
+	}
+	n, err := p.node.Store().Count(term)
+	if err != nil {
+		return nil, err
+	}
+	return appendUint(nil, uint64(n)), nil
+}

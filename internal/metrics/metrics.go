@@ -1,0 +1,129 @@
+// Package metrics provides the traffic and latency accounting used by
+// the experiments: every DHT message is charged to a class, and
+// experiment harnesses read totals to reproduce the paper's bandwidth
+// and response-time measurements.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Class labels a kind of traffic for attribution in the reports.
+type Class string
+
+// Traffic classes used by the system.
+const (
+	Routing  Class = "routing"  // find-node and ping traffic
+	Index    Class = "index"    // posting appends during publishing
+	Postings Class = "postings" // posting list transfers during queries
+	Filters  Class = "filters"  // structural Bloom filter transfers (unspecified kind)
+	// FiltersAB and FiltersDB split filter traffic by kind, matching the
+	// breakdown of the paper's Figure 7.
+	FiltersAB Class = "filters-ab"
+	FiltersDB Class = "filters-db"
+	Control   Class = "control" // query control, conditions, completions
+	Other     Class = "other"
+)
+
+// Collector accumulates message and byte counts per class. The zero
+// value is unusable; use NewCollector. All methods are safe for
+// concurrent use.
+type Collector struct {
+	mu       sync.Mutex
+	messages map[Class]int64
+	bytes    map[Class]int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{messages: map[Class]int64{}, bytes: map[Class]int64{}}
+}
+
+// Count charges one message of n bytes to the class.
+func (c *Collector) Count(class Class, n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.messages[class]++
+	c.bytes[class] += int64(n)
+	c.mu.Unlock()
+}
+
+// Bytes returns the byte total for one class.
+func (c *Collector) Bytes(class Class) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes[class]
+}
+
+// Messages returns the message total for one class.
+func (c *Collector) Messages(class Class) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.messages[class]
+}
+
+// TotalBytes returns the byte total across all classes.
+func (c *Collector) TotalBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, v := range c.bytes {
+		n += v
+	}
+	return n
+}
+
+// Reset zeroes all counters.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.messages = map[Class]int64{}
+	c.bytes = map[Class]int64{}
+	c.mu.Unlock()
+}
+
+// Snapshot returns a stable, sorted rendering of the counters.
+func (c *Collector) Snapshot() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	classes := make([]string, 0, len(c.bytes))
+	for cl := range c.bytes {
+		classes = append(classes, string(cl))
+	}
+	sort.Strings(classes)
+	s := ""
+	for _, cl := range classes {
+		s += fmt.Sprintf("%-10s %8d msgs %12d bytes\n", cl, c.messages[Class(cl)], c.bytes[Class(cl)])
+	}
+	return s
+}
+
+// Timer measures wall-clock durations of experiment phases.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer begins timing.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Elapsed returns the time since the timer started.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }

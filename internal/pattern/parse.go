@@ -1,0 +1,298 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"kadop/internal/xmltree"
+)
+
+// Parse parses the XPath subset KadoP supports into a tree-pattern
+// query. The grammar:
+//
+//	query      = path
+//	path       = step+
+//	step       = ("/" | "//") name predicate*
+//	name       = NCName | "*"
+//	predicate  = "[" (relpath | containsFn | containsKw) "]"
+//	relpath    = ("."? ("/" | "//"))? path        (a branch)
+//	containsFn = "contains(" ("." | relpath) "," string ")"
+//	containsKw = "." "contains" string             (the paper's notation)
+//	string     = '"' chars '"' | "'" chars "'"
+//
+// Examples from the paper, all accepted:
+//
+//	//article[. contains "Ullman"]
+//	//article//author[. contains "Ullman"]
+//	//article[//title]//author[. contains "Ullman"]
+//	//article[contains(.//title,'system') and contains(.//abstract,'interface')]
+//	//*[contains(.,'xml')]//title
+func Parse(input string) (*Query, error) {
+	p := &parser{src: input}
+	root, err := p.parsePath(nil)
+	if err != nil {
+		return nil, fmt.Errorf("pattern: parse %q: %w", input, err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("pattern: parse %q: trailing input at offset %d", input, p.pos)
+	}
+	q := &Query{Root: root}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for statically known query strings; it panics on
+// error and is intended for tests and example programs.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek(s string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *parser) eat(s string) bool {
+	if p.peek(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.eat(s) {
+		return fmt.Errorf("expected %q at offset %d", s, p.pos)
+	}
+	return nil
+}
+
+// parsePath parses step+ and attaches the first step to parent (nil for
+// the query root). It returns the root of the parsed chain.
+func (p *parser) parsePath(parent *Node) (*Node, error) {
+	first, err := p.parseStep(parent)
+	if err != nil {
+		return nil, err
+	}
+	cur := first
+	for p.peek("/") {
+		next, err := p.parseStep(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return first, nil
+}
+
+// parseStep parses one ("/" | "//") name predicate* step, attaches it
+// to parent, and returns the new node.
+func (p *parser) parseStep(parent *Node) (*Node, error) {
+	axis := Child
+	if p.eat("//") {
+		axis = Descendant
+	} else if p.eat("/") {
+		axis = Child
+	} else {
+		return nil, fmt.Errorf("expected '/' or '//' at offset %d", p.pos)
+	}
+	var n *Node
+	if p.peek("{") {
+		// "{word}" steps denote word terms directly (used when a value
+		// condition stands alone, e.g. in split sub-queries).
+		p.eat("{")
+		w, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		n = &Node{Term: xmltree.WordTerm(w), Axis: DescendantOrSelf}
+		_ = axis
+	} else {
+		name, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		n = &Node{Term: xmltree.LabelTerm(name), Axis: axis}
+	}
+	if parent != nil {
+		parent.Children = append(parent.Children, n)
+	}
+	for p.peek("[") {
+		if err := p.parsePredicate(n); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func (p *parser) parseName() (string, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '*' {
+		p.pos++
+		return Wildcard, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c == '-' || c == '.' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected element name at offset %d", p.pos)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseString() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("expected string at end of input")
+	}
+	quote := p.src[p.pos]
+	if quote != '"' && quote != '\'' {
+		return "", fmt.Errorf("expected quoted string at offset %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("unterminated string starting at offset %d", start-1)
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+// parsePredicate parses one bracketed predicate and attaches the
+// resulting branch(es) to n. Predicates may be joined with "and".
+func (p *parser) parsePredicate(n *Node) error {
+	if err := p.expect("["); err != nil {
+		return err
+	}
+	for {
+		if err := p.parsePredicateTerm(n); err != nil {
+			return err
+		}
+		if !p.eat("and") {
+			break
+		}
+	}
+	return p.expect("]")
+}
+
+func (p *parser) parsePredicateTerm(n *Node) error {
+	switch {
+	case p.peek("contains("):
+		return p.parseContainsFn(n)
+	case p.peek("."):
+		// ". contains \"w\"" (the paper's notation) or ".//path".
+		save := p.pos
+		p.eat(".")
+		if p.eat("contains") {
+			w, err := p.parseString()
+			if err != nil {
+				return err
+			}
+			attachWord(n, w)
+			return nil
+		}
+		p.pos = save
+		p.eat(".") // relative branch .//a or ./a
+		if !p.peek("/") {
+			return fmt.Errorf("expected path after '.' at offset %d", p.pos)
+		}
+		_, err := p.parsePath(n)
+		return err
+	case p.peek("/"):
+		_, err := p.parsePath(n)
+		return err
+	default:
+		return fmt.Errorf("unsupported predicate at offset %d", p.pos)
+	}
+}
+
+// parseContainsFn parses contains(. , "w") or contains(.//path, "w").
+func (p *parser) parseContainsFn(n *Node) error {
+	if err := p.expect("contains("); err != nil {
+		return err
+	}
+	target := n
+	p.skipSpace()
+	if p.eat(".") {
+		if p.peek("/") {
+			branch, err := p.parsePath(n)
+			if err != nil {
+				return err
+			}
+			// The word attaches to the deepest step of the branch.
+			target = deepest(branch)
+		}
+	} else if p.peek("/") {
+		branch, err := p.parsePath(n)
+		if err != nil {
+			return err
+		}
+		target = deepest(branch)
+	} else {
+		return fmt.Errorf("expected '.' or path in contains() at offset %d", p.pos)
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	w, err := p.parseString()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	attachWord(target, w)
+	return nil
+}
+
+func deepest(n *Node) *Node {
+	for len(n.Children) > 0 {
+		n = n.Children[len(n.Children)-1]
+	}
+	return n
+}
+
+// attachWord desugars a contains predicate on n into a word leaf
+// connected with a descendant-or-self edge: the word's host element is
+// n itself or any element below it.
+func attachWord(n *Node, word string) {
+	words := xmltree.Tokenize(word)
+	for _, w := range words {
+		n.Children = append(n.Children, &Node{
+			Term: xmltree.WordTerm(w),
+			Axis: DescendantOrSelf,
+		})
+	}
+}

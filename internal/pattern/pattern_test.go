@@ -1,0 +1,320 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"kadop/internal/sid"
+	"kadop/internal/xmltree"
+)
+
+func TestParseSimplePath(t *testing.T) {
+	q, err := Parse("//article//author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := q.Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	if nodes[0].Term.Text != "article" || nodes[0].Axis != Descendant {
+		t.Errorf("root = %+v", nodes[0])
+	}
+	if nodes[1].Term.Text != "author" || nodes[1].Axis != Descendant {
+		t.Errorf("child = %+v", nodes[1])
+	}
+}
+
+func TestParseChildAxis(t *testing.T) {
+	q := MustParse("//article/title")
+	nodes := q.Nodes()
+	if nodes[1].Axis != Child {
+		t.Errorf("axis = %v", nodes[1].Axis)
+	}
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// Every query string quoted in the paper must parse.
+	for _, s := range []string{
+		`//article[. contains "Ullman"]`,
+		`//article//author[. contains "Ullman"]`,
+		`//article[//title]//author[. contains "Ullman"]`,
+		`//article[contains(.//title,'system') and contains(.//abstract,'interface')]`,
+		`//*[contains(.,'xml')]//title`,
+		`//article//abstract[.contains "graph"]`,
+		`//a//b[//c][//d]`,
+	} {
+		if _, err := Parse(s); err != nil {
+			t.Errorf("Parse(%s): %v", s, err)
+		}
+	}
+}
+
+func TestParseContainsDesugar(t *testing.T) {
+	q := MustParse(`//author[. contains "Ullman"]`)
+	nodes := q.Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	w := nodes[1]
+	if w.Term.Kind != xmltree.Word || w.Term.Text != "ullman" {
+		t.Errorf("word node = %+v", w)
+	}
+	if w.Axis != DescendantOrSelf {
+		t.Errorf("word axis = %v", w.Axis)
+	}
+}
+
+func TestParseContainsPathDesugar(t *testing.T) {
+	q := MustParse(`//article[contains(.//title,'system')]`)
+	nodes := q.Nodes()
+	// article -> title -> word(system)
+	if len(nodes) != 3 {
+		t.Fatalf("nodes = %d: %v", len(nodes), q.String())
+	}
+	if nodes[1].Term.Text != "title" || nodes[1].Axis != Descendant {
+		t.Errorf("title node = %+v", nodes[1])
+	}
+	if nodes[2].Term.Text != "system" || nodes[2].Axis != DescendantOrSelf {
+		t.Errorf("word node = %+v", nodes[2])
+	}
+}
+
+func TestParseBranchPredicate(t *testing.T) {
+	q := MustParse(`//a//b[//c][//d]`)
+	nodes := q.Nodes()
+	if len(nodes) != 4 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	b := nodes[1]
+	if len(b.Children) != 2 {
+		t.Fatalf("b children = %d", len(b.Children))
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	q := MustParse(`//*[contains(.,'xml')]//title`)
+	nodes := q.Nodes()
+	if !nodes[0].IsWildcard() {
+		t.Error("root should be wildcard")
+	}
+	terms := q.Terms()
+	// xml (word) and title (label); the wildcard is not indexable.
+	if len(terms) != 2 {
+		t.Errorf("terms = %v", terms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"article",
+		"//",
+		"//a[",
+		"//a[foo]",
+		`//a[. contains ]`,
+		`//a[. contains "x]`,
+		"//a trailing",
+		"//*",
+		`//a[contains(]`,
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		`//article//author`,
+		`//article[//title]//author[. contains "ullman"]`,
+		`//a//b[//c][//d]`,
+	} {
+		q := MustParse(s)
+		r, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("round-trip parse of %q (from %q): %v", q.String(), s, err)
+		}
+		if len(r.Nodes()) != len(q.Nodes()) {
+			t.Errorf("round trip changed node count for %q", s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	q := &Query{}
+	if err := q.Validate(); err == nil {
+		t.Error("empty query should not validate")
+	}
+	q = &Query{Root: &Node{Term: xmltree.LabelTerm(Wildcard)}}
+	if err := q.Validate(); err == nil {
+		t.Error("wildcard-only query should not validate")
+	}
+	w := &Node{Term: xmltree.WordTerm("x"), Children: []*Node{{Term: xmltree.LabelTerm("a")}}}
+	q = &Query{Root: w}
+	if err := q.Validate(); err == nil {
+		t.Error("word node with children should not validate")
+	}
+}
+
+const doc1 = `<dblp>
+  <article>
+    <author>Jeffrey Ullman</author>
+    <title>Principles of database systems</title>
+  </article>
+  <article>
+    <author>Serge Abiteboul</author>
+    <title>Querying XML</title>
+  </article>
+  <inproceedings>
+    <author>Jeffrey Ullman</author>
+    <title>More principles</title>
+  </inproceedings>
+</dblp>`
+
+func matchCount(t *testing.T, query, doc string) int {
+	t.Helper()
+	q := MustParse(query)
+	d, err := xmltree.ParseBytes([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(MatchDocument(q, d, sid.DocKey{Peer: 1, Doc: 1}))
+}
+
+func TestMatchDocument(t *testing.T) {
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{`//article//author`, 2},
+		{`//article/author`, 2},
+		{`//dblp//author`, 3},
+		{`//article//author[. contains "Ullman"]`, 1},
+		{`//article[//title]//author[. contains "Ullman"]`, 1},
+		{`//inproceedings//author[. contains "ullman"]`, 1},
+		{`//article//editor`, 0},
+		{`//author/article`, 0},
+		// 'xml' occurs under article 2's title: ancestors dblp (3 title
+		// descendants) and article 2 (1 title descendant) both qualify.
+		{`//*[contains(.,'xml')]//title`, 4},
+		{`//article[. contains "xml"]`, 1}, // descendant-or-self finds title words
+	}
+	for _, c := range cases {
+		if got := matchCount(t, c.query, doc1); got != c.want {
+			t.Errorf("matches(%s) = %d, want %d", c.query, got, c.want)
+		}
+	}
+}
+
+func TestMatchDocumentWildcardAncestor(t *testing.T) {
+	// //*[contains(.,'xml')]//title : the wildcard must be an element
+	// containing the word 'xml' with a title descendant.
+	doc := `<a><b>about xml things</b></a>`
+	if got := matchCount(t, `//*[contains(.,'xml')]//title`, doc); got != 0 {
+		t.Errorf("no title in doc: matches = %d", got)
+	}
+	doc = `<a><b>xml<c><title>t</title></c></b></a>`
+	// b contains the word and has a title descendant; a also has a title
+	// descendant but does not contain the word directly or below? It does:
+	// word is below a. So both a and b match the wildcard.
+	if got := matchCount(t, `//*[contains(.,'xml')]//title`, doc); got != 2 {
+		t.Errorf("matches = %d, want 2", got)
+	}
+}
+
+func TestMatchElementsOrder(t *testing.T) {
+	q := MustParse(`//article//author`)
+	d, err := xmltree.ParseBytes([]byte(doc1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := MatchDocument(q, d, sid.DocKey{Peer: 3, Doc: 5})
+	for _, m := range ms {
+		if m.Doc != (sid.DocKey{Peer: 3, Doc: 5}) {
+			t.Errorf("match doc = %v", m.Doc)
+		}
+		if len(m.Elements) != 2 {
+			t.Fatalf("elements = %d", len(m.Elements))
+		}
+		if !m.Elements[0].Contains(m.Elements[1]) {
+			t.Errorf("article %v does not contain author %v", m.Elements[0], m.Elements[1])
+		}
+	}
+}
+
+func TestAxisSatisfied(t *testing.T) {
+	a := sid.Posting{Peer: 1, Doc: 1, SID: sid.SID{Start: 1, End: 10, Level: 0}}
+	c := sid.Posting{Peer: 1, Doc: 1, SID: sid.SID{Start: 2, End: 5, Level: 1}}
+	g := sid.Posting{Peer: 1, Doc: 1, SID: sid.SID{Start: 3, End: 4, Level: 2}}
+	other := sid.Posting{Peer: 1, Doc: 2, SID: sid.SID{Start: 2, End: 5, Level: 1}}
+
+	if !AxisSatisfied(Child, a, c) || AxisSatisfied(Child, a, g) {
+		t.Error("child axis")
+	}
+	if !AxisSatisfied(Descendant, a, g) || AxisSatisfied(Descendant, g, a) {
+		t.Error("descendant axis")
+	}
+	if !AxisSatisfied(DescendantOrSelf, a, a) {
+		t.Error("descendant-or-self must accept self")
+	}
+	if AxisSatisfied(Descendant, a, other) {
+		t.Error("cross-document axis must fail")
+	}
+}
+
+// TestParseNeverPanics feeds the parser mutated fragments of valid
+// queries and random bytes; it must return errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	seeds := []string{
+		`//article//author[. contains "Ullman"]`,
+		`//a[//b][contains(.//c,'w')]/d`,
+		`//*[contains(.,'xml')]//title`,
+		`//{word}`,
+	}
+	rng := rand.New(rand.NewSource(21))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 5000; trial++ {
+		s := []byte(seeds[rng.Intn(len(seeds))])
+		// Mutate: delete, duplicate or replace a few bytes.
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			if len(s) == 0 {
+				break
+			}
+			i := rng.Intn(len(s))
+			switch rng.Intn(3) {
+			case 0:
+				s = append(s[:i], s[i+1:]...)
+			case 1:
+				s = append(s[:i], append([]byte{s[i]}, s[i:]...)...)
+			default:
+				s[i] = byte(rng.Intn(128))
+			}
+		}
+		q, err := Parse(string(s))
+		if err == nil {
+			// Whatever parses must render and re-parse.
+			if _, err := Parse(q.String()); err != nil {
+				t.Fatalf("round trip of %q (from %q) failed: %v", q.String(), s, err)
+			}
+		}
+	}
+}
+
+// TestWordStepParses checks the {word} step syntax used for split
+// sub-queries.
+func TestWordStepParses(t *testing.T) {
+	q := MustParse(`//{interface}`)
+	nodes := q.Nodes()
+	if len(nodes) != 1 || nodes[0].Term.Kind != xmltree.Word || nodes[0].Term.Text != "interface" {
+		t.Fatalf("word step = %+v", nodes[0])
+	}
+	r := MustParse(q.String())
+	if r.Nodes()[0].Term != nodes[0].Term {
+		t.Fatal("word step round trip")
+	}
+}

@@ -1,0 +1,61 @@
+package postings
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchList(n int) List {
+	return randomList(rand.New(rand.NewSource(1)), n)
+}
+
+func BenchmarkEncode(b *testing.B) {
+	l := benchList(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(EncodedSize(l)))
+}
+
+func BenchmarkDecode(b *testing.B) {
+	l := benchList(10000)
+	enc, _ := Encode(l)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	x := benchList(5000)
+	y := benchList(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(x, y)
+	}
+}
+
+func BenchmarkPipeThroughput(b *testing.B) {
+	l := benchList(1 << 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPipe(1024)
+		go func() {
+			for j := 0; j < len(l); j += 256 {
+				p.Send(l[j : j+256])
+			}
+			p.Close(nil)
+		}()
+		if _, err := Drain(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

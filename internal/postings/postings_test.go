@@ -1,0 +1,286 @@
+package postings
+
+import (
+	"io"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"kadop/internal/sid"
+)
+
+func randomList(rng *rand.Rand, n int) List {
+	l := make(List, n)
+	for i := range l {
+		start := uint32(rng.Intn(1000) + 1)
+		l[i] = sid.Posting{
+			Peer: sid.PeerID(rng.Intn(5)),
+			Doc:  sid.DocID(rng.Intn(20)),
+			SID:  sid.SID{Start: start, End: start + uint32(rng.Intn(100)), Level: uint16(rng.Intn(8))},
+		}
+	}
+	l.Sort()
+	return l
+}
+
+func TestSortAndValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := randomList(rng, 200)
+	if !l.Sorted() {
+		t.Fatal("Sort did not sort")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate of sorted list: %v", err)
+	}
+	if len(l) >= 2 {
+		l[0], l[len(l)-1] = l[len(l)-1], l[0]
+		if err := l.Validate(); err == nil {
+			t.Fatal("Validate should fail on shuffled list")
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	p := sid.Posting{Peer: 1, Doc: 1, SID: sid.SID{Start: 1, End: 2, Level: 0}}
+	q := sid.Posting{Peer: 1, Doc: 1, SID: sid.SID{Start: 3, End: 4, Level: 1}}
+	l := List{p, p, p, q, q}
+	got := l.Dedup()
+	if len(got) != 2 || got[0] != p || got[1] != q {
+		t.Fatalf("Dedup = %v", got)
+	}
+	if len(List{}.Dedup()) != 0 {
+		t.Fatal("Dedup of empty list should be empty")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		l := randomList(rng, rng.Intn(300))
+		buf, err := Encode(l)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if got := EncodedSize(l); got != len(buf) {
+			t.Fatalf("EncodedSize = %d, len(Encode) = %d", got, len(buf))
+		}
+		dec, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(buf))
+		}
+		if len(dec) != len(l) {
+			t.Fatalf("round trip length %d != %d", len(dec), len(l))
+		}
+		for i := range l {
+			if dec[i] != l[i] {
+				t.Fatalf("posting %d: %v != %v", i, dec[i], l[i])
+			}
+		}
+	}
+}
+
+func TestCodecRejectsUnsorted(t *testing.T) {
+	l := List{
+		{Peer: 1, Doc: 0, SID: sid.SID{Start: 5, End: 6, Level: 0}},
+		{Peer: 0, Doc: 0, SID: sid.SID{Start: 1, End: 2, Level: 0}},
+	}
+	if _, err := Encode(l); err == nil {
+		t.Fatal("Encode should reject unsorted list")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	l := randomList(rand.New(rand.NewSource(3)), 20)
+	buf, _ := Encode(l)
+	for cut := 1; cut < len(buf); cut += 3 {
+		if _, _, err := Decode(buf[:cut]); err == nil {
+			// A truncation can still decode successfully only if it lands
+			// exactly after a full posting AND the length prefix matched,
+			// which it cannot since the length prefix says len(l).
+			t.Fatalf("Decode of truncated buffer (cut=%d) should fail", cut)
+		}
+	}
+	if _, _, err := Decode([]byte{0xff}); err == nil {
+		t.Fatal("Decode of garbage should fail")
+	}
+}
+
+func TestCodecCompact(t *testing.T) {
+	// Postings from one document should cost only a few bytes each.
+	l := make(List, 1000)
+	for i := range l {
+		s := uint32(2*i + 1)
+		l[i] = sid.Posting{Peer: 1, Doc: 1, SID: sid.SID{Start: s, End: s + 1, Level: 3}}
+	}
+	buf, err := Encode(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per := float64(len(buf)) / float64(len(l)); per > 6 {
+		t.Errorf("encoding too large: %.1f bytes/posting", per)
+	}
+}
+
+func TestCodecQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		l := randomList(rand.New(rand.NewSource(seed)), int(n))
+		buf, err := Encode(l)
+		if err != nil {
+			return false
+		}
+		dec, _, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		if len(l) == 0 {
+			return len(dec) == 0
+		}
+		return reflect.DeepEqual(dec, List(l))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDocRangeAndClip(t *testing.T) {
+	l := List{
+		{Peer: 0, Doc: 1, SID: sid.SID{Start: 1, End: 2, Level: 0}},
+		{Peer: 0, Doc: 3, SID: sid.SID{Start: 1, End: 2, Level: 0}},
+		{Peer: 0, Doc: 3, SID: sid.SID{Start: 3, End: 4, Level: 1}},
+		{Peer: 1, Doc: 0, SID: sid.SID{Start: 1, End: 2, Level: 0}},
+		{Peer: 2, Doc: 9, SID: sid.SID{Start: 1, End: 2, Level: 0}},
+	}
+	lo, hi, ok := l.DocRange()
+	if !ok || lo != (sid.DocKey{Peer: 0, Doc: 1}) || hi != (sid.DocKey{Peer: 2, Doc: 9}) {
+		t.Fatalf("DocRange = %v %v %v", lo, hi, ok)
+	}
+	clip := l.ClipDocs(sid.DocKey{Peer: 0, Doc: 3}, sid.DocKey{Peer: 1, Doc: 0})
+	if len(clip) != 3 {
+		t.Fatalf("ClipDocs = %v", clip)
+	}
+	if clip[0].Doc != 3 || clip[2].Peer != 1 {
+		t.Fatalf("ClipDocs content = %v", clip)
+	}
+	if got := l.ClipDocs(sid.DocKey{Peer: 3, Doc: 0}, sid.DocKey{Peer: 4, Doc: 0}); len(got) != 0 {
+		t.Fatalf("ClipDocs outside range = %v", got)
+	}
+	if got := l.ClipDocs(sid.DocKey{Peer: 1, Doc: 0}, sid.DocKey{Peer: 0, Doc: 0}); len(got) != 0 {
+		t.Fatalf("ClipDocs inverted range = %v", got)
+	}
+	if _, _, ok := (List{}).DocRange(); ok {
+		t.Fatal("DocRange of empty list should report !ok")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomList(rng, 100)
+	b := randomList(rng, 150)
+	m := Merge(a, b)
+	if len(m) != 250 {
+		t.Fatalf("Merge length = %d", len(m))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Merge not sorted: %v", err)
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	l := randomList(rand.New(rand.NewSource(5)), 10)
+	s := NewSliceStream(l)
+	got, err := Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatal("Drain mismatch")
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatal("exhausted stream should return io.EOF")
+	}
+}
+
+func TestPipeBackpressureAndOrder(t *testing.T) {
+	l := randomList(rand.New(rand.NewSource(6)), 5000)
+	p := NewPipe(16) // tiny buffer to force blocking
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(l); i += 100 {
+			end := i + 100
+			if end > len(l) {
+				end = len(l)
+			}
+			if !p.Send(l[i:end]) {
+				t.Error("Send failed on open pipe")
+				return
+			}
+		}
+		p.Close(nil)
+	}()
+	got, err := Drain(p)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatal("pipe reordered or dropped postings")
+	}
+}
+
+func TestPipeError(t *testing.T) {
+	p := NewPipe(4)
+	p.Send(List{{Peer: 1, Doc: 1, SID: sid.SID{Start: 1, End: 2, Level: 0}}})
+	wantErr := io.ErrUnexpectedEOF
+	p.Close(wantErr)
+	if _, err := p.Next(); err != nil {
+		t.Fatalf("buffered posting should drain first, got %v", err)
+	}
+	if _, err := p.Next(); err != wantErr {
+		t.Fatalf("Next after Close(err) = %v, want %v", err, wantErr)
+	}
+	// Close is idempotent and Send after close reports failure.
+	p.Close(nil)
+	if p.Send(List{{Peer: 1, Doc: 1, SID: sid.SID{Start: 1, End: 2, Level: 0}}}) {
+		t.Fatal("Send after Close should return false")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := randomList(rng, 99)
+	s := Concat(
+		NewSliceStream(l[:30]),
+		NewSliceStream(nil),
+		NewSliceStream(l[30:70]),
+		NewSliceStream(l[70:]),
+	)
+	got, err := Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatal("Concat mismatch")
+	}
+}
+
+func TestMergeStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomList(rng, 40)
+	b := randomList(rng, 60)
+	c := randomList(rng, 0)
+	got, err := Drain(MergeStreams(NewSliceStream(a), NewSliceStream(b), NewSliceStream(c)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Merge(a, b)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("MergeStreams mismatch")
+	}
+}

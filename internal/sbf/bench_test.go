@@ -1,0 +1,44 @@
+package sbf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBuildAB(b *testing.B) {
+	la, _ := randomTree(rand.New(rand.NewSource(1)), 20000, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildAB(la, 0.10, DefaultPsiC)
+	}
+	b.ReportMetric(float64(len(la)), "postings/filter")
+}
+
+func BenchmarkProbeAB(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	la, lb := randomTree(rng, 20000, 0.5)
+	ab := BuildAB(la, 0.10, DefaultPsiC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ab.MayHaveAncestor(lb[i%len(lb)])
+	}
+}
+
+func BenchmarkBuildDB(b *testing.B) {
+	_, lb := randomTree(rand.New(rand.NewSource(3)), 20000, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDB(lb, 0.01, 0, 0)
+	}
+}
+
+func BenchmarkFilterListAB(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	la, lb := randomTree(rng, 20000, 0.5)
+	ab := BuildAB(la, 0.10, DefaultPsiC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ab.Filter(lb)
+	}
+	b.ReportMetric(float64(len(lb)), "postings/filter-pass")
+}

@@ -1,0 +1,356 @@
+// Package sbf implements Structural Bloom Filters (Section 5 of the
+// paper): compact, one-sided-error summaries of posting lists that let a
+// remote peer discard postings with no ancestor (AB Filter) or no
+// descendant (DB Filter) in the summarised list, before shipping them
+// across the network.
+//
+// Both filters build on the dyadic decomposition of the [start, end]
+// interval of each posting:
+//
+//   - The Ancestor Bloom Filter ABF(a) encodes the dyadic covers D(La)
+//     of the postings of term a. By Theorem 1, a posting e_b has an
+//     ancestor in La iff every interval of D(e_b) has a dyadic container
+//     present in D(La); the probe is a conjunction of container
+//     look-ups, which keeps the error probability low.
+//
+//   - The Descendant Bloom Filter DBF(b) encodes the dyadic containers
+//     Dc(Lb). By Theorem 2, a posting e_a has a descendant in Lb iff
+//     D(e_a) intersects Dc(Lb); the probe is a disjunction, which is
+//     cheaper to build but more error-prone — exactly the asymmetry the
+//     paper measures in Section 5.4.
+//
+// Filters never produce false negatives: a posting that truly has the
+// queried ancestor/descendant always survives filtering, so recall is
+// preserved end-to-end.
+//
+// The trace function ψ(j) (Section 5.1) inserts ψ(j) replicas of each
+// level-j interval and requires all of them on look-up. Wide (high
+// level) intervals are the most damaging false positives, so ψ grows
+// with the level; the paper's choice ψ(j) = ⌈1 + j/c⌉ with c = 4 is the
+// default for AB Filters.
+package sbf
+
+import (
+	"fmt"
+	"math"
+
+	"kadop/internal/bloom"
+	"kadop/internal/dyadic"
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+)
+
+// Psi is a trace function: the number of replicas inserted (and probed)
+// for a dyadic interval at the given level. Implementations must return
+// at least 1 and be deterministic.
+type Psi func(level uint8) int
+
+// PsiSingle is the default single-trace function ψ(j) = 1.
+func PsiSingle(uint8) int { return 1 }
+
+// PsiTraces returns the paper's trace function ψ(j) = ⌈1 + j/c⌉, which
+// adds one extra trace every c levels. The paper uses c = 4.
+func PsiTraces(c int) Psi {
+	if c < 1 {
+		c = 1
+	}
+	return func(level uint8) int { return 1 + (int(level)+c-1)/c }
+}
+
+// DefaultPsiC is the paper's choice of c for the AB Filter trace
+// function, picked for basic false-positive rates below 1/16.
+const DefaultPsiC = 4
+
+// key derives the Bloom key for one trace of a dyadic interval of a
+// given document. The packing is mixed through SplitMix-style rounds so
+// that nearby (peer, doc, interval) triples do not collide structurally.
+func key(peer sid.PeerID, doc sid.DocID, iv dyadic.Interval, trace int) uint64 {
+	// Avalanche each field before combining with the next: xoring raw
+	// field words would make (doc, interval-index) pairs collide
+	// systematically (doc^1 vs index^1 yield the same word).
+	h := mix(uint64(peer)<<32 | uint64(doc))
+	h = mix(h ^ iv.Key())
+	h = mix(h + uint64(trace)*0x9e3779b97f4a7c15)
+	return h
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ABFilter is an Ancestor Bloom Filter: a summary of the posting list
+// La that can decide (with one-sided error) whether a posting has an
+// ancestor in La.
+type ABFilter struct {
+	f     *bloom.Filter
+	dclev uint8 // highest level occurring in D(La); probes stop here
+	psiC  int   // 0 means single trace; otherwise the paper's c
+}
+
+// psi returns the trace function encoded by psiC.
+func psiFor(c int) Psi {
+	if c <= 0 {
+		return PsiSingle
+	}
+	return PsiTraces(c)
+}
+
+// BuildAB constructs ABF(a) from the posting list of term a.
+// basicFP is the target false-positive rate of the underlying basic
+// Bloom filter (fp[ψ] in the paper). psiC selects the trace function:
+// 0 for a single trace per level, otherwise ψ(j) = ⌈1 + j/c⌉.
+func BuildAB(list postings.List, basicFP float64, psiC int) *ABFilter {
+	psi := psiFor(psiC)
+	// First pass: count insertions and find the highest cover level so
+	// the basic filter can be sized for its actual load.
+	var n uint64
+	var dclev uint8
+	var cov []dyadic.Interval
+	for _, p := range list {
+		cov = dyadic.Cover(cov[:0], uint64(p.SID.Start), uint64(p.SID.End))
+		for _, iv := range cov {
+			n += uint64(psi(iv.Level))
+			if iv.Level > dclev {
+				dclev = iv.Level
+			}
+		}
+	}
+	ab := &ABFilter{f: bloom.NewOptimal(n, basicFP), dclev: dclev, psiC: psiC}
+	for _, p := range list {
+		cov = dyadic.Cover(cov[:0], uint64(p.SID.Start), uint64(p.SID.End))
+		for _, iv := range cov {
+			for tr := 0; tr < psi(iv.Level); tr++ {
+				ab.f.Insert(key(p.Peer, p.Doc, iv, tr))
+			}
+		}
+	}
+	return ab
+}
+
+// containedIn reports whether one trace-checked interval is present in
+// the filter: all ψ(level) replicas must be set.
+func (ab *ABFilter) present(peer sid.PeerID, doc sid.DocID, iv dyadic.Interval) bool {
+	psi := psiFor(ab.psiC)
+	for tr := 0; tr < psi(iv.Level); tr++ {
+		if !ab.f.Contains(key(peer, doc, iv, tr)) {
+			return false
+		}
+	}
+	return true
+}
+
+// covered reports whether the dyadic interval iv has a container
+// recorded in D(La): some dyadic interval containing iv, at a level not
+// above dclev, is present in the filter.
+func (ab *ABFilter) covered(peer sid.PeerID, doc sid.DocID, iv dyadic.Interval) bool {
+	if iv.Level > ab.dclev {
+		return false // no interval that wide was ever inserted
+	}
+	for cur := iv; cur.Level <= ab.dclev; cur = cur.Parent() {
+		if ab.present(peer, doc, cur) {
+			return true
+		}
+	}
+	return false
+}
+
+// MayHaveAncestor implements the Theorem-1 probe: it returns false only
+// if e provably has no ancestor in La; a true answer may be a false
+// positive with the filter's error probability.
+func (ab *ABFilter) MayHaveAncestor(e sid.Posting) bool {
+	cov := dyadic.Cover(nil, uint64(e.SID.Start), uint64(e.SID.End))
+	for _, iv := range cov {
+		if !ab.covered(e.Peer, e.Doc, iv) {
+			return false
+		}
+	}
+	return true
+}
+
+// MayHaveAncestorStartOnly implements the simpler probe discussed in
+// Section 5.1, which checks coverage of the single point interval
+// [start, start]. It has the same false-negative guarantee but a higher
+// false-positive rate whenever |D(e)| > 1.
+func (ab *ABFilter) MayHaveAncestorStartOnly(e sid.Posting) bool {
+	iv := dyadic.Interval{Level: 0, Index: uint64(e.SID.Start) - 1}
+	return ab.covered(e.Peer, e.Doc, iv)
+}
+
+// Filter returns the sub-list of list whose postings may have an
+// ancestor in La (the paper's F(b, ABF(a))).
+func (ab *ABFilter) Filter(list postings.List) postings.List {
+	out := make(postings.List, 0, len(list))
+	for _, p := range list {
+		if ab.MayHaveAncestor(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SizeBytes is the wire size of the filter.
+func (ab *ABFilter) SizeBytes() int { return ab.f.SizeBytes() + 2 }
+
+// DCLev returns the highest dyadic level recorded in the filter.
+func (ab *ABFilter) DCLev() uint8 { return ab.dclev }
+
+// Marshal serialises the filter.
+func (ab *ABFilter) Marshal() []byte {
+	buf := []byte{ab.dclev, byte(ab.psiC)}
+	return append(buf, ab.f.Marshal()...)
+}
+
+// UnmarshalAB reconstructs an ABFilter serialised by Marshal.
+func UnmarshalAB(buf []byte) (*ABFilter, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("sbf: truncated AB filter header")
+	}
+	f, err := bloom.Unmarshal(buf[2:])
+	if err != nil {
+		return nil, fmt.Errorf("sbf: AB filter: %w", err)
+	}
+	return &ABFilter{f: f, dclev: buf[0], psiC: int(buf[1])}, nil
+}
+
+// ABErrorBound returns the paper's upper bound on the ancestor false
+// positive rate, 1 - Π_{0<=j<=l} (1 - fp)^ψ(j), for a basic rate fp,
+// trace parameter psiC and maximum level l.
+func ABErrorBound(fp float64, psiC int, l uint8) float64 {
+	psi := psiFor(psiC)
+	prod := 1.0
+	for j := uint8(0); j <= l; j++ {
+		prod *= math.Pow(1-fp, float64(psi(j)))
+	}
+	return 1 - prod
+}
+
+// DBMaxLevelDefault bounds the container chains inserted by DB Filters:
+// level 16 supports elements spanning up to 65536 tag positions, far
+// beyond the 20 KB documents KadoP deployments publish. Probes for
+// wider intervals conservatively pass, preserving recall.
+const DBMaxLevelDefault = 16
+
+// DBFilter is a Descendant Bloom Filter: a summary of the posting list
+// Lb that can decide (with one-sided error) whether a posting has a
+// descendant in Lb.
+type DBFilter struct {
+	f        *bloom.Filter
+	maxLevel uint8
+	psiC     int
+}
+
+// BuildDB constructs DBF(b) from the posting list of term b. Container
+// chains are inserted up to maxLevel; passing 0 sizes the chains to the
+// list's own position space (capped at DBMaxLevelDefault), since probes
+// for intervals wider than the chains conservatively pass and cost no
+// recall. psiC selects the trace function; the paper effectively uses a
+// single trace for DB Filters (psiC = 0).
+//
+// The containers inserted are those of each posting's start point
+// [start, start] rather than of its whole [start, end] interval. Within
+// one document element intervals nest, so e_a contains e_b exactly when
+// start_a < start_b < end_a (the paper's Section 5.1 remark that
+// "posting intervals cannot be partially contained"); the cover piece of
+// e_a that holds start_b is then a dyadic container of that point, which
+// makes the Theorem-2 probe below free of false negatives. Inserting
+// containers of the full interval instead would lose recall whenever a
+// descendant's interval straddles two cover pieces of its ancestor.
+func BuildDB(list postings.List, basicFP float64, psiC int, maxLevel uint8) *DBFilter {
+	if maxLevel == 0 {
+		var maxEnd uint32
+		for _, p := range list {
+			if p.SID.End > maxEnd {
+				maxEnd = p.SID.End
+			}
+		}
+		maxLevel = 2
+		for (uint64(1) << maxLevel) < uint64(maxEnd) {
+			maxLevel++
+		}
+		maxLevel += 2 // headroom for ancestors wider than any b posting
+		if maxLevel > DBMaxLevelDefault {
+			maxLevel = DBMaxLevelDefault
+		}
+	}
+	psi := psiFor(psiC)
+	var n uint64
+	var chain []dyadic.Interval
+	for _, p := range list {
+		chain = dyadic.Containers(chain[:0], uint64(p.SID.Start), uint64(p.SID.Start), maxLevel)
+		for _, iv := range chain {
+			n += uint64(psi(iv.Level))
+		}
+	}
+	db := &DBFilter{f: bloom.NewOptimal(n, basicFP), maxLevel: maxLevel, psiC: psiC}
+	for _, p := range list {
+		chain = dyadic.Containers(chain[:0], uint64(p.SID.Start), uint64(p.SID.Start), maxLevel)
+		for _, iv := range chain {
+			for tr := 0; tr < psi(iv.Level); tr++ {
+				db.f.Insert(key(p.Peer, p.Doc, iv, tr))
+			}
+		}
+	}
+	return db
+}
+
+func (db *DBFilter) present(peer sid.PeerID, doc sid.DocID, iv dyadic.Interval) bool {
+	psi := psiFor(db.psiC)
+	for tr := 0; tr < psi(iv.Level); tr++ {
+		if !db.f.Contains(key(peer, doc, iv, tr)) {
+			return false
+		}
+	}
+	return true
+}
+
+// MayHaveDescendant implements the Theorem-2 probe: it returns false
+// only if e provably has no descendant in Lb.
+func (db *DBFilter) MayHaveDescendant(e sid.Posting) bool {
+	cov := dyadic.Cover(nil, uint64(e.SID.Start), uint64(e.SID.End))
+	for _, iv := range cov {
+		if iv.Level > db.maxLevel {
+			// The filter never recorded containers this wide; failing the
+			// probe here could drop a real ancestor, so pass conservatively.
+			return true
+		}
+		if db.present(e.Peer, e.Doc, iv) {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter returns the sub-list of list whose postings may have a
+// descendant in Lb (the paper's F(a, DBF(b))).
+func (db *DBFilter) Filter(list postings.List) postings.List {
+	out := make(postings.List, 0, len(list))
+	for _, p := range list {
+		if db.MayHaveDescendant(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SizeBytes is the wire size of the filter.
+func (db *DBFilter) SizeBytes() int { return db.f.SizeBytes() + 2 }
+
+// Marshal serialises the filter.
+func (db *DBFilter) Marshal() []byte {
+	buf := []byte{db.maxLevel, byte(db.psiC)}
+	return append(buf, db.f.Marshal()...)
+}
+
+// UnmarshalDB reconstructs a DBFilter serialised by Marshal.
+func UnmarshalDB(buf []byte) (*DBFilter, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("sbf: truncated DB filter header")
+	}
+	f, err := bloom.Unmarshal(buf[2:])
+	if err != nil {
+		return nil, fmt.Errorf("sbf: DB filter: %w", err)
+	}
+	return &DBFilter{f: f, maxLevel: buf[0], psiC: int(buf[1])}, nil
+}

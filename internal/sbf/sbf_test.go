@@ -1,0 +1,349 @@
+package sbf
+
+import (
+	"math/rand"
+	"testing"
+
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+)
+
+// randomTree builds a forest of small, bushy XML-like documents with n
+// elements in total (the shape the paper's Table 1 reports: average
+// dyadic covers of 1.2–1.6 intervals). Each element is assigned to
+// label "a" or "b" with the given probability of "a".
+func randomTree(rng *rand.Rand, n int, pA float64) (la, lb postings.List) {
+	const maxDepth = 6
+	const docSize = 150
+	var la0, lb0 postings.List
+	doc := sid.DocID(0)
+	emitted := 0
+	for emitted < n {
+		var stack []int
+		var all []sid.SID
+		pos := uint32(1)
+		open := func(level uint16) {
+			all = append(all, sid.SID{Start: pos, Level: level})
+			stack = append(stack, len(all)-1)
+			pos++
+		}
+		close1 := func() {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			all[i].End = pos
+			pos++
+		}
+		open(0)
+		for len(all) < docSize && emitted+len(all) < n {
+			if len(stack) >= maxDepth || (len(stack) > 1 && rng.Float64() < 0.55) {
+				close1()
+			} else {
+				open(uint16(len(stack)))
+			}
+		}
+		for len(stack) > 0 {
+			close1()
+		}
+		for _, s := range all {
+			p := sid.Posting{Peer: 1, Doc: doc, SID: s}
+			if rng.Float64() < pA {
+				la0 = append(la0, p)
+			} else {
+				lb0 = append(lb0, p)
+			}
+		}
+		emitted += len(all)
+		doc++
+	}
+	la0.Sort()
+	lb0.Sort()
+	return la0, lb0
+}
+
+// hasAncestor reports ground truth: does e have an ancestor in la?
+func hasAncestor(e sid.Posting, la postings.List) bool {
+	for _, a := range la {
+		if a.Contains(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDescendant(e sid.Posting, lb postings.List) bool {
+	for _, b := range lb {
+		if e.Contains(b) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestABNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		la, lb := randomTree(rng, 400, 0.3)
+		ab := BuildAB(la, 0.05, DefaultPsiC)
+		for _, e := range lb {
+			if hasAncestor(e, la) && !ab.MayHaveAncestor(e) {
+				t.Fatalf("false negative: %v has an ancestor in La but probe failed", e)
+			}
+		}
+	}
+}
+
+func TestABStartOnlyNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	la, lb := randomTree(rng, 500, 0.3)
+	ab := BuildAB(la, 0.05, DefaultPsiC)
+	for _, e := range lb {
+		if hasAncestor(e, la) && !ab.MayHaveAncestorStartOnly(e) {
+			t.Fatalf("start-only false negative for %v", e)
+		}
+		// The Theorem-1 probe never passes a posting the start-only probe
+		// rejects (start-only is strictly weaker filtering? no: strictly
+		// fewer conditions, so it passes a superset).
+		if ab.MayHaveAncestor(e) && !ab.MayHaveAncestorStartOnly(e) {
+			t.Fatalf("start-only probe rejected %v accepted by Theorem-1 probe", e)
+		}
+	}
+}
+
+func TestDBNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		la, lb := randomTree(rng, 400, 0.3)
+		db := BuildDB(lb, 0.01, 0, 0)
+		for _, e := range la {
+			if hasDescendant(e, lb) && !db.MayHaveDescendant(e) {
+				t.Fatalf("false negative: %v has a descendant in Lb but probe failed", e)
+			}
+		}
+	}
+}
+
+func empiricalFP(t *testing.T, probe func(sid.Posting) bool, truth func(sid.Posting) bool, list postings.List) float64 {
+	t.Helper()
+	fp, neg := 0, 0
+	for _, e := range list {
+		if truth(e) {
+			continue
+		}
+		neg++
+		if probe(e) {
+			fp++
+		}
+	}
+	if neg == 0 {
+		return 0
+	}
+	return float64(fp) / float64(neg)
+}
+
+// TestABResilientToBasicFP reproduces the qualitative finding of
+// Section 5.4: the AB filter's empirical error stays low (paper: <10%)
+// even when the basic Bloom filter is allowed a 20% false-positive rate.
+func TestABResilientToBasicFP(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	la, lb := randomTree(rng, 3000, 0.25)
+	ab := BuildAB(la, 0.20, DefaultPsiC)
+	rate := empiricalFP(t, ab.MayHaveAncestor,
+		func(e sid.Posting) bool { return hasAncestor(e, la) }, lb)
+	if rate > 0.12 {
+		t.Errorf("AB empirical fp = %.3f at basic fp 0.20, paper reports <0.10", rate)
+	}
+}
+
+// TestDBDegradesWithBasicFP checks the DB side of the Section 5.4
+// finding: at a high basic rate the disjunctive DB probe degrades far
+// more than AB.
+func TestDBDegradesWithBasicFP(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	la, lb := randomTree(rng, 3000, 0.75) // few b postings, many a probes
+	truth := func(e sid.Posting) bool { return hasDescendant(e, lb) }
+
+	dbTight := BuildDB(lb, 0.01, 0, 0)
+	tight := empiricalFP(t, dbTight.MayHaveDescendant, truth, la)
+	if tight > 0.15 {
+		t.Errorf("DB empirical fp = %.3f at basic fp 0.01, paper reports <0.10", tight)
+	}
+
+	dbLoose := BuildDB(lb, 0.20, 0, 0)
+	loose := empiricalFP(t, dbLoose.MayHaveDescendant, truth, la)
+	if loose < tight {
+		t.Errorf("DB error should grow with basic fp: %.3f (0.01) vs %.3f (0.20)", tight, loose)
+	}
+
+	abLoose := BuildAB(la, 0.20, DefaultPsiC)
+	abRate := empiricalFP(t, abLoose.MayHaveAncestor,
+		func(e sid.Posting) bool { return hasAncestor(e, la) }, lb)
+	if abRate > loose+0.05 {
+		t.Errorf("AB (%.3f) should be at least as accurate as DB (%.3f) at basic fp 0.20", abRate, loose)
+	}
+}
+
+// TestPsiImprovesAccuracy verifies the paper's claim that the ψ trace
+// function beats a single trace per level for filters of similar size.
+func TestPsiImprovesAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	la, lb := randomTree(rng, 4000, 0.25)
+	truth := func(e sid.Posting) bool { return hasAncestor(e, la) }
+
+	withPsi := BuildAB(la, 0.25, DefaultPsiC)
+	single := BuildAB(la, 0.25, 0)
+	ratePsi := empiricalFP(t, withPsi.MayHaveAncestor, truth, lb)
+	rateSingle := empiricalFP(t, single.MayHaveAncestor, truth, lb)
+	if ratePsi > rateSingle+0.02 {
+		t.Errorf("psi traces should not hurt: psi=%.4f single=%.4f", ratePsi, rateSingle)
+	}
+}
+
+func TestStartOnlyProbeLooser(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	la, lb := randomTree(rng, 3000, 0.25)
+	ab := BuildAB(la, 0.25, DefaultPsiC)
+	truth := func(e sid.Posting) bool { return hasAncestor(e, la) }
+	full := empiricalFP(t, ab.MayHaveAncestor, truth, lb)
+	startOnly := empiricalFP(t, ab.MayHaveAncestorStartOnly, truth, lb)
+	if full > startOnly+1e-9 {
+		t.Errorf("Theorem-1 probe (%.4f) must be at most as error-prone as start-only (%.4f)", full, startOnly)
+	}
+}
+
+func TestABFilterList(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	la, lb := randomTree(rng, 800, 0.3)
+	ab := BuildAB(la, 0.02, DefaultPsiC)
+	got := ab.Filter(lb)
+	// Every true match must survive.
+	want := 0
+	for _, e := range lb {
+		if hasAncestor(e, la) {
+			want++
+		}
+	}
+	survived := make(map[sid.Posting]bool, len(got))
+	for _, e := range got {
+		survived[e] = true
+	}
+	for _, e := range lb {
+		if hasAncestor(e, la) && !survived[e] {
+			t.Fatalf("Filter dropped true match %v", e)
+		}
+	}
+	if len(got) < want {
+		t.Fatalf("Filter kept %d, fewer than %d true matches", len(got), want)
+	}
+}
+
+func TestDBFilterList(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	la, lb := randomTree(rng, 800, 0.7)
+	db := BuildDB(lb, 0.02, 0, 0)
+	got := db.Filter(la)
+	survived := make(map[sid.Posting]bool, len(got))
+	for _, e := range got {
+		survived[e] = true
+	}
+	for _, e := range la {
+		if hasDescendant(e, lb) && !survived[e] {
+			t.Fatalf("Filter dropped true match %v", e)
+		}
+	}
+}
+
+func TestABMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	la, lb := randomTree(rng, 500, 0.3)
+	ab := BuildAB(la, 0.05, DefaultPsiC)
+	buf := ab.Marshal()
+	got, err := UnmarshalAB(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DCLev() != ab.DCLev() {
+		t.Fatal("dclev lost")
+	}
+	for _, e := range lb {
+		if got.MayHaveAncestor(e) != ab.MayHaveAncestor(e) {
+			t.Fatalf("round-tripped AB filter disagrees on %v", e)
+		}
+	}
+	if _, err := UnmarshalAB(buf[:1]); err == nil {
+		t.Fatal("UnmarshalAB of truncated buffer should fail")
+	}
+	if _, err := UnmarshalAB(buf[:8]); err == nil {
+		t.Fatal("UnmarshalAB of truncated filter body should fail")
+	}
+}
+
+func TestDBMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	la, lb := randomTree(rng, 500, 0.7)
+	db := BuildDB(lb, 0.05, 0, 0)
+	got, err := UnmarshalDB(db.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range la {
+		if got.MayHaveDescendant(e) != db.MayHaveDescendant(e) {
+			t.Fatalf("round-tripped DB filter disagrees on %v", e)
+		}
+	}
+	if _, err := UnmarshalDB(nil); err == nil {
+		t.Fatal("UnmarshalDB(nil) should fail")
+	}
+}
+
+func TestDBWideIntervalConservative(t *testing.T) {
+	// Elements wider than 2^maxLevel must pass the probe (no recall loss).
+	lb := postings.List{{Peer: 1, Doc: 1, SID: sid.SID{Start: 5, End: 6, Level: 3}}}
+	db := BuildDB(lb, 0.01, 0, 4) // maxLevel 4: widths up to 16
+	wide := sid.Posting{Peer: 1, Doc: 1, SID: sid.SID{Start: 1, End: 100, Level: 0}}
+	if !db.MayHaveDescendant(wide) {
+		t.Fatal("probe of element wider than maxLevel must conservatively pass")
+	}
+}
+
+func TestABErrorBound(t *testing.T) {
+	b := ABErrorBound(0.05, DefaultPsiC, 10)
+	if b <= 0 || b >= 1 {
+		t.Fatalf("bound = %f", b)
+	}
+	// More levels -> larger bound; lower fp -> smaller bound.
+	if ABErrorBound(0.05, DefaultPsiC, 20) < b {
+		t.Error("bound should grow with level count")
+	}
+	if ABErrorBound(0.01, DefaultPsiC, 10) > b {
+		t.Error("bound should shrink with basic fp")
+	}
+}
+
+func TestPsiTraces(t *testing.T) {
+	psi := PsiTraces(4)
+	want := map[uint8]int{0: 1, 1: 2, 4: 2, 5: 3, 8: 3, 9: 4}
+	for lvl, n := range want {
+		if got := psi(lvl); got != n {
+			t.Errorf("psi(%d) = %d, want %d", lvl, got, n)
+		}
+	}
+	if PsiTraces(0)(5) < 1 {
+		t.Error("psi must be at least 1")
+	}
+	if PsiSingle(30) != 1 {
+		t.Error("PsiSingle must be 1")
+	}
+}
+
+func TestFilterSizesMuchSmallerThanLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	la, _ := randomTree(rng, 20000, 0.9)
+	ab := BuildAB(la, 0.10, DefaultPsiC)
+	enc, err := postings.Encode(la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.SizeBytes() >= len(enc) {
+		t.Errorf("AB filter (%d B) should be smaller than the raw list (%d B)", ab.SizeBytes(), len(enc))
+	}
+}

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"kadop/internal/sid"
+)
+
+func benchAppend(b *testing.B, s Store) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	batches := make([]struct {
+		term string
+		l    []sid.Posting
+	}, 64)
+	for i := range batches {
+		batches[i].term = fmt.Sprintf("l:t%d", i%8)
+		batches[i].l = randomList(rng, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt := batches[i%len(batches)]
+		if err := s.Append(bt.term, bt.l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeAppend(b *testing.B) {
+	bt, err := OpenBTree(filepath.Join(b.TempDir(), "bench.bt"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bt.Close()
+	benchAppend(b, bt)
+}
+
+func BenchmarkMemAppend(b *testing.B) {
+	benchAppend(b, NewMem())
+}
+
+func BenchmarkBTreeScan(b *testing.B) {
+	bt, err := OpenBTree(filepath.Join(b.TempDir(), "scan.bt"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bt.Close()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		if err := bt.Append("l:author", randomList(rng, 500)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		bt.Scan("l:author", sid.MinPosting, func(sid.Posting) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}

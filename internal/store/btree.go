@@ -1,0 +1,369 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+)
+
+// BTree is a page-based disk B+-tree storing composite
+// (term, posting) keys, so each term's postings form one contiguous,
+// ordered key range — the clustered organisation the paper adopts from
+// BerkeleyDB. It is a key-only tree: the key encodes everything.
+//
+// Pages are 4 KiB. Leaves are chained left-to-right for range scans.
+// Deleted keys leave pages in place (no rebalancing); a store serving a
+// KadoP peer treats document modification as delete + insert, and
+// reclaims space by periodic rebuild if ever needed.
+type BTree struct {
+	mu    sync.Mutex
+	pager *pager
+	root  uint32
+}
+
+const (
+	pageLeaf   = 1
+	pageBranch = 2
+	maxKeyLen  = 1024
+)
+
+// OpenBTree opens (or creates) a B+-tree file at path.
+func OpenBTree(path string) (*BTree, error) {
+	pg, root, err := openPager(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &BTree{pager: pg, root: root}
+	if root == 0 {
+		// Fresh file: allocate an empty leaf as root.
+		leaf := pg.alloc(pageLeaf)
+		t.root = leaf.id
+		pg.setRoot(leaf.id)
+		if err := pg.sync(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// encodeKey builds the composite key: term bytes, a zero separator, and
+// the posting in fixed-width big-endian form so that byte order equals
+// the canonical posting order.
+func encodeKey(term string, p sid.Posting) ([]byte, error) {
+	if len(term) == 0 || len(term) > maxKeyLen-32 {
+		return nil, fmt.Errorf("store: btree: bad term length %d", len(term))
+	}
+	for i := 0; i < len(term); i++ {
+		if term[i] == 0 {
+			return nil, fmt.Errorf("store: btree: term contains NUL byte")
+		}
+	}
+	k := make([]byte, 0, len(term)+1+18)
+	k = append(k, term...)
+	k = append(k, 0)
+	var buf [18]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(p.Peer))
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.Doc))
+	binary.BigEndian.PutUint32(buf[8:], p.SID.Start)
+	binary.BigEndian.PutUint32(buf[12:], p.SID.End)
+	binary.BigEndian.PutUint16(buf[16:], p.SID.Level)
+	return append(k, buf[:]...), nil
+}
+
+// decodeKey splits a composite key back into term and posting.
+func decodeKey(k []byte) (string, sid.Posting, error) {
+	sep := bytes.IndexByte(k, 0)
+	if sep < 0 || len(k) != sep+1+18 {
+		return "", sid.Posting{}, fmt.Errorf("store: btree: malformed key of %d bytes", len(k))
+	}
+	b := k[sep+1:]
+	p := sid.Posting{
+		Peer: sid.PeerID(binary.BigEndian.Uint32(b[0:])),
+		Doc:  sid.DocID(binary.BigEndian.Uint32(b[4:])),
+		SID: sid.SID{
+			Start: binary.BigEndian.Uint32(b[8:]),
+			End:   binary.BigEndian.Uint32(b[12:]),
+			Level: binary.BigEndian.Uint16(b[16:]),
+		},
+	}
+	return string(k[:sep]), p, nil
+}
+
+// termPrefix is the key prefix shared by all postings of a term.
+func termPrefix(term string) []byte {
+	k := make([]byte, 0, len(term)+1)
+	k = append(k, term...)
+	return append(k, 0)
+}
+
+// Append implements Store: each posting is one B+-tree insertion,
+// O(log N), independent of the term's existing list size.
+func (t *BTree) Append(term string, ps postings.List) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	add := ps.Clone()
+	add.Sort()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range add {
+		k, err := encodeKey(term, p)
+		if err != nil {
+			return err
+		}
+		if err := t.insert(k); err != nil {
+			return err
+		}
+	}
+	return t.pager.sync()
+}
+
+// insert adds key to the tree, splitting pages as needed.
+func (t *BTree) insert(key []byte) error {
+	// Descend, remembering the path for split propagation.
+	type pathEntry struct {
+		page *page
+		idx  int // child index taken
+	}
+	var path []pathEntry
+	cur, err := t.pager.get(t.root)
+	if err != nil {
+		return err
+	}
+	for cur.typ == pageBranch {
+		i := cur.childIndex(key)
+		path = append(path, pathEntry{cur, i})
+		cur, err = t.pager.get(cur.children[i])
+		if err != nil {
+			return err
+		}
+	}
+	// Insert into leaf (duplicates are idempotent: a term posting is a
+	// set member).
+	i := sort.Search(len(cur.keys), func(i int) bool { return bytes.Compare(cur.keys[i], key) >= 0 })
+	if i < len(cur.keys) && bytes.Equal(cur.keys[i], key) {
+		return nil
+	}
+	cur.keys = append(cur.keys, nil)
+	copy(cur.keys[i+1:], cur.keys[i:])
+	cur.keys[i] = append([]byte(nil), key...)
+	t.pager.markDirty(cur)
+
+	// Split up the path while pages overflow.
+	for cur.overflows() {
+		right, sep := t.split(cur)
+		if len(path) == 0 {
+			// Grow a new root.
+			nr := t.pager.alloc(pageBranch)
+			nr.keys = [][]byte{sep}
+			nr.children = []uint32{cur.id, right.id}
+			t.pager.markDirty(nr)
+			t.root = nr.id
+			t.pager.setRoot(nr.id)
+			return nil
+		}
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		p := parent.page
+		i := parent.idx
+		p.keys = append(p.keys, nil)
+		copy(p.keys[i+1:], p.keys[i:])
+		p.keys[i] = sep
+		p.children = append(p.children, 0)
+		copy(p.children[i+2:], p.children[i+1:])
+		p.children[i+1] = right.id
+		t.pager.markDirty(p)
+		cur = p
+	}
+	return nil
+}
+
+// split divides an overflowing page in two and returns the new right
+// sibling and the separator key (smallest key routed to the right).
+func (t *BTree) split(p *page) (*page, []byte) {
+	right := t.pager.alloc(p.typ)
+	mid := len(p.keys) / 2
+	var sep []byte
+	if p.typ == pageLeaf {
+		right.keys = append(right.keys, p.keys[mid:]...)
+		p.keys = p.keys[:mid]
+		sep = append([]byte(nil), right.keys[0]...)
+		right.next = p.next
+		p.next = right.id
+	} else {
+		// Branch: the middle key moves up, not right.
+		sep = append([]byte(nil), p.keys[mid]...)
+		right.keys = append(right.keys, p.keys[mid+1:]...)
+		right.children = append(right.children, p.children[mid+1:]...)
+		p.keys = p.keys[:mid]
+		p.children = p.children[:mid+1]
+	}
+	t.pager.markDirty(p)
+	t.pager.markDirty(right)
+	return right, sep
+}
+
+// seek returns the leaf containing the first key >= key and that key's
+// index within the leaf (which may be len(keys) if past the end).
+func (t *BTree) seek(key []byte) (*page, int, error) {
+	cur, err := t.pager.get(t.root)
+	if err != nil {
+		return nil, 0, err
+	}
+	for cur.typ == pageBranch {
+		cur, err = t.pager.get(cur.children[cur.childIndex(key)])
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	i := sort.Search(len(cur.keys), func(i int) bool { return bytes.Compare(cur.keys[i], key) >= 0 })
+	return cur, i, nil
+}
+
+// Scan implements Store.
+func (t *BTree) Scan(term string, from sid.Posting, fn func(sid.Posting) bool) error {
+	start, err := encodeKey(term, from)
+	if err != nil {
+		return err
+	}
+	prefix := termPrefix(term)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf, i, err := t.seek(start)
+	if err != nil {
+		return err
+	}
+	for {
+		for ; i < len(leaf.keys); i++ {
+			k := leaf.keys[i]
+			if !bytes.HasPrefix(k, prefix) {
+				return nil
+			}
+			_, p, err := decodeKey(k)
+			if err != nil {
+				return err
+			}
+			if !fn(p) {
+				return nil
+			}
+		}
+		if leaf.next == 0 {
+			return nil
+		}
+		leaf, err = t.pager.get(leaf.next)
+		if err != nil {
+			return err
+		}
+		i = 0
+	}
+}
+
+// Get implements Store.
+func (t *BTree) Get(term string) (postings.List, error) {
+	var out postings.List
+	err := t.Scan(term, sid.MinPosting, func(p sid.Posting) bool {
+		out = append(out, p)
+		return true
+	})
+	return out, err
+}
+
+// Count implements Store.
+func (t *BTree) Count(term string) (int, error) {
+	n := 0
+	err := t.Scan(term, sid.MinPosting, func(sid.Posting) bool { n++; return true })
+	return n, err
+}
+
+// Delete implements Store. Underflowing pages are left in place.
+func (t *BTree) Delete(term string, p sid.Posting) error {
+	key, err := encodeKey(term, p)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf, i, err := t.seek(key)
+	if err != nil {
+		return err
+	}
+	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], key) {
+		leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+		t.pager.markDirty(leaf)
+		return t.pager.sync()
+	}
+	return nil
+}
+
+// DeleteTerm implements Store by deleting the term's key range.
+func (t *BTree) DeleteTerm(term string) error {
+	// Collect first (Scan holds the lock), then delete one by one.
+	list, err := t.Get(term)
+	if err != nil {
+		return err
+	}
+	for _, p := range list {
+		if err := t.Delete(term, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Terms implements Store.
+func (t *BTree) Terms() ([]string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	leaf, i, err := t.seek([]byte{1})
+	if err != nil {
+		return nil, err
+	}
+	last := ""
+	for {
+		for ; i < len(leaf.keys); i++ {
+			term, _, err := decodeKey(leaf.keys[i])
+			if err != nil {
+				return nil, err
+			}
+			if term != last {
+				out = append(out, term)
+				last = term
+			}
+		}
+		if leaf.next == 0 {
+			return out, nil
+		}
+		leaf, err = t.pager.get(leaf.next)
+		if err != nil {
+			return nil, err
+		}
+		i = 0
+	}
+}
+
+// Close implements Store.
+func (t *BTree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pager.close()
+}
+
+// Stats reports page usage for diagnostics and benchmarks.
+func (t *BTree) Stats() (pages int, height int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pages = t.pager.pageCount()
+	h := 1
+	cur, err := t.pager.get(t.root)
+	for err == nil && cur.typ == pageBranch {
+		h++
+		cur, err = t.pager.get(cur.children[0])
+	}
+	return pages, h
+}

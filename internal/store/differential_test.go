@@ -1,0 +1,153 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+)
+
+// TestBTreeMatchesMemUnderRandomOps drives the disk B+-tree and the
+// in-memory store through the same random operation sequence and
+// checks they agree after every step — a differential test of the
+// B+-tree's split, delete and scan logic.
+func TestBTreeMatchesMemUnderRandomOps(t *testing.T) {
+	bt, err := OpenBTree(filepath.Join(t.TempDir(), "diff.bt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	mem := NewMem()
+
+	rng := rand.New(rand.NewSource(99))
+	terms := []string{"l:a", "l:b", "w:x", "w:y", "l:c"}
+	inserted := map[string]postings.List{}
+
+	randomPosting := func() sid.Posting {
+		s := uint32(rng.Intn(4000)*2 + 1)
+		return sid.Posting{
+			Peer: sid.PeerID(rng.Intn(4)), Doc: sid.DocID(rng.Intn(40)),
+			SID: sid.SID{Start: s, End: s + 1 + uint32(rng.Intn(30)), Level: uint16(rng.Intn(6))},
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		term := terms[rng.Intn(len(terms))]
+		switch op := rng.Intn(10); {
+		case op < 6: // append a batch
+			batch := make(postings.List, rng.Intn(20)+1)
+			for i := range batch {
+				batch[i] = randomPosting()
+			}
+			batch.Sort()
+			batch = batch.Dedup()
+			if err := bt.Append(term, batch); err != nil {
+				t.Fatalf("step %d: btree append: %v", step, err)
+			}
+			if err := mem.Append(term, batch); err != nil {
+				t.Fatalf("step %d: mem append: %v", step, err)
+			}
+			inserted[term] = append(inserted[term], batch...)
+		case op < 8: // delete a previously inserted posting
+			if len(inserted[term]) == 0 {
+				continue
+			}
+			victim := inserted[term][rng.Intn(len(inserted[term]))]
+			if err := bt.Delete(term, victim); err != nil {
+				t.Fatalf("step %d: btree delete: %v", step, err)
+			}
+			if err := mem.Delete(term, victim); err != nil {
+				t.Fatalf("step %d: mem delete: %v", step, err)
+			}
+		case op < 9: // drop a whole term
+			if err := bt.DeleteTerm(term); err != nil {
+				t.Fatalf("step %d: btree delete term: %v", step, err)
+			}
+			if err := mem.DeleteTerm(term); err != nil {
+				t.Fatalf("step %d: mem delete term: %v", step, err)
+			}
+			inserted[term] = nil
+		default: // partial scan comparison
+			from := randomPosting()
+			var a, b postings.List
+			bt.Scan(term, from, func(p sid.Posting) bool { a = append(a, p); return len(a) < 50 })
+			mem.Scan(term, from, func(p sid.Posting) bool { b = append(b, p); return len(b) < 50 })
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("step %d: partial scans diverge on %q: %d vs %d", step, term, len(a), len(b))
+			}
+		}
+		// Full-state check every few steps (Get is O(list)).
+		if step%25 == 0 {
+			for _, tm := range terms {
+				a, err := bt.Get(tm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := mem.Get(tm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("step %d: stores diverge on %q: btree %d vs mem %d postings",
+						step, tm, len(a), len(b))
+				}
+			}
+		}
+	}
+	// Final: terms listings agree (modulo empty terms, which Mem drops
+	// on DeleteTerm while the B+-tree may keep empty ranges invisible).
+	for _, tm := range terms {
+		na, _ := bt.Count(tm)
+		nb, _ := mem.Count(tm)
+		if na != nb {
+			t.Fatalf("final counts diverge on %q: %d vs %d", tm, na, nb)
+		}
+	}
+}
+
+// TestBTreeReopenedAfterRandomOps checks durability of a non-trivial
+// tree across close/reopen.
+func TestBTreeReopenedAfterRandomOps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dur.bt")
+	bt, err := OpenBTree(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	want := map[string]postings.List{}
+	for i := 0; i < 40; i++ {
+		term := fmt.Sprintf("l:t%d", rng.Intn(8))
+		batch := make(postings.List, rng.Intn(200)+1)
+		for j := range batch {
+			s := uint32(rng.Intn(100000)*2 + 1)
+			batch[j] = sid.Posting{Peer: 1, Doc: sid.DocID(rng.Intn(1000)), SID: sid.SID{Start: s, End: s + 1, Level: 1}}
+		}
+		batch.Sort()
+		batch = batch.Dedup()
+		if err := bt.Append(term, batch); err != nil {
+			t.Fatal(err)
+		}
+		want[term] = postings.Merge(want[term], batch).Dedup()
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bt2, err := OpenBTree(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt2.Close()
+	for term, w := range want {
+		got, err := bt2.Get(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Fatalf("%q: %d vs %d postings after reopen", term, len(got), len(w))
+		}
+	}
+}

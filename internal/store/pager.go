@@ -1,0 +1,302 @@
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// pageSize is the on-disk page size of the B+-tree.
+const pageSize = 4096
+
+// softPageFill triggers a split when a page's serialised size exceeds
+// this fraction of pageSize; keys are bounded by maxKeyLen so one more
+// insertion always still fits in the page.
+const softPageFill = pageSize - maxKeyLen - 64
+
+// cacheLimit caps the number of pages kept in memory; beyond it, the
+// least-recently-used clean or dirty page is evicted (dirty pages are
+// written back first).
+const cacheLimit = 2048
+
+// page is the in-memory form of one on-disk page.
+type page struct {
+	id       uint32
+	typ      byte     // pageLeaf or pageBranch
+	keys     [][]byte // sorted
+	children []uint32 // branch only: len(keys)+1 entries
+	next     uint32   // leaf only: right sibling (0 = none)
+	dirty    bool
+	lru      *list.Element
+}
+
+// childIndex returns the index of the child subtree that may contain
+// key: the first separator greater than key routes left of it.
+func (p *page) childIndex(key []byte) int {
+	i := 0
+	for i < len(p.keys) && compareBytes(p.keys[i], key) <= 0 {
+		i++
+	}
+	return i
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// overflows reports whether the page's serialised form exceeds the
+// split threshold.
+func (p *page) overflows() bool { return p.serializedSize() > softPageFill }
+
+func (p *page) serializedSize() int {
+	n := 1 + 2 + 4 // type, nkeys, next
+	for _, k := range p.keys {
+		n += 2 + len(k)
+	}
+	if p.typ == pageBranch {
+		n += 4 * len(p.children)
+	}
+	return n
+}
+
+// serialize renders the page into a pageSize buffer.
+func (p *page) serialize() ([]byte, error) {
+	if sz := p.serializedSize(); sz > pageSize {
+		return nil, fmt.Errorf("store: pager: page %d overflows page size (%d bytes)", p.id, sz)
+	}
+	buf := make([]byte, pageSize)
+	buf[0] = p.typ
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(p.keys)))
+	binary.LittleEndian.PutUint32(buf[3:], p.next)
+	off := 7
+	for _, k := range p.keys {
+		binary.LittleEndian.PutUint16(buf[off:], uint16(len(k)))
+		off += 2
+		copy(buf[off:], k)
+		off += len(k)
+	}
+	if p.typ == pageBranch {
+		for _, c := range p.children {
+			binary.LittleEndian.PutUint32(buf[off:], c)
+			off += 4
+		}
+	}
+	return buf, nil
+}
+
+// deserialize parses a pageSize buffer into p.
+func (p *page) deserialize(buf []byte) error {
+	if len(buf) != pageSize {
+		return fmt.Errorf("store: pager: short page read (%d bytes)", len(buf))
+	}
+	p.typ = buf[0]
+	if p.typ != pageLeaf && p.typ != pageBranch {
+		return fmt.Errorf("store: pager: page %d has invalid type %d", p.id, p.typ)
+	}
+	n := int(binary.LittleEndian.Uint16(buf[1:]))
+	p.next = binary.LittleEndian.Uint32(buf[3:])
+	off := 7
+	p.keys = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if off+2 > pageSize {
+			return fmt.Errorf("store: pager: page %d truncated", p.id)
+		}
+		kl := int(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+		if off+kl > pageSize {
+			return fmt.Errorf("store: pager: page %d key overruns page", p.id)
+		}
+		p.keys = append(p.keys, append([]byte(nil), buf[off:off+kl]...))
+		off += kl
+	}
+	if p.typ == pageBranch {
+		p.children = make([]uint32, 0, n+1)
+		for i := 0; i <= n; i++ {
+			if off+4 > pageSize {
+				return fmt.Errorf("store: pager: page %d children overrun page", p.id)
+			}
+			p.children = append(p.children, binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	}
+	return nil
+}
+
+// pager manages the page file: page 0 is the metadata page (magic,
+// root id, page count); data pages start at id 1.
+type pager struct {
+	f      *os.File
+	npages uint32 // data pages allocated (excluding meta)
+	root   uint32
+	cache  map[uint32]*page
+	order  *list.List // LRU: front = most recent
+	metaD  bool       // meta page dirty
+}
+
+var pagerMagic = [8]byte{'K', 'A', 'D', 'O', 'P', 'B', 'T', '1'}
+
+func openPager(path string) (*pager, uint32, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: pager: %w", err)
+	}
+	pg := &pager{f: f, cache: map[uint32]*page{}, order: list.New()}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: pager: %w", err)
+	}
+	if st.Size() == 0 {
+		pg.metaD = true
+		return pg, 0, nil
+	}
+	meta := make([]byte, pageSize)
+	if _, err := f.ReadAt(meta, 0); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: pager: read meta: %w", err)
+	}
+	var magic [8]byte
+	copy(magic[:], meta)
+	if magic != pagerMagic {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: pager: %s is not a kadop btree file", path)
+	}
+	pg.root = binary.LittleEndian.Uint32(meta[8:])
+	pg.npages = binary.LittleEndian.Uint32(meta[12:])
+	return pg, pg.root, nil
+}
+
+// alloc creates a new empty page of the given type.
+func (pg *pager) alloc(typ byte) *page {
+	pg.npages++
+	p := &page{id: pg.npages, typ: typ, dirty: true}
+	pg.insertCache(p)
+	pg.metaD = true
+	return p
+}
+
+func (pg *pager) setRoot(id uint32) {
+	pg.root = id
+	pg.metaD = true
+}
+
+// insertCache adds p to the cache, evicting LRU pages beyond the
+// limit. Callers that hold page pointers across allocations (the insert
+// path) rely on those pages having been touched during the current
+// descent: with cacheLimit far larger than the tree height, pages at
+// the LRU front cannot be evicted by the handful of allocations one
+// insertion performs.
+func (pg *pager) insertCache(p *page) {
+	p.lru = pg.order.PushFront(p)
+	pg.cache[p.id] = p
+	for len(pg.cache) > cacheLimit {
+		if err := pg.evictOne(); err != nil {
+			// Eviction failure leaves the page cached; surface the error
+			// at the next sync instead of losing data here.
+			break
+		}
+	}
+}
+
+func (pg *pager) evictOne() error {
+	e := pg.order.Back()
+	if e == nil {
+		return nil
+	}
+	victim := e.Value.(*page)
+	if victim.dirty {
+		if err := pg.writePage(victim); err != nil {
+			return err
+		}
+	}
+	pg.order.Remove(e)
+	delete(pg.cache, victim.id)
+	return nil
+}
+
+// get returns the page with the given id, reading it from disk on a
+// cache miss.
+func (pg *pager) get(id uint32) (*page, error) {
+	if id == 0 || id > pg.npages {
+		return nil, fmt.Errorf("store: pager: page id %d out of range (have %d)", id, pg.npages)
+	}
+	if p, ok := pg.cache[id]; ok {
+		pg.order.MoveToFront(p.lru)
+		return p, nil
+	}
+	buf := make([]byte, pageSize)
+	if _, err := pg.f.ReadAt(buf, int64(id)*pageSize); err != nil {
+		return nil, fmt.Errorf("store: pager: read page %d: %w", id, err)
+	}
+	p := &page{id: id}
+	if err := p.deserialize(buf); err != nil {
+		return nil, err
+	}
+	pg.insertCache(p)
+	return p, nil
+}
+
+func (pg *pager) markDirty(p *page) { p.dirty = true }
+
+func (pg *pager) writePage(p *page) error {
+	buf, err := p.serialize()
+	if err != nil {
+		return err
+	}
+	if _, err := pg.f.WriteAt(buf, int64(p.id)*pageSize); err != nil {
+		return fmt.Errorf("store: pager: write page %d: %w", p.id, err)
+	}
+	p.dirty = false
+	return nil
+}
+
+// sync writes all dirty pages and the metadata page.
+func (pg *pager) sync() error {
+	for _, p := range pg.cache {
+		if p.dirty {
+			if err := pg.writePage(p); err != nil {
+				return err
+			}
+		}
+	}
+	if pg.metaD {
+		meta := make([]byte, pageSize)
+		copy(meta, pagerMagic[:])
+		binary.LittleEndian.PutUint32(meta[8:], pg.root)
+		binary.LittleEndian.PutUint32(meta[12:], pg.npages)
+		if _, err := pg.f.WriteAt(meta, 0); err != nil {
+			return fmt.Errorf("store: pager: write meta: %w", err)
+		}
+		pg.metaD = false
+	}
+	return nil
+}
+
+func (pg *pager) pageCount() int { return int(pg.npages) }
+
+func (pg *pager) close() error {
+	if err := pg.sync(); err != nil {
+		pg.f.Close()
+		return err
+	}
+	return pg.f.Close()
+}

@@ -1,0 +1,76 @@
+package twigjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"kadop/internal/pattern"
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+)
+
+// benchCorpus synthesises per-term posting lists shaped like a
+// bibliography: records containing authors and titles across many docs.
+func benchCorpus(docs, recordsPerDoc int) map[string]postings.List {
+	rng := rand.New(rand.NewSource(1))
+	lists := map[string]postings.List{}
+	for d := 0; d < docs; d++ {
+		pos := uint32(1)
+		for r := 0; r < recordsPerDoc; r++ {
+			recStart := pos
+			pos++
+			aStart := pos
+			pos += 2
+			tStart := pos
+			pos += 2
+			recEnd := pos
+			pos++
+			doc := sid.DocID(d)
+			lists["l:article"] = append(lists["l:article"], sid.Posting{Peer: 1, Doc: doc, SID: sid.SID{Start: recStart, End: recEnd, Level: 1}})
+			lists["l:author"] = append(lists["l:author"], sid.Posting{Peer: 1, Doc: doc, SID: sid.SID{Start: aStart, End: aStart + 1, Level: 2}})
+			lists["l:title"] = append(lists["l:title"], sid.Posting{Peer: 1, Doc: doc, SID: sid.SID{Start: tStart, End: tStart + 1, Level: 2}})
+			if rng.Intn(100) == 0 {
+				lists["w:ullman"] = append(lists["w:ullman"], sid.Posting{Peer: 1, Doc: doc, SID: sid.SID{Start: aStart, End: aStart + 1, Level: 2}})
+			}
+		}
+	}
+	for k := range lists {
+		lists[k].Sort()
+	}
+	return lists
+}
+
+func runJoin(b *testing.B, q *pattern.Query, lists map[string]postings.List) {
+	b.Helper()
+	total := 0
+	for _, n := range q.Nodes() {
+		total += len(lists[n.Term.Key()])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streams := map[*pattern.Node]postings.Stream{}
+		for _, n := range q.Nodes() {
+			streams[n] = postings.NewSliceStream(lists[n.Term.Key()])
+		}
+		n := 0
+		if err := Run(q, streams, func(Match) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(total), "postings/join")
+}
+
+func BenchmarkTwigJoinSelective(b *testing.B) {
+	lists := benchCorpus(500, 20)
+	runJoin(b, pattern.MustParse(`//article//author[. contains "ullman"]`), lists)
+}
+
+func BenchmarkTwigJoinBroad(b *testing.B) {
+	lists := benchCorpus(500, 20)
+	runJoin(b, pattern.MustParse(`//article//author`), lists)
+}
+
+func BenchmarkTwigJoinBranching(b *testing.B) {
+	lists := benchCorpus(500, 20)
+	runJoin(b, pattern.MustParse(`//article[//title]//author`), lists)
+}

@@ -1,0 +1,270 @@
+// Package twigjoin implements the holistic twig join at the heart of
+// KadoP's index-query processing (Sections 2-3 of the paper, after
+// Bruno, Koudas and Srivastava's TwigStack).
+//
+// The join consumes one posting stream per query node, all in the
+// canonical (peer, doc, start) order, and produces the answer tuples of
+// the tree-pattern query. It is fully pipelined: postings are pulled
+// from the streams one document at a time, so the join starts producing
+// answers as soon as the producers have shipped the first documents'
+// postings — this is what the paper's "pipelined get" enables.
+//
+// Within one document the join first prunes each node's candidates by
+// structural semi-joins along the query edges (top-down, then
+// bottom-up), then enumerates answer tuples by backtracking over the
+// pruned candidate lists. Pruning makes the per-document work
+// proportional to the surviving candidates, which for selective queries
+// is far below the raw posting counts.
+package twigjoin
+
+import (
+	"fmt"
+	"io"
+
+	"kadop/internal/pattern"
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+)
+
+// Match is one answer tuple: the document and one posting per query
+// node in pre-order.
+type Match struct {
+	Doc      sid.DocKey
+	Postings []sid.Posting
+}
+
+// Emit receives answer tuples as the join produces them. Returning an
+// error aborts the join with that error.
+type Emit func(Match) error
+
+// ErrStop may be returned by an Emit callback to stop the join early
+// without reporting an error (used for first-answer measurements).
+var ErrStop = fmt.Errorf("twigjoin: stopped by consumer")
+
+// head is a one-posting lookahead over a stream.
+type head struct {
+	s    postings.Stream
+	cur  sid.Posting
+	live bool
+}
+
+func (h *head) advance() error {
+	p, err := h.s.Next()
+	if err == io.EOF {
+		h.live = false
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	// Enforce canonical order so a buggy producer cannot silently
+	// corrupt join results.
+	if h.live && p.Less(h.cur) {
+		return fmt.Errorf("twigjoin: stream out of order: %v after %v", p, h.cur)
+	}
+	h.cur = p
+	h.live = true
+	return nil
+}
+
+// Run evaluates the tree-pattern query q given one posting stream per
+// query node (keyed by the node pointer, as returned by q.Nodes()).
+// Wildcard nodes are not supported here: the index query is first
+// projected to its non-wildcard nodes (see the kadop package), because
+// the distributed index has no posting list for "*".
+func Run(q *pattern.Query, streams map[*pattern.Node]postings.Stream, emit Emit) error {
+	nodes := q.Nodes()
+	if len(nodes) == 0 {
+		return fmt.Errorf("twigjoin: empty query")
+	}
+	heads := make([]*head, len(nodes))
+	for i, n := range nodes {
+		if n.IsWildcard() {
+			return fmt.Errorf("twigjoin: wildcard node in index query")
+		}
+		s, ok := streams[n]
+		if !ok {
+			return fmt.Errorf("twigjoin: no stream for query node %v", n.Term)
+		}
+		heads[i] = &head{s: s}
+		if err := heads[i].advance(); err != nil {
+			return err
+		}
+	}
+
+	parent := parentIndexes(q, nodes)
+	cands := make([][]sid.Posting, len(nodes))
+
+	for {
+		// Find the highest current document key; if any stream is
+		// exhausted, no further document can match all nodes.
+		var target sid.DocKey
+		for _, h := range heads {
+			if !h.live {
+				return nil
+			}
+			if k := h.cur.Key(); k.Compare(target) > 0 {
+				target = k
+			}
+		}
+		// Advance every stream to the target document.
+		aligned := true
+		for _, h := range heads {
+			for h.live && h.cur.Key().Compare(target) < 0 {
+				if err := h.advance(); err != nil {
+					return err
+				}
+			}
+			if !h.live {
+				return nil
+			}
+			if h.cur.Key().Compare(target) != 0 {
+				aligned = false
+			}
+		}
+		if !aligned {
+			continue // some stream jumped past target; recompute
+		}
+		// Collect this document's candidates from every stream.
+		for i, h := range heads {
+			cands[i] = cands[i][:0]
+			for h.live && h.cur.Key().Compare(target) == 0 {
+				cands[i] = append(cands[i], h.cur)
+				if err := h.advance(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := matchDoc(target, nodes, parent, cands, emit); err != nil {
+			return err
+		}
+	}
+}
+
+// parentIndexes maps each node position to its parent's position in the
+// pre-order node list (-1 for the root).
+func parentIndexes(q *pattern.Query, nodes []*pattern.Node) []int {
+	idx := map[*pattern.Node]int{}
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	parent := make([]int, len(nodes))
+	for i := range parent {
+		parent[i] = -1
+	}
+	for i, n := range nodes {
+		for _, c := range n.Children {
+			parent[idx[c]] = i
+		}
+	}
+	return parent
+}
+
+// matchDoc enumerates the answers within one document.
+func matchDoc(doc sid.DocKey, nodes []*pattern.Node, parent []int, cands [][]sid.Posting, emit Emit) error {
+	// Top-down semi-join pruning: a candidate for node i survives only
+	// if some candidate of its parent satisfies the axis.
+	for i := 1; i < len(nodes); i++ {
+		p := parent[i]
+		if p < 0 {
+			continue
+		}
+		cands[i] = pruneDown(nodes[i].Axis, cands[p], cands[i])
+		if len(cands[i]) == 0 {
+			return nil
+		}
+	}
+	// Bottom-up pruning: a candidate for node p survives only if every
+	// child edge can be satisfied.
+	for i := len(nodes) - 1; i >= 0; i-- {
+		for j := len(nodes) - 1; j > i; j-- {
+			if parent[j] != i {
+				continue
+			}
+			cands[i] = pruneUp(nodes[j].Axis, cands[i], cands[j])
+			if len(cands[i]) == 0 {
+				return nil
+			}
+		}
+	}
+
+	// Backtracking enumeration over the pruned candidates.
+	assignment := make([]sid.Posting, len(nodes))
+	var enumerate func(i int) error
+	enumerate = func(i int) error {
+		if i == len(nodes) {
+			m := Match{Doc: doc, Postings: make([]sid.Posting, len(nodes))}
+			copy(m.Postings, assignment)
+			return emit(m)
+		}
+		for _, c := range cands[i] {
+			if p := parent[i]; p >= 0 {
+				if !pattern.AxisSatisfied(nodes[i].Axis, assignment[p], c) {
+					continue
+				}
+			}
+			assignment[i] = c
+			if err := enumerate(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return enumerate(0)
+}
+
+// pruneDown keeps the candidates of the child list that have at least
+// one ancestor-side witness in the parent list.
+func pruneDown(axis pattern.Axis, parents, children []sid.Posting) []sid.Posting {
+	out := children[:0]
+	for _, c := range children {
+		for _, p := range parents {
+			if pattern.AxisSatisfied(axis, p, c) {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// pruneUp keeps the candidates of the parent list that have at least
+// one descendant-side witness in the child list.
+func pruneUp(axis pattern.Axis, parents, children []sid.Posting) []sid.Posting {
+	out := parents[:0]
+	for _, p := range parents {
+		for _, c := range children {
+			if pattern.AxisSatisfied(axis, p, c) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Collect runs the join and gathers all matches (convenience for tests
+// and non-streaming callers).
+func Collect(q *pattern.Query, streams map[*pattern.Node]postings.Stream) ([]Match, error) {
+	var out []Match
+	err := Run(q, streams, func(m Match) error {
+		out = append(out, m)
+		return nil
+	})
+	return out, err
+}
+
+// MatchingDocs runs the join and returns only the distinct documents
+// that produced at least one answer, in order. This is what the first
+// (index) phase of query processing needs to know: which peers and
+// documents to contact for final answers.
+func MatchingDocs(q *pattern.Query, streams map[*pattern.Node]postings.Stream) ([]sid.DocKey, error) {
+	var out []sid.DocKey
+	err := Run(q, streams, func(m Match) error {
+		if len(out) == 0 || out[len(out)-1] != m.Doc {
+			out = append(out, m.Doc)
+		}
+		return nil
+	})
+	return out, err
+}

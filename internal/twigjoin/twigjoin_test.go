@@ -1,0 +1,293 @@
+package twigjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"kadop/internal/pattern"
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+	"kadop/internal/xmltree"
+)
+
+// corpus is a small in-memory collection: documents with term postings
+// extracted exactly like the publishing pipeline does.
+type corpus struct {
+	docs  map[sid.DocKey]*xmltree.Document
+	terms map[string]postings.List // term key -> sorted postings
+}
+
+func newCorpus() *corpus {
+	return &corpus{docs: map[sid.DocKey]*xmltree.Document{}, terms: map[string]postings.List{}}
+}
+
+func (c *corpus) add(t *testing.T, key sid.DocKey, src string) {
+	t.Helper()
+	d, err := xmltree.ParseBytes([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c.docs[key] = d
+	for _, tp := range xmltree.Extract(d, key.Peer, key.Doc, xmltree.ExtractOptions{}) {
+		c.terms[tp.Term.Key()] = append(c.terms[tp.Term.Key()], tp.Posting)
+	}
+	for k := range c.terms {
+		c.terms[k].Sort()
+	}
+}
+
+// streams builds one stream per query node from the corpus index.
+func (c *corpus) streams(q *pattern.Query) map[*pattern.Node]postings.Stream {
+	m := map[*pattern.Node]postings.Stream{}
+	for _, n := range q.Nodes() {
+		m[n] = postings.NewSliceStream(c.terms[n.Term.Key()])
+	}
+	return m
+}
+
+// groundTruth evaluates q on every document directly.
+func (c *corpus) groundTruth(q *pattern.Query) []Match {
+	var out []Match
+	for key, d := range c.docs {
+		for _, m := range pattern.MatchDocument(q, d, key) {
+			ps := make([]sid.Posting, len(m.Elements))
+			for i, e := range m.Elements {
+				ps[i] = sid.Posting{Peer: key.Peer, Doc: key.Doc, SID: e}
+			}
+			out = append(out, Match{Doc: key, Postings: ps})
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if c := ms[i].Doc.Compare(ms[j].Doc); c != 0 {
+			return c < 0
+		}
+		for k := range ms[i].Postings {
+			if c := ms[i].Postings[k].Compare(ms[j].Postings[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+func check(t *testing.T, c *corpus, query string) {
+	t.Helper()
+	q := pattern.MustParse(query)
+	got, err := Collect(q, c.streams(q))
+	if err != nil {
+		t.Fatalf("Collect(%s): %v", query, err)
+	}
+	sortMatches(got)
+	want := c.groundTruth(q)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("query %s:\n got %v\nwant %v", query, got, want)
+	}
+}
+
+func fixedCorpus(t *testing.T) *corpus {
+	c := newCorpus()
+	c.add(t, sid.DocKey{Peer: 1, Doc: 1}, `<dblp>
+	  <article><author>Jeffrey Ullman</author><title>Database systems</title></article>
+	  <article><author>Serge Abiteboul</author><title>XML querying</title></article>
+	</dblp>`)
+	c.add(t, sid.DocKey{Peer: 1, Doc: 2}, `<dblp>
+	  <inproceedings><author>Jeffrey Ullman</author><title>More systems</title></inproceedings>
+	</dblp>`)
+	c.add(t, sid.DocKey{Peer: 2, Doc: 1}, `<catalog>
+	  <article><title>No author here</title></article>
+	</catalog>`)
+	return c
+}
+
+func TestJoinMatchesGroundTruth(t *testing.T) {
+	c := fixedCorpus(t)
+	for _, q := range []string{
+		`//article//author`,
+		`//article/author`,
+		`//dblp//author[. contains "ullman"]`,
+		`//article[//title]//author`,
+		`//article[//title]//author[. contains "Ullman"]`,
+		`//article//editor`,
+		`//catalog//title`,
+	} {
+		check(t, c, q)
+	}
+}
+
+// randomDoc builds a random bushy document over a small label alphabet
+// so that structural joins have plenty of matches and near-misses.
+func randomDoc(rng *rand.Rand) string {
+	labels := []string{"a", "b", "c", "d"}
+	words := []string{"x", "y", "z"}
+	var build func(depth int) string
+	build = func(depth int) string {
+		l := labels[rng.Intn(len(labels))]
+		inner := ""
+		if depth < 5 {
+			for i := 0; i < rng.Intn(4); i++ {
+				inner += build(depth + 1)
+			}
+		}
+		if rng.Float64() < 0.4 {
+			inner += words[rng.Intn(len(words))]
+		}
+		return fmt.Sprintf("<%s>%s</%s>", l, inner, l)
+	}
+	return "<root>" + build(1) + build(1) + "</root>"
+}
+
+func TestJoinRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	queries := []string{
+		`//a//b`,
+		`//a/b`,
+		`//root//a[//b]//c`,
+		`//a[. contains "x"]`,
+		`//a[//b][//c]`,
+		`//a//b[. contains "y"]`,
+		`//b[/c]`,
+	}
+	for trial := 0; trial < 15; trial++ {
+		c := newCorpus()
+		ndocs := rng.Intn(6) + 1
+		for d := 0; d < ndocs; d++ {
+			c.add(t, sid.DocKey{Peer: sid.PeerID(rng.Intn(3)), Doc: sid.DocID(d)}, randomDoc(rng))
+		}
+		for _, q := range queries {
+			check(t, c, q)
+		}
+	}
+}
+
+func TestJoinPipelinedStreams(t *testing.T) {
+	c := fixedCorpus(t)
+	q := pattern.MustParse(`//article//author[. contains "ullman"]`)
+	streams := map[*pattern.Node]postings.Stream{}
+	for _, n := range q.Nodes() {
+		list := c.terms[n.Term.Key()]
+		pipe := postings.NewPipe(2)
+		go func(l postings.List) {
+			for i := range l {
+				pipe.Send(l[i : i+1])
+			}
+			pipe.Close(nil)
+		}(list)
+		streams[n] = pipe
+	}
+	got, err := Collect(q, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortMatches(got)
+	want := c.groundTruth(q)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("pipelined join mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestJoinEarlyStop(t *testing.T) {
+	c := fixedCorpus(t)
+	q := pattern.MustParse(`//article//author`)
+	n := 0
+	err := Run(q, c.streams(q), func(Match) error {
+		n++
+		return ErrStop
+	})
+	if err != ErrStop {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("emitted %d matches after stop", n)
+	}
+}
+
+func TestJoinMissingStream(t *testing.T) {
+	q := pattern.MustParse(`//a//b`)
+	if err := Run(q, map[*pattern.Node]postings.Stream{}, func(Match) error { return nil }); err == nil {
+		t.Fatal("missing stream should error")
+	}
+}
+
+func TestJoinRejectsWildcard(t *testing.T) {
+	q := pattern.MustParse(`//*[contains(.,'x')]//b`)
+	streams := map[*pattern.Node]postings.Stream{}
+	for _, n := range q.Nodes() {
+		streams[n] = postings.NewSliceStream(nil)
+	}
+	if err := Run(q, streams, func(Match) error { return nil }); err == nil {
+		t.Fatal("wildcard node should be rejected")
+	}
+}
+
+func TestJoinRejectsOutOfOrderStream(t *testing.T) {
+	q := pattern.MustParse(`//a//b`)
+	bad := postings.List{
+		{Peer: 2, Doc: 1, SID: sid.SID{Start: 1, End: 10, Level: 0}},
+		{Peer: 1, Doc: 1, SID: sid.SID{Start: 1, End: 10, Level: 0}},
+	}
+	good := postings.List{
+		{Peer: 1, Doc: 1, SID: sid.SID{Start: 2, End: 3, Level: 1}},
+		{Peer: 2, Doc: 1, SID: sid.SID{Start: 2, End: 3, Level: 1}},
+	}
+	nodes := q.Nodes()
+	streams := map[*pattern.Node]postings.Stream{
+		nodes[0]: &rawStream{list: bad},
+		nodes[1]: &rawStream{list: good},
+	}
+	if err := Run(q, streams, func(Match) error { return nil }); err == nil {
+		t.Fatal("out-of-order stream should be detected")
+	}
+}
+
+// rawStream delivers a list verbatim without sorting guarantees.
+type rawStream struct {
+	list postings.List
+	pos  int
+}
+
+func (r *rawStream) Next() (sid.Posting, error) {
+	if r.pos >= len(r.list) {
+		return sid.Posting{}, fmt.Errorf("eof")
+	}
+	p := r.list[r.pos]
+	r.pos++
+	return p, nil
+}
+
+func TestMatchingDocs(t *testing.T) {
+	c := fixedCorpus(t)
+	q := pattern.MustParse(`//article//author`)
+	docs, err := MatchingDocs(q, c.streams(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only (1,1) holds article elements with authors; (1,2) is an
+	// inproceedings and (2,1) has no author.
+	want := []sid.DocKey{{Peer: 1, Doc: 1}}
+	if !reflect.DeepEqual(docs, want) {
+		t.Errorf("MatchingDocs = %v, want %v", docs, want)
+	}
+}
+
+func TestJoinEmptyStreams(t *testing.T) {
+	q := pattern.MustParse(`//a//b`)
+	streams := map[*pattern.Node]postings.Stream{}
+	for _, n := range q.Nodes() {
+		streams[n] = postings.NewSliceStream(nil)
+	}
+	ms, err := Collect(q, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("matches = %v", ms)
+	}
+}

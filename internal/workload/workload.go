@@ -1,0 +1,354 @@
+// Package workload generates the synthetic corpora and query workloads
+// of the experiments. The paper's datasets are not redistributable (and
+// partly proprietary), so each generator reproduces the statistical
+// properties the corresponding experiment depends on:
+//
+//   - DBLP: bibliographic records with the heavy skew of real DBLP —
+//     a few element labels (author, title, article, inproceedings) with
+//     enormous posting lists, a Zipf-distributed author population, and
+//     a seeded rare author ("Ullman" as in the paper's queries). The
+//     corpus is cut into ~20 KB documents, as the paper cuts DBLP.
+//   - INEX: the INEX-HCO-like setting of Section 6 — publication
+//     records, each referencing a separate ~1 KB abstract file, with a
+//     configurable number of planted query matches.
+//   - Shapes: element-width distributions fitted to the five datasets
+//     of Table 1 (IMDB, XMark, SwissProt, NASA, DBLP), for measuring
+//     average dyadic-cover sizes.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"kadop/internal/xmltree"
+)
+
+// Zipf draws ranks with P(k) ~ 1/(k+q)^s, deterministic under its rng.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s > 1.
+func NewZipf(rng *rand.Rand, s float64, n uint64) *Zipf {
+	return &Zipf{z: rand.NewZipf(rng, s, 1, n-1)}
+}
+
+// Next draws one rank.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+
+// DBLP generates a DBLP-like corpus.
+type DBLP struct {
+	// Seed fixes the pseudo-random stream.
+	Seed int64
+	// Records is the number of bibliographic records to generate.
+	Records int
+	// RecordsPerDoc cuts the corpus into documents (the paper uses
+	// 20 KB documents, about 25 records each). Default 25.
+	RecordsPerDoc int
+	// Authors is the size of the author population (default 2000).
+	Authors int
+	// RareAuthor is planted with RareCount occurrences (defaults
+	// "Ullman", 1 in 500 records).
+	RareAuthor string
+	RareCount  int
+}
+
+// titleWords is the vocabulary of generated titles.
+var titleWords = []string{
+	"data", "systems", "distributed", "query", "processing", "xml",
+	"indexing", "networks", "peer", "storage", "optimization", "views",
+	"semantics", "streams", "joins", "algebra", "web", "integration",
+	"mining", "transactions", "logic", "models", "design", "analysis",
+}
+
+func (g DBLP) defaults() DBLP {
+	if g.RecordsPerDoc <= 0 {
+		g.RecordsPerDoc = 25
+	}
+	if g.Authors <= 0 {
+		g.Authors = 2000
+	}
+	if g.RareAuthor == "" {
+		g.RareAuthor = "Ullman"
+	}
+	if g.RareCount <= 0 {
+		g.RareCount = (g.Records + 499) / 500
+		if g.RareCount == 0 {
+			g.RareCount = 1
+		}
+	}
+	return g
+}
+
+// Documents generates the corpus as parsed documents with their URIs.
+// Document construction goes through the tree builder directly (no
+// serialisation round trip), matching what the publishing pipeline
+// indexes for the same logical content.
+func (g DBLP) Documents() []GeneratedDoc {
+	g = g.defaults()
+	rng := rand.New(rand.NewSource(g.Seed))
+	zipf := NewZipf(rng, 1.4, uint64(g.Authors))
+
+	rare := map[int]bool{}
+	for len(rare) < g.RareCount && len(rare) < g.Records {
+		rare[rng.Intn(g.Records)] = true
+	}
+
+	var docs []GeneratedDoc
+	rec := 0
+	docID := 0
+	for rec < g.Records {
+		b := xmltree.NewBuilder()
+		b.Open("dblp")
+		for i := 0; i < g.RecordsPerDoc && rec < g.Records; i++ {
+			kind := "article"
+			// Rare-author records are always articles, so the canonical
+			// //article//author[. contains "Ullman"] query has exactly
+			// RareCount answers at every seed.
+			if !rare[rec] && rng.Float64() < 0.4 {
+				kind = "inproceedings"
+			}
+			b.Open(kind)
+			nAuthors := 1 + rng.Intn(3)
+			for a := 0; a < nAuthors; a++ {
+				name := fmt.Sprintf("author%04d lastname%04d", zipf.Next(), zipf.Next())
+				if a == 0 && rare[rec] {
+					name = "Jeffrey " + g.RareAuthor
+				}
+				b.Leaf("author", name)
+			}
+			b.Leaf("title", g.title(rng))
+			b.Leaf("year", fmt.Sprintf("%d", 1990+rng.Intn(18)))
+			if kind == "article" {
+				b.Leaf("journal", fmt.Sprintf("journal%02d", rng.Intn(40)))
+			} else {
+				b.Leaf("booktitle", fmt.Sprintf("conf%02d", rng.Intn(60)))
+			}
+			b.Close()
+			rec++
+		}
+		b.Close()
+		doc, err := b.Document()
+		if err != nil {
+			// The builder is driven by this generator only; an error is a
+			// programming bug, not an input condition.
+			panic(fmt.Sprintf("workload: dblp builder: %v", err))
+		}
+		docs = append(docs, GeneratedDoc{
+			URI: fmt.Sprintf("dblp-%05d.xml", docID),
+			Doc: doc,
+		})
+		docID++
+	}
+	return docs
+}
+
+func (g DBLP) title(rng *rand.Rand) string {
+	n := 3 + rng.Intn(5)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = titleWords[rng.Intn(len(titleWords))]
+	}
+	return strings.Join(parts, " ")
+}
+
+// GeneratedDoc is one generated document.
+type GeneratedDoc struct {
+	URI string
+	Doc *xmltree.Document
+}
+
+// SizeBytes estimates the corpus size as serialised XML, used to label
+// experiment axes in "MB of published data" like the paper's figures.
+func SizeBytes(docs []GeneratedDoc) int {
+	n := 0
+	for _, d := range docs {
+		n += len(xmltree.Serialize(d.Doc))
+	}
+	return n
+}
+
+// INEX generates the Section 6 corpus: publication documents, each
+// referencing a separate abstract file.
+type INEX struct {
+	Seed int64
+	// Docs is the number of host documents (the paper uses 28 000 hosts
+	// plus as many abstract files).
+	Docs int
+	// Matches plants this many true answers for the canonical query
+	// //article[contains(.//title,'system')][contains(.//abstract,
+	// 'interface')] (the paper's setting has 10).
+	Matches int
+	// SecondType makes every third reference an "appendix" instead of
+	// an "abstract", giving representative-data-indexing a type to
+	// prune on.
+	SecondType bool
+}
+
+// INEXCorpus is a generated intensional corpus: host documents and the
+// referenced files by URI.
+type INEXCorpus struct {
+	Hosts []GeneratedDoc
+	Files map[string][]byte
+}
+
+// Resolve implements the fundex resolver over the generated files.
+func (c *INEXCorpus) Resolve(uri string) ([]byte, error) {
+	b, ok := c.Files[uri]
+	if !ok {
+		return nil, fmt.Errorf("workload: no such file %q", uri)
+	}
+	return b, nil
+}
+
+// Generate builds the corpus.
+func (g INEX) Generate() *INEXCorpus {
+	rng := rand.New(rand.NewSource(g.Seed))
+	c := &INEXCorpus{Files: map[string][]byte{}}
+	if g.Matches > g.Docs {
+		g.Matches = g.Docs
+	}
+	match := map[int]bool{}
+	for len(match) < g.Matches {
+		match[rng.Intn(g.Docs)] = true
+	}
+	for i := 0; i < g.Docs; i++ {
+		kind := "abstract"
+		if g.SecondType && i%3 == 2 && !match[i] {
+			kind = "appendix"
+		}
+		title := fmt.Sprintf("a study of %s number %d",
+			titleWords[rng.Intn(len(titleWords))], i)
+		body := fmt.Sprintf("this work discusses %s and %s in depth %d",
+			titleWords[rng.Intn(len(titleWords))], titleWords[rng.Intn(len(titleWords))], i)
+		if match[i] {
+			title = fmt.Sprintf("a system view of %s number %d", titleWords[rng.Intn(len(titleWords))], i)
+			body = fmt.Sprintf("an interface for %s explained %d", titleWords[rng.Intn(len(titleWords))], i)
+		}
+		fileURI := fmt.Sprintf("%s%05d.xml", kind, i)
+		c.Files[fileURI] = []byte(fmt.Sprintf("<%s>%s</%s>", kind, body, kind))
+
+		b := xmltree.NewBuilder()
+		b.Open("article")
+		b.Leaf("title", title)
+		b.Leaf("year", fmt.Sprintf("%d", 1995+rng.Intn(12)))
+		b.Include(fileURI)
+		b.Close()
+		doc, err := b.Document()
+		if err != nil {
+			panic(fmt.Sprintf("workload: inex builder: %v", err))
+		}
+		c.Hosts = append(c.Hosts, GeneratedDoc{URI: fmt.Sprintf("host%05d.xml", i), Doc: doc})
+	}
+	return c
+}
+
+// INEXQuery is the canonical Section 6 query over the INEX corpus.
+const INEXQuery = `//article[contains(.//title,'system') and contains(.//abstract,'interface')]`
+
+// Shape describes one Table-1 dataset's tree statistics: documents are
+// generated with the given fan-out and depth profile, which determines
+// the element width distribution and hence the dyadic cover sizes.
+type Shape struct {
+	Name     string
+	MaxDepth int
+	// Fanout is the mean number of children of an internal element.
+	Fanout float64
+	// LeafBias is the probability that a child is a leaf.
+	LeafBias float64
+	// Elements is the number of elements to generate (across documents
+	// of ~DocSize elements each).
+	Elements int
+	DocSize  int
+}
+
+// Table1Shapes models the five datasets of Table 1. Fan-out and depth
+// profiles are tuned so the generated width distributions land in the
+// ballpark of the measured averages (|D(e)| between 1.2 and 1.6).
+func Table1Shapes() []Shape {
+	return []Shape{
+		{Name: "IMDB", MaxDepth: 4, Fanout: 5, LeafBias: 0.75, Elements: 100_000, DocSize: 500},
+		{Name: "XMark", MaxDepth: 8, Fanout: 4, LeafBias: 0.55, Elements: 200_000, DocSize: 1000},
+		{Name: "SwissProt", MaxDepth: 4, Fanout: 6, LeafBias: 0.85, Elements: 200_000, DocSize: 800},
+		{Name: "NASA", MaxDepth: 7, Fanout: 3, LeafBias: 0.5, Elements: 100_000, DocSize: 600},
+		{Name: "DBLP", MaxDepth: 3, Fanout: 8, LeafBias: 0.9, Elements: 200_000, DocSize: 500},
+	}
+}
+
+// Widths generates the shape's documents and returns every element's
+// (start, end) width, the input to the dyadic-cover measurement.
+func (s Shape) Widths(seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	var widths []uint64
+	remaining := s.Elements
+	for remaining > 0 {
+		target := s.DocSize
+		if target > remaining {
+			target = remaining
+		}
+		n := s.genDoc(rng, target, &widths)
+		remaining -= n
+	}
+	return widths
+}
+
+// genDoc simulates one document's tag numbering and records widths.
+func (s Shape) genDoc(rng *rand.Rand, target int, widths *[]uint64) int {
+	pos := uint64(1)
+	count := 0
+	var rec func(depth int)
+	rec = func(depth int) {
+		start := pos
+		pos++
+		count++
+		if depth < s.MaxDepth && count < target {
+			// Poisson-ish fan-out around the mean.
+			n := int(math.Round(s.Fanout * (0.5 + rng.Float64())))
+			for i := 0; i < n && count < target; i++ {
+				if rng.Float64() < s.LeafBias {
+					// Leaf child: two tag positions.
+					*widths = append(*widths, 2)
+					pos += 2
+					count++
+				} else {
+					rec(depth + 1)
+				}
+			}
+		}
+		pos++ // closing tag
+		*widths = append(*widths, pos-start)
+	}
+	rec(0)
+	return count
+}
+
+// QueryMix returns n query strings over the DBLP corpus, each touching
+// at least one long posting list, for the Section 4.3 traffic workload.
+func QueryMix(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	templates := []string{
+		`//article//author`,
+		`//inproceedings//author`,
+		`//article//title[. contains "%s"]`,
+		`//dblp//author[. contains "author%04d"]`,
+		`//article[//year]//author`,
+		`//inproceedings//title[. contains "%s"]`,
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		t := templates[rng.Intn(len(templates))]
+		switch strings.Count(t, "%") {
+		case 0:
+			out = append(out, t)
+		default:
+			if strings.Contains(t, "%s") {
+				out = append(out, fmt.Sprintf(t, titleWords[rng.Intn(len(titleWords))]))
+			} else {
+				out = append(out, fmt.Sprintf(t, rng.Intn(2000)))
+			}
+		}
+	}
+	return out
+}

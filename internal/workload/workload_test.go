@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"kadop/internal/dyadic"
+	"kadop/internal/pattern"
+	"kadop/internal/xmltree"
+)
+
+func TestDBLPDeterministic(t *testing.T) {
+	a := DBLP{Seed: 1, Records: 100}.Documents()
+	b := DBLP{Seed: 1, Records: 100}.Documents()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic document count")
+	}
+	for i := range a {
+		if xmltree.Serialize(a[i].Doc) != xmltree.Serialize(b[i].Doc) {
+			t.Fatalf("document %d differs between runs", i)
+		}
+	}
+}
+
+func TestDBLPStructure(t *testing.T) {
+	docs := DBLP{Seed: 2, Records: 500}.Documents()
+	if len(docs) != 20 { // 500 records / 25 per doc
+		t.Fatalf("documents = %d", len(docs))
+	}
+	records, authors, titles := 0, 0, 0
+	for _, d := range docs {
+		if d.Doc.Root.Label != "dblp" {
+			t.Fatal("root label")
+		}
+		d.Doc.Walk(func(n *xmltree.Node) {
+			switch n.Label {
+			case "article", "inproceedings":
+				records++
+			case "author":
+				authors++
+			case "title":
+				titles++
+			}
+		})
+	}
+	if records != 500 || titles != 500 {
+		t.Fatalf("records=%d titles=%d", records, titles)
+	}
+	if authors < 500 {
+		t.Fatalf("authors=%d", authors)
+	}
+}
+
+func TestDBLPSkewAndRareAuthor(t *testing.T) {
+	docs := DBLP{Seed: 3, Records: 2000}.Documents()
+	freq := map[string]int{}
+	ullman := 0
+	for _, d := range docs {
+		d.Doc.Walk(func(n *xmltree.Node) {
+			if n.Label == "author" {
+				for _, w := range n.Words {
+					freq[w]++
+					if w == "ullman" {
+						ullman++
+					}
+				}
+			}
+		})
+	}
+	if ullman != 4 { // 2000/500
+		t.Errorf("ullman occurrences = %d, want 4", ullman)
+	}
+	// Skew: the most frequent author token must dwarf the median.
+	var counts []int
+	for w, c := range freq {
+		if strings.HasPrefix(w, "author") {
+			counts = append(counts, c)
+			_ = w
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	if len(counts) < 10 {
+		t.Fatal("too few distinct authors")
+	}
+	if counts[0] < 5*counts[len(counts)/2] {
+		t.Errorf("author distribution not skewed: top=%d median=%d", counts[0], counts[len(counts)/2])
+	}
+}
+
+func TestDBLPDocSizeNearTarget(t *testing.T) {
+	docs := DBLP{Seed: 4, Records: 250}.Documents()
+	for _, d := range docs {
+		size := len(xmltree.Serialize(d.Doc))
+		if size < 2_000 || size > 60_000 {
+			t.Errorf("document %s is %d bytes; expected a ~20KB-scale document", d.URI, size)
+		}
+	}
+	if SizeBytes(docs) <= 0 {
+		t.Error("SizeBytes should be positive")
+	}
+}
+
+func TestINEXCorpus(t *testing.T) {
+	c := INEX{Seed: 5, Docs: 200, Matches: 10, SecondType: true}.Generate()
+	if len(c.Hosts) != 200 || len(c.Files) != 200 {
+		t.Fatalf("hosts=%d files=%d", len(c.Hosts), len(c.Files))
+	}
+	// Every host has exactly one include resolvable by the corpus.
+	for _, h := range c.Hosts {
+		includes := 0
+		h.Doc.Walk(func(n *xmltree.Node) {
+			if n.Include != "" {
+				includes++
+				if _, err := c.Resolve(n.Include); err != nil {
+					t.Fatalf("unresolvable include %q", n.Include)
+				}
+			}
+		})
+		if includes != 1 {
+			t.Fatalf("host %s has %d includes", h.URI, includes)
+		}
+	}
+	if _, err := c.Resolve("nope.xml"); err == nil {
+		t.Error("unknown URI should fail")
+	}
+	// Exactly Matches hosts match the canonical query when inlined.
+	q := pattern.MustParse(INEXQuery)
+	if q == nil {
+		t.Fatal("INEXQuery must parse")
+	}
+	matches := 0
+	for _, h := range c.Hosts {
+		title := false
+		h.Doc.Walk(func(n *xmltree.Node) {
+			if n.Label == "title" {
+				for _, w := range n.Words {
+					if w == "system" {
+						title = true
+					}
+				}
+			}
+		})
+		var fileHasInterface bool
+		h.Doc.Walk(func(n *xmltree.Node) {
+			if n.Include != "" {
+				raw, _ := c.Resolve(n.Include)
+				if strings.Contains(string(raw), "interface") && strings.HasPrefix(n.Include, "abstract") {
+					fileHasInterface = true
+				}
+			}
+		})
+		if title && fileHasInterface {
+			matches++
+		}
+	}
+	if matches != 10 {
+		t.Errorf("planted matches = %d, want 10", matches)
+	}
+}
+
+func TestTable1ShapesCoverSizes(t *testing.T) {
+	for _, s := range Table1Shapes() {
+		s.Elements = 20_000 // keep the test fast; the bench uses full sizes
+		widths := s.Widths(7)
+		if len(widths) < s.Elements/2 {
+			t.Fatalf("%s: only %d widths", s.Name, len(widths))
+		}
+		var sum float64
+		for _, w := range widths {
+			sum += float64(dyadic.CoverSize(1, w))
+		}
+		avg := sum / float64(len(widths))
+		// The paper's Table 1 averages lie in [1.23, 1.55]; the generated
+		// shapes must land in the same small-cover regime.
+		if avg < 1.05 || avg > 2.2 {
+			t.Errorf("%s: avg |D(e)| = %.2f, outside the plausible XML band", s.Name, avg)
+		}
+	}
+}
+
+func TestQueryMixParses(t *testing.T) {
+	qs := QueryMix(11, 50)
+	if len(qs) != 50 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	for _, s := range qs {
+		if _, err := pattern.Parse(s); err != nil {
+			t.Errorf("generated query %q does not parse: %v", s, err)
+		}
+	}
+}
+
+func TestZipf(t *testing.T) {
+	// Sanity: rank 0 must be the most frequent.
+	rng := newRng(13)
+	z := NewZipf(rng, 1.4, 100)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		counts[z.Next()]++
+	}
+	max := 0
+	for i, c := range counts {
+		if c > counts[max] {
+			max = i
+		}
+	}
+	if max != 0 {
+		t.Errorf("most frequent rank = %d, want 0", max)
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

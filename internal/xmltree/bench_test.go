@@ -1,0 +1,54 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchDoc() string {
+	var sb strings.Builder
+	sb.WriteString("<dblp>")
+	for i := 0; i < 500; i++ {
+		sb.WriteString(`<article><author>Alice Smith</author><title>a study of things and stuff</title><year>2006</year></article>`)
+	}
+	sb.WriteString("</dblp>")
+	return sb.String()
+}
+
+func BenchmarkParse(b *testing.B) {
+	raw := []byte(benchDoc())
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseBytes(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	d, err := ParseBytes([]byte(benchDoc()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tps := Extract(d, 1, 1, ExtractOptions{})
+		if len(tps) == 0 {
+			b.Fatal("no postings")
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	d, err := ParseBytes([]byte(benchDoc()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := Serialize(d); len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

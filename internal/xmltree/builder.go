@@ -1,0 +1,174 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+
+	"kadop/internal/sid"
+)
+
+// Builder constructs documents programmatically, assigning structural
+// identifiers as elements open and close. It is used by the synthetic
+// workload generators, which would otherwise pay XML serialisation and
+// re-parsing for every generated document.
+type Builder struct {
+	doc   *Document
+	stack []*Node
+	pos   uint32
+	err   error
+}
+
+// NewBuilder returns an empty document builder.
+func NewBuilder() *Builder {
+	return &Builder{doc: &Document{}, pos: 1}
+}
+
+// Open starts a new element with the given label.
+func (b *Builder) Open(label string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	n := &Node{Label: label, SID: sid.SID{Start: b.pos, Level: uint16(len(b.stack))}}
+	b.pos++
+	if len(b.stack) == 0 {
+		if b.doc.Root != nil {
+			b.err = fmt.Errorf("xmltree: builder: multiple root elements")
+			return b
+		}
+		b.doc.Root = n
+	} else {
+		parent := b.stack[len(b.stack)-1]
+		parent.Children = append(parent.Children, n)
+	}
+	b.stack = append(b.stack, n)
+	return b
+}
+
+// Text appends word tokens of text to the currently open element.
+func (b *Builder) Text(s string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.stack) == 0 {
+		b.err = fmt.Errorf("xmltree: builder: text outside any element")
+		return b
+	}
+	cur := b.stack[len(b.stack)-1]
+	cur.Words = append(cur.Words, Tokenize(s)...)
+	return b
+}
+
+// Close ends the innermost open element.
+func (b *Builder) Close() *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.stack) == 0 {
+		b.err = fmt.Errorf("xmltree: builder: close without open element")
+		return b
+	}
+	n := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	n.SID.End = b.pos
+	b.pos++
+	return b
+}
+
+// Leaf opens an element, adds text, and closes it.
+func (b *Builder) Leaf(label, text string) *Builder {
+	return b.Open(label).Text(text).Close()
+}
+
+// Include adds an intensional include node referencing uri.
+func (b *Builder) Include(uri string) *Builder {
+	b.Open(IncludeLabel)
+	if b.err == nil {
+		b.stack[len(b.stack)-1].Include = uri
+	}
+	return b.Close()
+}
+
+// Document finishes the build and returns the document.
+func (b *Builder) Document() (*Document, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("xmltree: builder: %d unclosed elements", len(b.stack))
+	}
+	if b.doc.Root == nil {
+		return nil, fmt.Errorf("xmltree: builder: empty document")
+	}
+	b.doc.Tags = b.pos - 1
+	return b.doc, nil
+}
+
+// Serialize renders the document as XML text. Include nodes are
+// rendered as an external entity declaration in an internal DTD subset
+// plus entity references, so Serialize/Parse round-trip intensional
+// structure.
+func Serialize(d *Document) string {
+	var sb strings.Builder
+	sb.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+
+	// Collect includes for the DTD.
+	var uris []string
+	d.Walk(func(n *Node) {
+		if n.Include != "" {
+			uris = append(uris, n.Include)
+		}
+	})
+	names := map[string]string{}
+	if len(uris) > 0 {
+		fmt.Fprintf(&sb, "<!DOCTYPE %s [\n", xmlEscapeName(d.Root.Label))
+		for i, uri := range uris {
+			if _, dup := names[uri]; dup {
+				continue
+			}
+			name := fmt.Sprintf("inc%d", i)
+			names[uri] = name
+			fmt.Fprintf(&sb, "<!ENTITY %s SYSTEM %q>\n", name, uri)
+		}
+		sb.WriteString("]>\n")
+	}
+
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.Include != "" {
+			fmt.Fprintf(&sb, "&%s;", names[n.Include])
+			return
+		}
+		fmt.Fprintf(&sb, "<%s>", xmlEscapeName(n.Label))
+		if len(n.Words) > 0 {
+			sb.WriteString(escapeText(strings.Join(n.Words, " ")))
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+		fmt.Fprintf(&sb, "</%s>", xmlEscapeName(n.Label))
+	}
+	rec(d.Root)
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+func xmlEscapeName(s string) string {
+	// Labels produced by the generators are already valid XML names;
+	// reject-by-replacement keeps Serialize total for arbitrary trees.
+	if s == "" {
+		return "empty"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == ':':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,259 @@
+// Package kadop is the public face of this repository: a from-scratch
+// Go implementation of KadoP, the DHT-based peer-to-peer XML indexing
+// and query processing system of "XML processing in DHT networks"
+// (Abiteboul, Manolescu, Polyzotis, Preda, Sun — ICDE 2008).
+//
+// A KadoP deployment is a set of peers connected by a Kademlia-style
+// distributed hash table. Peers publish XML documents: the documents
+// stay at their publisher, while the index — postings of element labels
+// and words, identified by structural ids — is distributed across all
+// peers by term. Tree-pattern queries (an XPath subset) are answered in
+// two phases: an index query joins the terms' posting lists with a
+// holistic twig join to find candidate documents, then the documents'
+// peers compute the final answers.
+//
+// The three contributions of the paper are all available:
+//
+//   - DPP (Section 4): posting lists of popular terms partition into
+//     range-condition blocks spread over peers, fetched in parallel and
+//     filtered by document intervals (Config.UseDPP).
+//   - Structural Bloom Filters (Section 5): AB/DB filters reduce
+//     posting transfers; select a strategy with QueryOptions.Strategy.
+//   - Fundex (Section 6): intensional documents (external entity
+//     includes) indexed once and completed through reverse pointers
+//     (the Intensional type).
+//
+// The quickest start is a simulated deployment:
+//
+//	cluster, _ := kadop.NewSimCluster(8, kadop.Config{})
+//	defer cluster.Close()
+//	cluster.Peer(0).PublishXML(xmlBytes, "doc.xml")
+//	q := kadop.MustParseQuery(`//article//author[. contains "Ullman"]`)
+//	res, _ := cluster.Peer(1).Query(q, kadop.QueryOptions{})
+//
+// For real multi-node deployments, create peers over TCP with NewTCPPeer
+// and join them with Join. The cmd/kadop-peer, cmd/kadop-publish and
+// cmd/kadop-query programs wrap exactly this API.
+package kadop
+
+import (
+	"fmt"
+	"time"
+
+	"kadop/internal/dht"
+	"kadop/internal/dpp"
+	"kadop/internal/fundex"
+	ikadop "kadop/internal/kadop"
+	"kadop/internal/metrics"
+	"kadop/internal/pattern"
+	"kadop/internal/sid"
+	"kadop/internal/store"
+)
+
+// Re-exported core types. The underlying packages carry the full
+// documentation.
+type (
+	// Config configures a peer (DPP, pipelining, filter rates).
+	Config = ikadop.Config
+	// Peer is one KadoP peer.
+	Peer = ikadop.Peer
+	// Query is a tree-pattern query.
+	Query = pattern.Query
+	// QueryOptions select the evaluation strategy for one query.
+	QueryOptions = ikadop.QueryOptions
+	// Result is a query's outcome.
+	Result = ikadop.Result
+	// Strategy is a phase-one transfer strategy (Section 5.3).
+	Strategy = ikadop.Strategy
+	// DPPOptions configure distributed posting partitioning.
+	DPPOptions = dpp.Options
+	// DocKey identifies a document in the collection.
+	DocKey = sid.DocKey
+	// PeerID is a peer's internal integer identifier.
+	PeerID = sid.PeerID
+	// LinkModel shapes simulated network links.
+	LinkModel = dht.LinkModel
+	// TrafficClass labels traffic in the collector reports.
+	TrafficClass = metrics.Class
+	// Intensional layers Section 6 intensional-data handling on a peer.
+	Intensional = fundex.Indexer
+	// IntensionalMode selects naive/brutal/fundex/inline/representative.
+	IntensionalMode = fundex.Mode
+	// Resolver materialises referenced documents for the Fundex.
+	Resolver = fundex.Resolver
+)
+
+// Query strategies (Section 5.3).
+const (
+	Conventional    = ikadop.Conventional
+	ABReducer       = ikadop.ABReducer
+	DBReducer       = ikadop.DBReducer
+	BloomReducer    = ikadop.BloomReducer
+	SubQueryReducer = ikadop.SubQueryReducer
+	// AutoStrategy picks a plan from the stored list sizes (the paper's
+	// Section 5.4 heuristic).
+	AutoStrategy = ikadop.AutoStrategy
+)
+
+// Intensional-data modes (Section 6).
+const (
+	Naive          = fundex.Naive
+	Brutal         = fundex.Brutal
+	Fundex         = fundex.Fundex
+	Inline         = fundex.Inline
+	Representative = fundex.Representative
+)
+
+// ParseQuery parses the supported XPath subset into a tree-pattern
+// query (see internal/pattern for the grammar).
+func ParseQuery(s string) (*Query, error) { return pattern.Parse(s) }
+
+// MustParseQuery is ParseQuery for statically known strings; it panics
+// on error.
+func MustParseQuery(s string) *Query { return pattern.MustParse(s) }
+
+// NewIntensional layers intensional-data support (Section 6) over a
+// peer. All peers of a deployment must use the same mode and must be
+// able to resolve the same reference URIs.
+func NewIntensional(p *Peer, mode IntensionalMode, resolve Resolver) *Intensional {
+	return fundex.New(p, mode, resolve)
+}
+
+// SimCluster is an in-process deployment: every peer runs over the
+// simulated network, which models link latency/bandwidth and accounts
+// traffic. It is the vehicle for experiments and tests — one process
+// comfortably hosts hundreds of peers.
+type SimCluster struct {
+	net   *dht.Network
+	nodes []*dht.Node
+	peers []*ikadop.Peer
+}
+
+// NewSimCluster starts n peers on a fresh simulated network, fully
+// bootstrapped, with internal peer ids 1..n.
+func NewSimCluster(n int, cfg Config) (*SimCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("kadop: cluster needs at least one peer")
+	}
+	c := &SimCluster{net: dht.NewNetwork()}
+	for i := 0; i < n; i++ {
+		nd, err := dht.NewNode(c.net.NewEndpoint(), store.NewMem(), dht.Config{})
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, nd)
+	}
+	for i := 1; i < n; i++ {
+		if err := c.nodes[i].Bootstrap(c.nodes[0].Self()); err != nil {
+			return nil, err
+		}
+	}
+	for _, nd := range c.nodes {
+		if _, err := nd.Lookup(nd.Self().ID); err != nil {
+			return nil, err
+		}
+	}
+	for i, nd := range c.nodes {
+		p, err := ikadop.NewPeer(nd, sid.PeerID(i+1), cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.peers = append(c.peers, p)
+	}
+	for _, p := range c.peers {
+		if err := p.Announce(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Peer returns the i-th peer (0-based).
+func (c *SimCluster) Peer(i int) *Peer { return c.peers[i] }
+
+// Size returns the number of peers.
+func (c *SimCluster) Size() int { return len(c.peers) }
+
+// SetLinkModel installs a latency/bandwidth model on the simulated
+// network (zero value = infinitely fast links).
+func (c *SimCluster) SetLinkModel(m LinkModel) { c.net.SetModel(m) }
+
+// TrafficBytes reports the bytes moved so far in one traffic class.
+func (c *SimCluster) TrafficBytes(class TrafficClass) int64 {
+	return c.net.Collector.Bytes(class)
+}
+
+// TrafficReport renders all traffic counters.
+func (c *SimCluster) TrafficReport() string { return c.net.Collector.Snapshot() }
+
+// ResetTraffic zeroes the traffic counters.
+func (c *SimCluster) ResetTraffic() { c.net.Collector.Reset() }
+
+// Close shuts the cluster down.
+func (c *SimCluster) Close() {
+	for _, nd := range c.nodes {
+		nd.Close()
+	}
+}
+
+// NewTCPPeer starts a peer listening on addr (e.g. "127.0.0.1:0") with
+// the given internal id, backed by a disk B+-tree index at storePath
+// (empty = in-memory store). Join it to an existing deployment with
+// Join, then call Announce.
+func NewTCPPeer(addr string, id PeerID, storePath string, cfg Config) (*Peer, error) {
+	tr, err := dht.NewTCPTransport(addr, metrics.NewCollector(), 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	var st store.Store
+	if storePath == "" {
+		st = store.NewMem()
+	} else {
+		st, err = store.OpenBTree(storePath)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+	}
+	nd, err := dht.NewNode(tr, st, dht.Config{})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	return ikadop.NewPeer(nd, id, cfg)
+}
+
+// NewTCPClientPeer starts a query-only peer over TCP: it never enters
+// other peers' routing tables and owns no index keys, so it may come
+// and go freely without destabilising the overlay (a short-lived full
+// peer takes ownership of keys and leaves dangling owners behind when
+// it exits). Join it with JoinClient; it cannot publish durably.
+func NewTCPClientPeer(addr string, id PeerID, cfg Config) (*Peer, error) {
+	tr, err := dht.NewTCPTransport(addr, metrics.NewCollector(), 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	nd, err := dht.NewNode(tr, store.NewMem(), dht.Config{Client: true})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	return ikadop.NewPeer(nd, id, cfg)
+}
+
+// JoinClient bootstraps a client peer without announcing it (clients
+// hold no documents, so nothing needs to find them by id).
+func JoinClient(p *Peer, bootstrapAddr string) error {
+	return p.Node().Bootstrap(dht.Contact{Addr: bootstrapAddr})
+}
+
+// Join bootstraps a peer into the overlay through a known address and
+// announces it in the Peer relation.
+func Join(p *Peer, bootstrapAddr string) error {
+	if bootstrapAddr != "" {
+		if err := p.Node().Bootstrap(dht.Contact{Addr: bootstrapAddr}); err != nil {
+			return err
+		}
+	}
+	return p.Announce()
+}
