@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 verification gate: vet plus the full test suite
+# under the race detector (the chaos tests exercise concurrent retries,
+# repair and fault injection).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/kadop-bench -exp all -short

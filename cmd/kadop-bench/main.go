@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|all")
+		exp     = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|all")
 		records = flag.String("records", "", "comma-separated corpus sizes in records (experiment-specific default)")
 		peers   = flag.Int("peers", 0, "network size (experiment-specific default)")
 		seed    = flag.Int64("seed", 1, "workload seed")
@@ -84,10 +84,21 @@ func main() {
 			}
 			return experiments.RunSplitAblation(o)
 		},
+		"robust": func() (interface{ Format() string }, error) {
+			o := experiments.RobustnessOptions{Peers: *peers, Seed: *seed}
+			if len(sizes) > 0 {
+				o.Records = sizes[len(sizes)-1]
+			}
+			if *short {
+				o.Records, o.Queries = 120, 4
+				o.DropProbs = []float64{0, 0.20}
+			}
+			return experiments.RunRobustness(o)
+		},
 	}
 
 	order := []string{"fig2", "fig3", "traffic", "table1", "sensitivity",
-		"fig7a", "fig7b", "fig7c", "fig9", "store", "split"}
+		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust"}
 
 	var selected []string
 	if *exp == "all" {

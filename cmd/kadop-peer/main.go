@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"kadop"
 )
@@ -28,6 +29,8 @@ func main() {
 		id        = flag.Uint("id", 0, "internal peer id (unique across the deployment, > 0)")
 		storePath = flag.String("store", "", "B+-tree index file (empty = in-memory)")
 		useDPP    = flag.Bool("dpp", false, "enable distributed posting partitioning")
+		repl      = flag.Int("replication", 1, "index replication factor (all peers of a deployment must agree)")
+		repair    = flag.Duration("repair", 0, "replica repair cadence, e.g. 30s (0 = off; needs -replication > 1)")
 	)
 	flag.Parse()
 	if *id == 0 {
@@ -35,7 +38,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := kadop.Config{UseDPP: *useDPP}
+	cfg := kadop.Config{UseDPP: *useDPP, DHT: deployDHT(*repl, *repair)}
 	peer, err := kadop.NewTCPPeer(*listen, kadop.PeerID(*id), *storePath, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-peer:", err)
@@ -52,4 +55,19 @@ func main() {
 	<-sig
 	fmt.Println("kadop-peer: shutting down")
 	peer.Node().Close()
+}
+
+// deployDHT is the overlay configuration of a real deployment: retries
+// absorb transient network failures, and replication > 1 keeps the
+// index alive across peer crashes (with repair re-filling lost copies).
+func deployDHT(replication int, repair time.Duration) kadop.DHTConfig {
+	return kadop.DHTConfig{
+		Replication: replication,
+		Retry: kadop.RetryPolicy{
+			Attempts:    3,
+			BaseBackoff: 50 * time.Millisecond,
+			MaxBackoff:  time.Second,
+		},
+		RepairInterval: repair,
+	}
 }

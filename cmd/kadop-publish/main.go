@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"kadop"
 )
@@ -23,6 +24,7 @@ func main() {
 		id        = flag.Uint("id", 0, "internal peer id for this publisher (unique, > 0)")
 		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		oneshot   = flag.Bool("oneshot", false, "exit after publishing (documents become unreachable for phase two)")
+		repl      = flag.Int("replication", 1, "index replication factor (must match the deployment's peers)")
 	)
 	flag.Parse()
 	if *bootstrap == "" || *id == 0 || flag.NArg() == 0 {
@@ -30,7 +32,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	peer, err := kadop.NewTCPPeer(*listen, kadop.PeerID(*id), "", kadop.Config{})
+	cfg := kadop.Config{DHT: kadop.DHTConfig{
+		Replication: *repl,
+		Retry: kadop.RetryPolicy{
+			Attempts:    3,
+			BaseBackoff: 50 * time.Millisecond,
+			MaxBackoff:  time.Second,
+		},
+	}}
+	peer, err := kadop.NewTCPPeer(*listen, kadop.PeerID(*id), "", cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-publish:", err)
 		os.Exit(1)

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"kadop"
 )
@@ -22,6 +23,7 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		strategy  = flag.String("strategy", "conventional", "conventional|ab|db|bloom|subquery")
 		indexOnly = flag.Bool("index", false, "run the index query only; print candidate documents")
+		repl      = flag.Int("replication", 1, "index replication factor (must match the deployment's peers)")
 	)
 	flag.Parse()
 	if *bootstrap == "" || *id == 0 || flag.NArg() != 1 {
@@ -42,7 +44,15 @@ func main() {
 	// A client peer: it looks up and fetches but never joins routing
 	// tables, so firing off ephemeral queries does not disturb the
 	// overlay's key ownership.
-	peer, err := kadop.NewTCPClientPeer(*listen, kadop.PeerID(*id), kadop.Config{})
+	cfg := kadop.Config{DHT: kadop.DHTConfig{
+		Replication: *repl,
+		Retry: kadop.RetryPolicy{
+			Attempts:    3,
+			BaseBackoff: 50 * time.Millisecond,
+			MaxBackoff:  time.Second,
+		},
+	}}
+	peer, err := kadop.NewTCPClientPeer(*listen, kadop.PeerID(*id), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-query:", err)
 		os.Exit(1)

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -413,7 +414,7 @@ func TestReplication(t *testing.T) {
 			if c.Addr == owner.Addr {
 				continue
 			}
-			resp, err := nd.tr.Call(c, Message{Type: MsgGet, From: nd.Self(), Key: "l:author"})
+			resp, err := nd.tr.Call(context.Background(), c, Message{Type: MsgGet, From: nd.Self(), Key: "l:author"})
 			if err == nil && len(resp.Postings) == len(l) {
 				found = true
 				break
@@ -484,7 +485,7 @@ func TestCallToDeadPeerFails(t *testing.T) {
 	net := NewNetwork()
 	nodes := buildNetwork(t, net, 3)
 	dead := Contact{ID: PeerIDFromSeed("ghost"), Addr: "sim://999"}
-	if _, err := nodes[0].tr.Call(dead, Message{Type: MsgPing, From: nodes[0].Self()}); err == nil {
+	if _, err := nodes[0].tr.Call(context.Background(), dead, Message{Type: MsgPing, From: nodes[0].Self()}); err == nil {
 		t.Fatal("call to dead peer should fail")
 	}
 }
@@ -544,7 +545,7 @@ func TestEndpointCloseStopsService(t *testing.T) {
 	if err := nodes[3].Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := nodes[0].tr.Call(addr, Message{Type: MsgPing, From: nodes[0].Self()}); err == nil {
+	if _, err := nodes[0].tr.Call(context.Background(), addr, Message{Type: MsgPing, From: nodes[0].Self()}); err == nil {
 		t.Fatal("call to a closed endpoint should fail")
 	}
 	// Survivors keep working.

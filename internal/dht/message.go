@@ -31,6 +31,15 @@ const (
 	MsgError
 	MsgApp
 	MsgAppReply
+	// MsgDigest asks a peer how many postings it holds for a key; the
+	// replica repair loop compares digests across owners to find
+	// under-replicated keys.
+	MsgDigest
+	// MsgDigestAck answers a digest with the count (uvarint in Blob).
+	MsgDigestAck
+	// MsgRepair is an append pushed by the repair loop; it behaves
+	// exactly like MsgAppend but is accounted as repair traffic.
+	MsgRepair
 )
 
 func (t MsgType) String() string {
@@ -40,6 +49,7 @@ func (t MsgType) String() string {
 		MsgGetStream: "get-stream", MsgDelete: "delete", MsgDeleteKey: "delete-key",
 		MsgChunk: "chunk", MsgEnd: "end", MsgAck: "ack", MsgError: "error",
 		MsgApp: "app", MsgAppReply: "app-reply",
+		MsgDigest: "digest", MsgDigestAck: "digest-ack", MsgRepair: "repair",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -89,6 +99,8 @@ func (m Message) Class() metrics.Class {
 		return metrics.Control
 	case MsgDelete, MsgDeleteKey:
 		return metrics.Index
+	case MsgDigest, MsgDigestAck, MsgRepair:
+		return metrics.Repair
 	case MsgAck:
 		// Acks answering a blocking get carry the full posting list;
 		// plain acks are control chatter.

@@ -1,12 +1,16 @@
 package dht
 
 import (
+	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"time"
 
+	"kadop/internal/metrics"
 	"kadop/internal/postings"
 	"kadop/internal/sid"
 	"kadop/internal/store"
@@ -30,6 +34,20 @@ type Config struct {
 	// would take ownership of keys and poison the overlay when it exits
 	// (the paper's low-volatility assumption).
 	Client bool
+	// Retry governs re-attempts of failed RPCs (zero value: a single
+	// attempt, the seed behaviour). Store appends are idempotent, so
+	// at-least-once delivery under retry is safe.
+	Retry RetryPolicy
+	// RPCTimeout bounds each RPC attempt (default 10s). The caller's
+	// context deadline still caps the total budget across attempts.
+	RPCTimeout time.Duration
+	// RepairInterval, when positive, starts the replica-repair loop:
+	// every interval the node re-checks that each key it holds is
+	// present on all Replication owners and re-pushes missing copies.
+	RepairInterval time.Duration
+	// Seed drives the retry jitter RNG (default 1), so seeded chaos
+	// runs get reproducible backoff schedules.
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -44,6 +62,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ChunkSize <= 0 {
 		c.ChunkSize = 512
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	return c
 }
@@ -60,15 +84,20 @@ type StreamProcHandler func(from Contact, key string, blob []byte, send func(pos
 // handlers for the DHT interface (plus registered application
 // procedures).
 type Node struct {
-	self  Contact
-	cfg   Config
-	table *Table
-	store store.Store
-	tr    Transport
+	self      Contact
+	cfg       Config
+	table     *Table
+	store     store.Store
+	tr        Transport
+	collector *metrics.Collector
+	rng       *retryRNG
 
 	mu          sync.RWMutex
 	procs       map[string]ProcHandler
 	streamProcs map[string]StreamProcHandler
+
+	repairMu   sync.Mutex
+	stopRepair func()
 }
 
 // NewNode creates a peer over the given transport and local store, and
@@ -83,9 +112,18 @@ func NewNode(tr Transport, st store.Store, cfg Config) (*Node, error) {
 		procs:       map[string]ProcHandler{},
 		streamProcs: map[string]StreamProcHandler{},
 	}
+	n.rng = newRetryRNG(n.cfg.Seed)
+	// Robustness events land in the transport's collector, next to the
+	// traffic they explain.
+	if m, ok := tr.(interface{ Metrics() *metrics.Collector }); ok {
+		n.collector = m.Metrics()
+	}
 	n.table = NewTable(n.self.ID, n.cfg.K)
 	if err := tr.Serve(n); err != nil {
 		return nil, err
+	}
+	if n.cfg.RepairInterval > 0 && !n.cfg.Client {
+		n.stopRepair = n.StartRepair(n.cfg.RepairInterval)
 	}
 	return n, nil
 }
@@ -124,23 +162,88 @@ func (n *Node) HandleStreamProc(proc string, h StreamProcHandler) {
 	n.streamProcs[proc] = h
 }
 
+// call is the retrying RPC primitive every outgoing request funnels
+// through: each attempt is bounded by RPCTimeout, transport failures
+// retry under the policy, and a contact that stays unreachable is
+// evicted from the routing table (the replacement cache refills the
+// bucket).
+func (n *Node) call(ctx context.Context, to Contact, req Message) (Message, error) {
+	var resp Message
+	err := withRetry(ctx, n.cfg.Retry, n.collector, n.rng, func() error {
+		actx, cancel := context.WithTimeout(ctx, n.cfg.RPCTimeout)
+		defer cancel()
+		var cerr error
+		resp, cerr = n.tr.Call(actx, to, req)
+		if cerr != nil && actx.Err() != nil && ctx.Err() == nil {
+			// The attempt timed out but the caller's budget remains: count
+			// the timeout and report a retryable error (not a context one,
+			// which would end the retry loop).
+			n.collector.CountEvent(metrics.EventTimeout)
+			return fmt.Errorf("dht: call %s: attempt timed out: %v", to.Addr, cerr)
+		}
+		return cerr
+	})
+	if err != nil && Retryable(err) && !to.ID.IsZero() {
+		if n.table.Remove(to.ID) {
+			n.collector.CountEvent(metrics.EventEviction)
+		}
+	}
+	return resp, err
+}
+
+// openStream opens a message stream with the same retry/eviction
+// policy as call (retries apply to the stream opening only; an error
+// mid-stream surfaces to the consumer).
+func (n *Node) openStream(ctx context.Context, to Contact, req Message) (MsgStream, error) {
+	var ms MsgStream
+	err := withRetry(ctx, n.cfg.Retry, n.collector, n.rng, func() error {
+		actx, cancel := context.WithTimeout(ctx, n.cfg.RPCTimeout)
+		defer cancel()
+		var cerr error
+		ms, cerr = n.tr.OpenStream(actx, to, req)
+		if cerr != nil && actx.Err() != nil && ctx.Err() == nil {
+			n.collector.CountEvent(metrics.EventTimeout)
+			return fmt.Errorf("dht: stream %s: attempt timed out: %v", to.Addr, cerr)
+		}
+		return cerr
+	})
+	if err != nil && Retryable(err) && !to.ID.IsZero() {
+		if n.table.Remove(to.ID) {
+			n.collector.CountEvent(metrics.EventEviction)
+		}
+	}
+	return ms, err
+}
+
 // Bootstrap joins the overlay through the given contacts: it seeds the
 // routing table and performs a lookup of the node's own identifier,
 // which populates buckets along the path (the standard Kademlia join).
 func (n *Node) Bootstrap(seeds ...Contact) error {
+	return n.BootstrapContext(context.Background(), seeds...)
+}
+
+// BootstrapContext is Bootstrap under a caller-controlled deadline.
+func (n *Node) BootstrapContext(ctx context.Context, seeds ...Contact) error {
 	for _, c := range seeds {
 		if c.ID.IsZero() {
 			c.ID = PeerIDFromSeed(c.Addr)
 		}
 		n.table.Update(c)
 	}
-	_, err := n.Lookup(n.self.ID)
+	_, err := n.LookupContext(ctx, n.self.ID)
 	return err
 }
 
 // Lookup performs an iterative Kademlia lookup and returns up to K
 // contacts closest to target (including, possibly, this node).
 func (n *Node) Lookup(target ID) ([]Contact, error) {
+	return n.LookupContext(context.Background(), target)
+}
+
+// LookupContext is Lookup under a caller-controlled deadline. Failed
+// contacts are evicted and dropped from the shortlist; the lookup
+// fails only when the deadline expires or no peer is reachable.
+func (n *Node) LookupContext(ctx context.Context, target ID) ([]Contact, error) {
 	type entry struct {
 		c       Contact
 		queried bool
@@ -167,6 +270,10 @@ func (n *Node) Lookup(target ID) ([]Contact, error) {
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			n.collector.CountEvent(metrics.EventTimeout)
+			return nil, fmt.Errorf("dht: lookup: %w", err)
+		}
 		// Pick up to Alpha unqueried contacts among the current closest.
 		var batch []Contact
 		for _, c := range closestOf() {
@@ -190,14 +297,14 @@ func (n *Node) Lookup(target ID) ([]Contact, error) {
 		for _, c := range batch {
 			shortlist[c.ID].queried = true
 			go func(c Contact) {
-				resp, err := n.tr.Call(c, Message{Type: MsgFindNode, From: n.from(), Target: target})
+				resp, err := n.call(ctx, c, Message{Type: MsgFindNode, From: n.from(), Target: target})
 				results <- result{from: c, contacts: resp.Contacts, err: err}
 			}(c)
 		}
 		for range batch {
 			r := <-results
 			if r.err != nil {
-				n.table.Remove(r.from.ID)
+				// call already evicted the contact on transport failure.
 				delete(shortlist, r.from.ID)
 				continue
 			}
@@ -216,7 +323,12 @@ func (n *Node) Lookup(target ID) ([]Contact, error) {
 // peer to the key's identifier), implementing the DHT interface's
 // locate(k).
 func (n *Node) Locate(key string) (Contact, error) {
-	cs, err := n.Lookup(KeyID(key))
+	return n.LocateContext(context.Background(), key)
+}
+
+// LocateContext is Locate under a caller-controlled deadline.
+func (n *Node) LocateContext(ctx context.Context, key string) (Contact, error) {
+	cs, err := n.LookupContext(ctx, KeyID(key))
 	if err != nil {
 		return Contact{}, err
 	}
@@ -226,9 +338,15 @@ func (n *Node) Locate(key string) (Contact, error) {
 	return cs[0], nil
 }
 
-// owners returns the Replication closest peers to the key.
-func (n *Node) owners(key string) ([]Contact, error) {
-	cs, err := n.Lookup(KeyID(key))
+// Owners returns the Replication closest peers to the key — the
+// replica set reads and writes address.
+func (n *Node) Owners(key string) ([]Contact, error) {
+	return n.OwnersContext(context.Background(), key)
+}
+
+// OwnersContext is Owners under a caller-controlled deadline.
+func (n *Node) OwnersContext(ctx context.Context, key string) ([]Contact, error) {
+	cs, err := n.LookupContext(ctx, KeyID(key))
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +362,14 @@ func (n *Node) owners(key string) ([]Contact, error) {
 // Append adds postings to the key's list on its owner peers — the
 // linear-cost indexing operation of Section 3.
 func (n *Node) Append(key string, ps postings.List) error {
-	owners, err := n.owners(key)
+	return n.AppendContext(context.Background(), key, ps)
+}
+
+// AppendContext is Append under a caller-controlled deadline. An
+// acknowledged append reached every replica owner; store-side
+// deduplication makes the retried delivery idempotent.
+func (n *Node) AppendContext(ctx context.Context, key string, ps postings.List) error {
+	owners, err := n.OwnersContext(ctx, key)
 	if err != nil {
 		return err
 	}
@@ -257,7 +382,7 @@ func (n *Node) Append(key string, ps postings.List) error {
 		}
 		sorted := ps.Clone()
 		sorted.Sort()
-		if _, err := n.tr.Call(o, Message{Type: MsgAppend, From: n.from(), Key: key, Postings: sorted}); err != nil {
+		if _, err := n.call(ctx, o, Message{Type: MsgAppend, From: n.from(), Key: key, Postings: sorted}); err != nil {
 			return fmt.Errorf("dht: append %q to %s: %w", key, o.Addr, err)
 		}
 	}
@@ -271,46 +396,157 @@ func (n *Node) Append(key string, ps postings.List) error {
 // apply to such blocks (Section 4.2 notes the DHT's fixed replication
 // does not fit the DPP's needs).
 func (n *Node) AppendAt(to Contact, key string, ps postings.List) error {
+	return n.AppendAtContext(context.Background(), to, key, ps)
+}
+
+// AppendAtContext is AppendAt under a caller-controlled deadline.
+func (n *Node) AppendAtContext(ctx context.Context, to Contact, key string, ps postings.List) error {
 	if to.ID == n.self.ID {
 		return n.store.Append(key, ps)
 	}
 	sorted := ps.Clone()
 	sorted.Sort()
-	_, err := n.tr.Call(to, Message{Type: MsgAppend, From: n.from(), Key: key, Postings: sorted})
+	_, err := n.call(ctx, to, Message{Type: MsgAppend, From: n.from(), Key: key, Postings: sorted})
 	return err
 }
 
-// Get retrieves the key's full posting list from its owner — the
-// blocking get of the standard DHT API.
+// Get retrieves the key's full posting list — the blocking get of the
+// standard DHT API.
 func (n *Node) Get(key string) (postings.List, error) {
-	owner, err := n.Locate(key)
+	return n.GetContext(context.Background(), key)
+}
+
+// GetContext is Get under a caller-controlled deadline. With
+// Replication > 1 every reachable owner is consulted and the copies
+// are merged, so the read survives the loss of all but one replica
+// (and heals divergent copies at the reader).
+func (n *Node) GetContext(ctx context.Context, key string) (postings.List, error) {
+	owners, err := n.OwnersContext(ctx, key)
 	if err != nil {
 		return nil, err
 	}
-	if owner.ID == n.self.ID {
-		return n.store.Get(key)
+	var (
+		merged   postings.List
+		firstErr error
+		okCount  int
+	)
+	for _, o := range owners {
+		var l postings.List
+		if o.ID == n.self.ID {
+			l, err = n.store.Get(key)
+		} else {
+			var resp Message
+			resp, err = n.call(ctx, o, Message{Type: MsgGet, From: n.from(), Key: key})
+			l = resp.Postings
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		okCount++
+		if okCount == 1 {
+			merged = l
+		} else {
+			merged = postings.MergeUnique(merged, l)
+		}
 	}
-	resp, err := n.tr.Call(owner, Message{Type: MsgGet, From: n.from(), Key: key})
-	if err != nil {
-		return nil, err
+	if okCount == 0 {
+		return nil, firstErr
 	}
-	return resp.Postings, nil
+	return merged, nil
 }
 
 // GetStream retrieves the key's posting list as a pipelined stream —
 // the paper's pipelined get. The returned stream delivers postings in
 // canonical order while the transfer is still in progress.
 func (n *Node) GetStream(key string) (postings.Stream, error) {
-	owner, err := n.Locate(key)
+	return n.GetStreamContext(context.Background(), key)
+}
+
+// GetStreamContext is GetStream under a caller-controlled deadline.
+// With Replication > 1 the owners are ranked by a digest exchange
+// (most postings first) and the stream fails over to the next replica
+// when opening fails, so a dead or stale primary does not break the
+// pipelined read.
+func (n *Node) GetStreamContext(ctx context.Context, key string) (postings.Stream, error) {
+	owners, err := n.OwnersContext(ctx, key)
 	if err != nil {
 		return nil, err
 	}
-	return n.StreamFrom(owner, Message{Type: MsgGetStream, From: n.from(), Key: key})
+	if len(owners) > 1 {
+		owners = n.rankOwners(ctx, owners, key)
+	}
+	var firstErr error
+	for _, o := range owners {
+		s, err := n.StreamFromContext(ctx, o, Message{Type: MsgGetStream, From: n.from(), Key: key})
+		if err == nil {
+			return s, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
+// rankOwners orders a replica set for reading: reachable owners first,
+// by descending posting count (the freshest copy wins), preserving
+// XOR-closeness order among ties.
+func (n *Node) rankOwners(ctx context.Context, owners []Contact, key string) []Contact {
+	type ranked struct {
+		c     Contact
+		count int
+		ok    bool
+	}
+	rs := make([]ranked, len(owners))
+	for i, o := range owners {
+		rs[i] = ranked{c: o}
+		if o.ID == n.self.ID {
+			if c, err := n.store.Count(key); err == nil {
+				rs[i].count, rs[i].ok = c, true
+			}
+			continue
+		}
+		if c, err := n.digestOf(ctx, o, key); err == nil {
+			rs[i].count, rs[i].ok = c, true
+		}
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].ok != rs[j].ok {
+			return rs[i].ok
+		}
+		return rs[i].count > rs[j].count
+	})
+	out := make([]Contact, len(rs))
+	for i, r := range rs {
+		out[i] = r.c
+	}
+	return out
+}
+
+// digestOf asks one peer how many postings it holds for key.
+func (n *Node) digestOf(ctx context.Context, to Contact, key string) (int, error) {
+	resp, err := n.call(ctx, to, Message{Type: MsgDigest, From: n.from(), Key: key})
+	if err != nil {
+		return 0, err
+	}
+	v, nn := binary.Uvarint(resp.Blob)
+	if nn <= 0 {
+		return 0, fmt.Errorf("dht: digest of %q from %s: bad count", key, to.Addr)
+	}
+	return int(v), nil
 }
 
 // StreamFrom opens a posting stream for an arbitrary request against a
 // specific peer (used by the DPP layer to fetch blocks).
 func (n *Node) StreamFrom(owner Contact, req Message) (postings.Stream, error) {
+	return n.StreamFromContext(context.Background(), owner, req)
+}
+
+// StreamFromContext is StreamFrom under a caller-controlled deadline.
+func (n *Node) StreamFromContext(ctx context.Context, owner Contact, req Message) (postings.Stream, error) {
 	if owner.ID == n.self.ID {
 		// Local fast path: serve from the store through a pipe so the
 		// consumer sees the same streaming behaviour.
@@ -326,7 +562,7 @@ func (n *Node) StreamFrom(owner Contact, req Message) (postings.Stream, error) {
 		}()
 		return pipe, nil
 	}
-	ms, err := n.tr.OpenStream(owner, req)
+	ms, err := n.openStream(ctx, owner, req)
 	if err != nil {
 		return nil, err
 	}
@@ -353,7 +589,12 @@ func (n *Node) StreamFrom(owner Contact, req Message) (postings.Stream, error) {
 
 // Delete removes one posting from the key's list on all owners.
 func (n *Node) Delete(key string, p sid.Posting) error {
-	owners, err := n.owners(key)
+	return n.DeleteContext(context.Background(), key, p)
+}
+
+// DeleteContext is Delete under a caller-controlled deadline.
+func (n *Node) DeleteContext(ctx context.Context, key string, p sid.Posting) error {
+	owners, err := n.OwnersContext(ctx, key)
 	if err != nil {
 		return err
 	}
@@ -364,7 +605,7 @@ func (n *Node) Delete(key string, p sid.Posting) error {
 			}
 			continue
 		}
-		if _, err := n.tr.Call(o, Message{Type: MsgDelete, From: n.from(), Key: key, Postings: postings.List{p}}); err != nil {
+		if _, err := n.call(ctx, o, Message{Type: MsgDelete, From: n.from(), Key: key, Postings: postings.List{p}}); err != nil {
 			return err
 		}
 	}
@@ -374,16 +615,26 @@ func (n *Node) Delete(key string, p sid.Posting) error {
 // DeleteAt removes one posting from a key's list on a specific peer
 // (the DPP's block-targeted deletion).
 func (n *Node) DeleteAt(to Contact, key string, p sid.Posting) error {
+	return n.DeleteAtContext(context.Background(), to, key, p)
+}
+
+// DeleteAtContext is DeleteAt under a caller-controlled deadline.
+func (n *Node) DeleteAtContext(ctx context.Context, to Contact, key string, p sid.Posting) error {
 	if to.ID == n.self.ID {
 		return n.store.Delete(key, p)
 	}
-	_, err := n.tr.Call(to, Message{Type: MsgDelete, From: n.from(), Key: key, Postings: postings.List{p}})
+	_, err := n.call(ctx, to, Message{Type: MsgDelete, From: n.from(), Key: key, Postings: postings.List{p}})
 	return err
 }
 
 // DeleteKey removes the key's entire list on all owners.
 func (n *Node) DeleteKey(key string) error {
-	owners, err := n.owners(key)
+	return n.DeleteKeyContext(context.Background(), key)
+}
+
+// DeleteKeyContext is DeleteKey under a caller-controlled deadline.
+func (n *Node) DeleteKeyContext(ctx context.Context, key string) error {
+	owners, err := n.OwnersContext(ctx, key)
 	if err != nil {
 		return err
 	}
@@ -394,7 +645,7 @@ func (n *Node) DeleteKey(key string) error {
 			}
 			continue
 		}
-		if _, err := n.tr.Call(o, Message{Type: MsgDeleteKey, From: n.from(), Key: key}); err != nil {
+		if _, err := n.call(ctx, o, Message{Type: MsgDeleteKey, From: n.from(), Key: key}); err != nil {
 			return err
 		}
 	}
@@ -403,15 +654,90 @@ func (n *Node) DeleteKey(key string) error {
 
 // CallProc invokes an application procedure on the owner of key.
 func (n *Node) CallProc(key, proc string, blob []byte) ([]byte, error) {
-	owner, err := n.Locate(key)
+	return n.CallProcContext(context.Background(), key, proc, blob)
+}
+
+// CallProcContext is CallProc under a caller-controlled deadline.
+func (n *Node) CallProcContext(ctx context.Context, key, proc string, blob []byte) ([]byte, error) {
+	owner, err := n.LocateContext(ctx, key)
 	if err != nil {
 		return nil, err
 	}
-	return n.CallProcOn(owner, key, proc, blob)
+	return n.CallProcOnContext(ctx, owner, key, proc, blob)
+}
+
+// CallProcOwners invokes an application procedure on every replica
+// owner of key (replicated writes such as directory entries). It
+// succeeds when at least one owner accepted the call, returning the
+// first successful reply; unreachable owners are healed later by the
+// read path trying all replicas.
+func (n *Node) CallProcOwners(key, proc string, blob []byte) ([]byte, error) {
+	return n.CallProcOwnersContext(context.Background(), key, proc, blob)
+}
+
+// CallProcOwnersContext is CallProcOwners under a caller-controlled
+// deadline.
+func (n *Node) CallProcOwnersContext(ctx context.Context, key, proc string, blob []byte) ([]byte, error) {
+	owners, err := n.OwnersContext(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		out      []byte
+		okCount  int
+		firstErr error
+	)
+	for _, o := range owners {
+		b, err := n.CallProcOnContext(ctx, o, key, proc, blob)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if okCount == 0 {
+			out = b
+		}
+		okCount++
+	}
+	if okCount == 0 {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// CallProcAny invokes an application procedure on the replica owners
+// of key in turn, returning the first success (replicated reads).
+func (n *Node) CallProcAny(key, proc string, blob []byte) ([]byte, error) {
+	return n.CallProcAnyContext(context.Background(), key, proc, blob)
+}
+
+// CallProcAnyContext is CallProcAny under a caller-controlled deadline.
+func (n *Node) CallProcAnyContext(ctx context.Context, key, proc string, blob []byte) ([]byte, error) {
+	owners, err := n.OwnersContext(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for _, o := range owners {
+		b, err := n.CallProcOnContext(ctx, o, key, proc, blob)
+		if err == nil {
+			return b, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
 }
 
 // CallProcOn invokes an application procedure on a specific peer.
 func (n *Node) CallProcOn(to Contact, key, proc string, blob []byte) ([]byte, error) {
+	return n.CallProcOnContext(context.Background(), to, key, proc, blob)
+}
+
+// CallProcOnContext is CallProcOn under a caller-controlled deadline.
+func (n *Node) CallProcOnContext(ctx context.Context, to Contact, key, proc string, blob []byte) ([]byte, error) {
 	if to.ID == n.self.ID {
 		h := n.lookupProc(proc)
 		if h == nil {
@@ -419,7 +745,7 @@ func (n *Node) CallProcOn(to Contact, key, proc string, blob []byte) ([]byte, er
 		}
 		return h(n.self, key, blob)
 	}
-	resp, err := n.tr.Call(to, Message{Type: MsgApp, From: n.from(), Key: key, Proc: proc, Blob: blob})
+	resp, err := n.call(ctx, to, Message{Type: MsgApp, From: n.from(), Key: key, Proc: proc, Blob: blob})
 	if err != nil {
 		return nil, err
 	}
@@ -429,7 +755,104 @@ func (n *Node) CallProcOn(to Contact, key, proc string, blob []byte) ([]byte, er
 // OpenProcStream opens a posting stream served by a streaming
 // application procedure on a specific peer.
 func (n *Node) OpenProcStream(to Contact, key, proc string, blob []byte) (postings.Stream, error) {
-	return n.StreamFrom(to, Message{Type: MsgApp, From: n.from(), Key: key, Proc: proc, Blob: blob})
+	return n.OpenProcStreamContext(context.Background(), to, key, proc, blob)
+}
+
+// OpenProcStreamContext is OpenProcStream under a caller-controlled
+// deadline.
+func (n *Node) OpenProcStreamContext(ctx context.Context, to Contact, key, proc string, blob []byte) (postings.Stream, error) {
+	return n.StreamFromContext(ctx, to, Message{Type: MsgApp, From: n.from(), Key: key, Proc: proc, Blob: blob})
+}
+
+// replica repair ----------------------------------------------------
+
+// RepairOnce runs one repair pass: for every key held locally, check
+// that each of the key's Replication owners holds at least as many
+// postings, and re-push the local copy where one does not. It returns
+// the number of copies pushed. Because store appends are idempotent,
+// over-pushing is safe; because digests are counts, the pass heals the
+// churn case (an owner that lost or never had the key) cheaply without
+// shipping lists around.
+func (n *Node) RepairOnce(ctx context.Context) (int, error) {
+	if n.cfg.Client {
+		return 0, nil
+	}
+	terms, err := n.store.Terms()
+	if err != nil {
+		return 0, err
+	}
+	pushed := 0
+	var firstErr error
+	for _, term := range terms {
+		if err := ctx.Err(); err != nil {
+			return pushed, err
+		}
+		local, err := n.store.Count(term)
+		if err != nil || local == 0 {
+			continue
+		}
+		owners, err := n.OwnersContext(ctx, term)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, o := range owners {
+			if o.ID == n.self.ID {
+				continue
+			}
+			remote, err := n.digestOf(ctx, o, term)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if remote >= local {
+				continue
+			}
+			list, err := n.store.Get(term)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				break
+			}
+			if _, err := n.call(ctx, o, Message{Type: MsgRepair, From: n.from(), Key: term, Postings: list}); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			pushed++
+			n.collector.CountEvent(metrics.EventRepair)
+		}
+	}
+	return pushed, firstErr
+}
+
+// StartRepair launches the periodic repair loop and returns its stop
+// function. Each pass runs under a deadline of one interval, so a
+// stuck pass cannot pile up behind the next.
+func (n *Node) StartRepair(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				n.RepairOnce(ctx)
+				cancel()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 func (n *Node) lookupProc(proc string) ProcHandler {
@@ -457,7 +880,7 @@ func (n *Node) HandleCall(from Contact, req Message) Message {
 		return Message{Type: MsgPong, From: n.self}
 	case MsgFindNode:
 		return Message{Type: MsgNodes, From: n.self, Contacts: n.table.Closest(req.Target, n.cfg.K)}
-	case MsgAppend:
+	case MsgAppend, MsgRepair:
 		if err := n.store.Append(req.Key, req.Postings); err != nil {
 			return fail(err)
 		}
@@ -468,6 +891,12 @@ func (n *Node) HandleCall(from Contact, req Message) Message {
 			return fail(err)
 		}
 		return Message{Type: MsgAck, From: n.self, Postings: l}
+	case MsgDigest:
+		c, err := n.store.Count(req.Key)
+		if err != nil {
+			return fail(err)
+		}
+		return Message{Type: MsgDigestAck, From: n.self, Blob: binary.AppendUvarint(nil, uint64(c))}
 	case MsgDelete:
 		for _, p := range req.Postings {
 			if err := n.store.Delete(req.Key, p); err != nil {
@@ -539,5 +968,13 @@ func (n *Node) streamList(key string, send func(Message) error) error {
 	return nil
 }
 
-// Close shuts the node's transport down.
-func (n *Node) Close() error { return n.tr.Close() }
+// Close stops the repair loop and shuts the node's transport down.
+func (n *Node) Close() error {
+	n.repairMu.Lock()
+	if n.stopRepair != nil {
+		n.stopRepair()
+		n.stopRepair = nil
+	}
+	n.repairMu.Unlock()
+	return n.tr.Close()
+}

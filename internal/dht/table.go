@@ -6,14 +6,20 @@ import (
 )
 
 // Table is a Kademlia routing table: one k-bucket per distance prefix.
-// Buckets hold least-recently-seen contacts first; a full bucket drops
-// the newcomer (the classic policy favouring long-lived peers, which
-// matches the paper's assumption of low peer volatility).
+// Buckets hold least-recently-seen contacts first; a full bucket sends
+// the newcomer to a per-bucket replacement cache (the classic policy
+// favouring long-lived peers, which matches the paper's assumption of
+// low peer volatility). When a failed contact is evicted, the bucket
+// refills from the replacement cache, so churn does not slowly empty
+// the table.
 type Table struct {
 	mu      sync.RWMutex
 	self    ID
 	k       int
 	buckets [IDBytes * 8][]Contact
+	// spares are the per-bucket replacement caches: contacts seen while
+	// their bucket was full, most recently seen last, capacity k.
+	spares [IDBytes * 8][]Contact
 }
 
 // NewTable returns a routing table for the peer with the given id and
@@ -27,7 +33,7 @@ func NewTable(self ID, k int) *Table {
 
 // Update records that a contact was seen. Known contacts move to the
 // bucket tail (most recently seen); new contacts are appended if the
-// bucket has room.
+// bucket has room, and cached as replacements otherwise.
 func (t *Table) Update(c Contact) {
 	if c.ID == t.self || c.ID.IsZero() {
 		return
@@ -49,14 +55,26 @@ func (t *Table) Update(c Contact) {
 	}
 	if len(b) < t.k {
 		t.buckets[i] = append(b, c)
+		// A promoted contact no longer needs its spare slot.
+		t.spares[i] = dropContact(t.spares[i], c.ID)
+		return
 	}
+	// Bucket full: remember the contact as a replacement candidate.
+	s := dropContact(t.spares[i], c.ID)
+	s = append(s, c)
+	if len(s) > t.k {
+		s = s[len(s)-t.k:]
+	}
+	t.spares[i] = s
 }
 
-// Remove drops a contact (after a failed call).
-func (t *Table) Remove(id ID) {
+// Remove drops a contact (after a failed call), refilling the bucket
+// from the replacement cache. It reports whether a contact was
+// actually evicted.
+func (t *Table) Remove(id ID) bool {
 	i := t.self.BucketIndex(id)
 	if i < 0 {
-		return
+		return false
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -64,9 +82,26 @@ func (t *Table) Remove(id ID) {
 	for j := range b {
 		if b[j].ID == id {
 			t.buckets[i] = append(b[:j], b[j+1:]...)
-			return
+			// Refill with the most recently seen replacement.
+			if s := t.spares[i]; len(s) > 0 {
+				t.buckets[i] = append(t.buckets[i], s[len(s)-1])
+				t.spares[i] = s[:len(s)-1]
+			}
+			return true
 		}
 	}
+	// A failed replacement candidate must not be promoted later.
+	t.spares[i] = dropContact(t.spares[i], id)
+	return false
+}
+
+func dropContact(s []Contact, id ID) []Contact {
+	for j := range s {
+		if s[j].ID == id {
+			return append(s[:j], s[j+1:]...)
+		}
+	}
+	return s
 }
 
 // Closest returns up to n known contacts closest to target under XOR.

@@ -2,6 +2,7 @@ package dht
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -16,10 +17,14 @@ import (
 // smaller, so anything beyond this is a protocol error, not data.
 const maxFrame = 64 << 20
 
+// maxIdlePerPeer bounds the pooled idle connections kept per remote
+// peer; further connections are closed after use.
+const maxIdlePerPeer = 4
+
 // TCPTransport carries DHT messages over TCP with length-prefixed
-// frames. Each Call opens one connection (simple and adequate for the
-// deployment sizes KadoP targets); streams hold their connection until
-// the final chunk.
+// frames. Calls multiplex over a bounded per-peer connection pool
+// (serving several requests per connection); streams hold a dedicated
+// connection until the final chunk.
 type TCPTransport struct {
 	ln        net.Listener
 	collector *metrics.Collector
@@ -29,10 +34,18 @@ type TCPTransport struct {
 	handler Handler
 	closed  bool
 	wg      sync.WaitGroup
+	idle    map[string][]*pooledConn
+	serving map[net.Conn]struct{}
+}
+
+type pooledConn struct {
+	conn net.Conn
+	br   *bufio.Reader
 }
 
 // NewTCPTransport listens on addr (e.g. "127.0.0.1:0"). The collector
-// may be nil; a timeout of 0 means 10 seconds per request.
+// may be nil; a timeout of 0 means 10 seconds per request. A context
+// with an earlier deadline overrides the per-request timeout.
 func NewTCPTransport(addr string, collector *metrics.Collector, timeout time.Duration) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -41,11 +54,21 @@ func NewTCPTransport(addr string, collector *metrics.Collector, timeout time.Dur
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	return &TCPTransport{ln: ln, collector: collector, timeout: timeout}, nil
+	return &TCPTransport{
+		ln:        ln,
+		collector: collector,
+		timeout:   timeout,
+		idle:      map[string][]*pooledConn{},
+		serving:   map[net.Conn]struct{}{},
+	}, nil
 }
 
 // Addr returns the bound listen address.
 func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Metrics exposes the transport's collector so the node layer can
+// count robustness events alongside the traffic accounting.
+func (t *TCPTransport) Metrics() *metrics.Collector { return t.collector }
 
 // Serve implements Transport.
 func (t *TCPTransport) Serve(h Handler) error {
@@ -64,41 +87,62 @@ func (t *TCPTransport) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.serving[conn] = struct{}{}
+		t.mu.Unlock()
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
-			defer conn.Close()
+			defer func() {
+				t.mu.Lock()
+				delete(t.serving, conn)
+				t.mu.Unlock()
+				conn.Close()
+			}()
 			t.serveConn(conn)
 		}()
 	}
 }
 
+// serveConn serves request frames on one connection until the peer
+// hangs up. Stream requests take the connection over: after the final
+// chunk the connection closes, matching the client, which dedicates a
+// connection per stream.
 func (t *TCPTransport) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
-	req, err := readFrame(br, t.collector)
-	if err != nil {
-		return
-	}
-	t.mu.Lock()
-	h := t.handler
-	t.mu.Unlock()
-	if h == nil {
-		writeFrame(conn, Message{Type: MsgError, Err: "not serving"}, t.collector)
-		return
-	}
-	if req.Type == MsgGetStream || (req.Type == MsgApp && isStreamProc(req.Proc)) {
-		err := h.HandleStream(req.From, req, func(chunk Message) error {
-			return writeFrame(conn, chunk, t.collector)
-		})
-		end := Message{Type: MsgEnd}
+	for {
+		req, err := readFrame(br, t.collector)
 		if err != nil {
-			end = Message{Type: MsgError, Err: err.Error()}
+			return
 		}
-		writeFrame(conn, end, t.collector)
-		return
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h == nil {
+			writeFrame(conn, Message{Type: MsgError, Err: "not serving"}, t.collector)
+			return
+		}
+		if req.Type == MsgGetStream || (req.Type == MsgApp && isStreamProc(req.Proc)) {
+			err := h.HandleStream(req.From, req, func(chunk Message) error {
+				return writeFrame(conn, chunk, t.collector)
+			})
+			end := Message{Type: MsgEnd}
+			if err != nil {
+				end = Message{Type: MsgError, Err: err.Error()}
+			}
+			writeFrame(conn, end, t.collector)
+			return
+		}
+		resp := h.HandleCall(req.From, req)
+		if err := writeFrame(conn, resp, t.collector); err != nil {
+			return
+		}
 	}
-	resp := h.HandleCall(req.From, req)
-	writeFrame(conn, resp, t.collector)
 }
 
 // isStreamProc reports whether an application procedure uses streaming
@@ -107,39 +151,106 @@ func isStreamProc(proc string) bool {
 	return len(proc) >= 7 && proc[:7] == "stream:"
 }
 
+// deadline computes the per-attempt wire deadline: the transport
+// timeout, clipped by the context's own deadline when that is earlier.
+func (t *TCPTransport) deadline(ctx context.Context) time.Time {
+	d := time.Now().Add(t.timeout)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(d) {
+		d = cd
+	}
+	return d
+}
+
+// getConn returns a pooled idle connection to addr, or dials a new one.
+func (t *TCPTransport) getConn(ctx context.Context, addr string) (*pooledConn, error) {
+	t.mu.Lock()
+	if pool := t.idle[addr]; len(pool) > 0 {
+		pc := pool[len(pool)-1]
+		t.idle[addr] = pool[:len(pool)-1]
+		t.mu.Unlock()
+		return pc, nil
+	}
+	t.mu.Unlock()
+	var d net.Dialer
+	dctx, cancel := context.WithDeadline(ctx, t.deadline(ctx))
+	defer cancel()
+	conn, err := d.DialContext(dctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dht: dial %s: %w", addr, err)
+	}
+	return &pooledConn{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// putConn returns a healthy connection to the pool (or closes it when
+// the pool is full or the transport shut down).
+func (t *TCPTransport) putConn(addr string, pc *pooledConn) {
+	// Clear the per-request deadline so an idle connection cannot trip
+	// a stale timer on its next use.
+	if err := pc.conn.SetDeadline(time.Time{}); err != nil {
+		pc.conn.Close()
+		return
+	}
+	t.mu.Lock()
+	if t.closed || len(t.idle[addr]) >= maxIdlePerPeer {
+		t.mu.Unlock()
+		pc.conn.Close()
+		return
+	}
+	t.idle[addr] = append(t.idle[addr], pc)
+	t.mu.Unlock()
+}
+
 // Call implements Transport.
-func (t *TCPTransport) Call(to Contact, req Message) (Message, error) {
-	conn, err := net.DialTimeout("tcp", to.Addr, t.timeout)
-	if err != nil {
-		return Message{}, fmt.Errorf("dht: dial %s: %w", to.Addr, err)
+func (t *TCPTransport) Call(ctx context.Context, to Contact, req Message) (Message, error) {
+	if err := ctx.Err(); err != nil {
+		return Message{}, fmt.Errorf("dht: call %s: %w", to.Addr, err)
 	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(t.timeout))
-	if err := writeFrame(conn, req, t.collector); err != nil {
-		return Message{}, err
-	}
-	resp, err := readFrame(bufio.NewReader(conn), t.collector)
+	pc, err := t.getConn(ctx, to.Addr)
 	if err != nil {
 		return Message{}, err
 	}
+	if err := pc.conn.SetDeadline(t.deadline(ctx)); err != nil {
+		pc.conn.Close()
+		return Message{}, fmt.Errorf("dht: set deadline %s: %w", to.Addr, err)
+	}
+	if err := writeFrame(pc.conn, req, t.collector); err != nil {
+		pc.conn.Close()
+		return Message{}, err
+	}
+	resp, err := readFrame(pc.br, t.collector)
+	if err != nil {
+		pc.conn.Close()
+		return Message{}, err
+	}
+	// The exchange completed: the connection is healthy regardless of
+	// the application-level outcome.
+	t.putConn(to.Addr, pc)
 	if resp.Type == MsgError {
-		return resp, fmt.Errorf("dht: remote %s: %s", to.Addr, resp.Err)
+		return resp, Terminal(fmt.Errorf("dht: remote %s: %s", to.Addr, resp.Err))
 	}
 	return resp, nil
 }
 
-// OpenStream implements Transport.
-func (t *TCPTransport) OpenStream(to Contact, req Message) (MsgStream, error) {
-	conn, err := net.DialTimeout("tcp", to.Addr, t.timeout)
-	if err != nil {
-		return nil, fmt.Errorf("dht: dial %s: %w", to.Addr, err)
+// OpenStream implements Transport. The stream owns its connection,
+// which closes with the final chunk (stream connections are not
+// pooled).
+func (t *TCPTransport) OpenStream(ctx context.Context, to Contact, req Message) (MsgStream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dht: stream %s: %w", to.Addr, err)
 	}
-	conn.SetDeadline(time.Now().Add(t.timeout))
-	if err := writeFrame(conn, req, t.collector); err != nil {
-		conn.Close()
+	pc, err := t.getConn(ctx, to.Addr)
+	if err != nil {
 		return nil, err
 	}
-	return &tcpStream{conn: conn, br: bufio.NewReader(conn), collector: t.collector}, nil
+	if err := pc.conn.SetDeadline(t.deadline(ctx)); err != nil {
+		pc.conn.Close()
+		return nil, fmt.Errorf("dht: set deadline %s: %w", to.Addr, err)
+	}
+	if err := writeFrame(pc.conn, req, t.collector); err != nil {
+		pc.conn.Close()
+		return nil, err
+	}
+	return &tcpStream{conn: pc.conn, br: pc.br, collector: t.collector}, nil
 }
 
 // Close implements Transport.
@@ -150,7 +261,23 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
+	idle := t.idle
+	t.idle = map[string][]*pooledConn{}
+	serving := make([]net.Conn, 0, len(t.serving))
+	for c := range t.serving {
+		serving = append(serving, c)
+	}
 	t.mu.Unlock()
+	for _, pool := range idle {
+		for _, pc := range pool {
+			pc.conn.Close()
+		}
+	}
+	// Unblock serveConn goroutines parked in readFrame on idle inbound
+	// connections; wg.Wait below would otherwise never return.
+	for _, c := range serving {
+		c.Close()
+	}
 	err := t.ln.Close()
 	t.wg.Wait()
 	return err

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"reflect"
@@ -77,7 +78,7 @@ func TestTCPCallTimeout(t *testing.T) {
 	}()
 	client := tcpNode(t, 300*time.Millisecond)
 	start := time.Now()
-	_, err = client.tr.Call(Contact{ID: PeerIDFromSeed("x"), Addr: ln.Addr().String()},
+	_, err = client.tr.Call(context.Background(), Contact{ID: PeerIDFromSeed("x"), Addr: ln.Addr().String()},
 		Message{Type: MsgPing, From: client.Self()})
 	if err == nil {
 		t.Fatal("call to a mute server should time out")
@@ -103,7 +104,7 @@ func TestTCPStreamEarlyClose(t *testing.T) {
 	if err := a.Store().Append("l:big", big); err != nil {
 		t.Fatal(err)
 	}
-	ms, err := b.tr.OpenStream(a.Self(), Message{Type: MsgGetStream, From: b.Self(), Key: "l:big"})
+	ms, err := b.tr.OpenStream(context.Background(), a.Self(), Message{Type: MsgGetStream, From: b.Self(), Key: "l:big"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestTCPStreamEarlyClose(t *testing.T) {
 	}
 	ms.Close() // abandon mid-stream; server write fails and its goroutine exits
 	// The node keeps serving.
-	resp, err := b.tr.Call(a.Self(), Message{Type: MsgPing, From: b.Self()})
+	resp, err := b.tr.Call(context.Background(), a.Self(), Message{Type: MsgPing, From: b.Self()})
 	if err != nil || resp.Type != MsgPong {
 		t.Fatalf("ping after abandoned stream: %v %v", resp.Type, err)
 	}
@@ -137,7 +138,7 @@ func TestTCPRejectsOversizeFrame(t *testing.T) {
 	}
 	// And keep serving others.
 	other := tcpNode(t, 0)
-	if _, err := other.tr.Call(node.Self(), Message{Type: MsgPing, From: other.Self()}); err != nil {
+	if _, err := other.tr.Call(context.Background(), node.Self(), Message{Type: MsgPing, From: other.Self()}); err != nil {
 		t.Fatalf("ping after oversize frame: %v", err)
 	}
 }

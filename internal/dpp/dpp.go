@@ -20,6 +20,7 @@
 package dpp
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -478,7 +479,12 @@ func (m *Manager) handleBlock(_ dht.Contact, key string, blob []byte, send func(
 
 // Root fetches the root block of a term from its home peer.
 func (m *Manager) Root(term string) (*Root, error) {
-	blob, err := m.node.CallProc(term, ProcRoot, nil)
+	return m.RootContext(context.Background(), term)
+}
+
+// RootContext is Root under a caller-controlled deadline.
+func (m *Manager) RootContext(ctx context.Context, term string) (*Root, error) {
+	blob, err := m.node.CallProcContext(ctx, term, ProcRoot, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package dpp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -44,16 +45,27 @@ type FetchOptions struct {
 // parallelism. For ordered DPPs the blocks concatenate in canonical
 // order; the randomised ablation merges them.
 func (m *Manager) Fetch(term string, opts FetchOptions) (postings.Stream, *FetchPlan, error) {
-	root, err := m.Root(term)
+	return m.FetchContext(context.Background(), term, opts)
+}
+
+// FetchContext is Fetch under a caller-controlled deadline.
+func (m *Manager) FetchContext(ctx context.Context, term string, opts FetchOptions) (postings.Stream, *FetchPlan, error) {
+	root, err := m.RootContext(ctx, term)
 	if err != nil {
 		return nil, nil, err
 	}
-	return m.FetchWithRoot(root, opts)
+	return m.FetchWithRootContext(ctx, root, opts)
 }
 
 // FetchWithRoot is Fetch for a root already retrieved (the query
 // planner gets all roots first to compute the document interval).
 func (m *Manager) FetchWithRoot(root *Root, opts FetchOptions) (postings.Stream, *FetchPlan, error) {
+	return m.FetchWithRootContext(context.Background(), root, opts)
+}
+
+// FetchWithRootContext is FetchWithRoot under a caller-controlled
+// deadline, which bounds the root and block transfers.
+func (m *Manager) FetchWithRootContext(ctx context.Context, root *Root, opts FetchOptions) (postings.Stream, *FetchPlan, error) {
 	if opts.Parallel <= 0 {
 		opts.Parallel = 4
 	}
@@ -64,7 +76,7 @@ func (m *Manager) FetchWithRoot(root *Root, opts FetchOptions) (postings.Stream,
 		if !typeMatches(root.Types, opts.AllowedTypes) {
 			return postings.NewSliceStream(nil), plan, nil
 		}
-		s, err := m.node.GetStream(root.Term)
+		s, err := m.node.GetStreamContext(ctx, root.Term)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -111,7 +123,7 @@ func (m *Manager) FetchWithRoot(root *Root, opts FetchOptions) (postings.Stream,
 			sem <- struct{}{}
 			go func(i int, b BlockRef) {
 				defer func() { <-sem }()
-				list, err := m.fetchBlock(b, blob)
+				list, err := m.fetchBlock(ctx, b, blob)
 				results[i] <- fetched{list: list, err: err}
 			}(i, b)
 		}
@@ -172,23 +184,23 @@ type fetched struct {
 // fetchBlock contacts the block's holder (recorded in the root block;
 // a lookup of the pseudo-key is the fallback when the pointer is
 // stale) and drains its (clipped) stream.
-func (m *Manager) fetchBlock(b BlockRef, intervalBlob []byte) (postings.List, error) {
+func (m *Manager) fetchBlock(ctx context.Context, b BlockRef, intervalBlob []byte) (postings.List, error) {
 	owner := dht.Contact{ID: dht.PeerIDFromSeed(b.Owner), Addr: b.Owner}
 	if b.Owner == "" {
 		var err error
-		owner, err = m.node.Locate(b.Key)
+		owner, err = m.node.LocateContext(ctx, b.Key)
 		if err != nil {
 			return nil, err
 		}
 	}
-	s, err := m.node.OpenProcStream(owner, b.Key, ProcBlock, intervalBlob)
+	s, err := m.node.OpenProcStreamContext(ctx, owner, b.Key, ProcBlock, intervalBlob)
 	if err != nil {
 		// Stale pointer (the holder left): fall back to routing.
-		owner, lerr := m.node.Locate(b.Key)
+		owner, lerr := m.node.LocateContext(ctx, b.Key)
 		if lerr != nil {
 			return nil, err
 		}
-		s, err = m.node.OpenProcStream(owner, b.Key, ProcBlock, intervalBlob)
+		s, err = m.node.OpenProcStreamContext(ctx, owner, b.Key, ProcBlock, intervalBlob)
 		if err != nil {
 			return nil, err
 		}

@@ -54,6 +54,9 @@ func (k StoreKind) String() string {
 type ClusterOptions struct {
 	Peers int
 	Cfg   kadop.Config
+	// DHT configures the overlay nodes (replication, retry policy);
+	// the zero value keeps the seed behaviour (single copy, one shot).
+	DHT   dht.Config
 	Link  dht.LinkModel
 	Store StoreKind
 	// TempDir receives disk stores; empty means os.MkdirTemp.
@@ -80,7 +83,7 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		nd, err := dht.NewNode(c.Net.NewEndpoint(), st, dht.Config{})
+		nd, err := dht.NewNode(c.Net.NewEndpoint(), st, o.DHT)
 		if err != nil {
 			return nil, err
 		}

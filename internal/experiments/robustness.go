@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kadop/internal/dht"
+	"kadop/internal/kadop"
+	"kadop/internal/metrics"
+	"kadop/internal/pattern"
+	"kadop/internal/workload"
+)
+
+// RobustnessOptions scale the robustness experiment: a replicated
+// deployment queried under injected message loss and one peer failure,
+// reporting what the fault-tolerance machinery did and what it cost.
+type RobustnessOptions struct {
+	Records   int
+	Peers     int
+	Queries   int
+	DropProbs []float64
+	Seed      int64
+}
+
+func (o RobustnessOptions) defaults() RobustnessOptions {
+	if o.Records <= 0 {
+		o.Records = 300
+	}
+	if o.Peers <= 0 {
+		o.Peers = 12
+	}
+	if o.Queries <= 0 {
+		o.Queries = 10
+	}
+	if len(o.DropProbs) == 0 {
+		o.DropProbs = []float64{0, 0.10, 0.20}
+	}
+	return o
+}
+
+// RobustnessRow is one measurement at one loss rate.
+type RobustnessRow struct {
+	DropProb  float64
+	Complete  int   // queries answered exactly after the kill
+	Partial   int   // queries returning an explicitly incomplete answer
+	Retries   int64 // RPC attempts beyond the first
+	Timeouts  int64 // attempts abandoned on a deadline
+	Evictions int64 // contacts dropped from routing tables
+	Repairs   int64 // keys re-pushed by the repair pass
+
+	RepairBytes int64 // replica-maintenance traffic
+}
+
+// RobustnessResult is the loss-rate sweep.
+type RobustnessResult struct {
+	Rows []RobustnessRow
+}
+
+// RunRobustness prices fault tolerance the way the paper prices query
+// bandwidth: a deployment with Replication 2 and retrying RPCs
+// publishes a DBLP corpus, loses one peer, repairs the index from the
+// surviving replicas, and then answers a query workload through a lossy
+// network. Each row reports how many queries completed exactly versus
+// returned an explicitly partial answer, alongside the retry, timeout,
+// eviction and repair counters and the repair traffic.
+func RunRobustness(o RobustnessOptions) (*RobustnessResult, error) {
+	o = o.defaults()
+	res := &RobustnessResult{}
+	q := pattern.MustParse(Fig3Query)
+	for _, drop := range o.DropProbs {
+		docs := workload.DBLP{Seed: o.Seed, Records: o.Records}.Documents()
+		cl, err := NewCluster(ClusterOptions{
+			Peers: o.Peers,
+			DHT: dht.Config{
+				Replication: 2,
+				Retry: dht.RetryPolicy{
+					Attempts:    6,
+					BaseBackoff: 2 * time.Millisecond,
+					MaxBackoff:  50 * time.Millisecond,
+				},
+				RPCTimeout: 5 * time.Second,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cl.PublishAll(docs, 4); err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.Net.Collector.Reset()
+
+		// Lose one peer, then let the survivors restore the replication
+		// factor, through the already-lossy network.
+		cl.Net.SetFaults(dht.Faults{Seed: o.Seed, DropProb: drop})
+		if err := cl.Nodes[1].Close(); err != nil {
+			cl.Close()
+			return nil, err
+		}
+		for i, nd := range cl.Nodes {
+			if i == 1 {
+				continue
+			}
+			rctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			_, _ = nd.RepairOnce(rctx) // per-key failures show up in the counters
+			cancel()
+		}
+
+		// The query workload: every query must come back within its
+		// deadline, either exact or explicitly marked incomplete.
+		row := RobustnessRow{DropProb: drop}
+		querier := cl.Peers[len(cl.Peers)-1]
+		for i := 0; i < o.Queries; i++ {
+			qctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			r, qerr := querier.QueryContext(qctx, q, kadop.QueryOptions{AllowPartial: true})
+			cancel()
+			if qerr != nil {
+				cl.Net.SetFaults(dht.Faults{})
+				cl.Close()
+				return nil, fmt.Errorf("experiments: robustness query at drop %.2f: %w", drop, qerr)
+			}
+			if r.Incomplete {
+				row.Partial++
+			} else {
+				row.Complete++
+			}
+		}
+		col := cl.Net.Collector
+		row.Retries = col.Events(metrics.EventRetry)
+		row.Timeouts = col.Events(metrics.EventTimeout)
+		row.Evictions = col.Events(metrics.EventEviction)
+		row.Repairs = col.Events(metrics.EventRepair)
+		row.RepairBytes = col.Bytes(metrics.Repair)
+		cl.Net.SetFaults(dht.Faults{})
+		cl.Close()
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the robustness table.
+func (r *RobustnessResult) Format() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", row.DropProb*100),
+			fmt.Sprintf("%d", row.Complete),
+			fmt.Sprintf("%d", row.Partial),
+			fmt.Sprintf("%d", row.Retries),
+			fmt.Sprintf("%d", row.Timeouts),
+			fmt.Sprintf("%d", row.Evictions),
+			fmt.Sprintf("%d", row.Repairs),
+			mb(row.RepairBytes),
+		})
+	}
+	return "Robustness — queries after one peer failure, under message loss (Replication 2)\n" +
+		table([]string{"drop", "complete", "partial", "retries", "timeouts", "evictions", "repairs", "repair(MB)"}, rows)
+}

@@ -1,6 +1,7 @@
 package kadop
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -758,14 +759,14 @@ func TestHandleCountWithDPPBlocks(t *testing.T) {
 		docs = append(docs, fmt.Sprintf(`<dblp><article><author>P%d</author></article></dblp>`, i))
 	}
 	publishAll(t, c, docs)
-	n, err := c.peers[1].termCount("l:author")
+	n, err := c.peers[1].termCount(context.Background(), "l:author")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 40 {
 		t.Fatalf("termCount over blocks = %d, want 40", n)
 	}
-	if n, err := c.peers[1].termCount("l:absent"); err != nil || n != 0 {
+	if n, err := c.peers[1].termCount(context.Background(), "l:absent"); err != nil || n != 0 {
 		t.Fatalf("absent term count = %d (%v)", n, err)
 	}
 }

@@ -14,6 +14,7 @@
 package kadop
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -58,6 +59,12 @@ type Config struct {
 	// choices: AB filters tolerate a loose basic filter).
 	ABBasicFP float64
 	DBBasicFP float64
+	// DHT configures the overlay node (replication factor, retry
+	// policy, repair cadence) for the constructors that build the node
+	// themselves — NewSimCluster, NewTCPPeer and the CLIs. The zero
+	// value is the seed behaviour: one copy of every key, one RPC
+	// attempt. Constructors taking an existing *dht.Node ignore it.
+	DHT dht.Config
 }
 
 func (c Config) pipelined() bool { return c.Pipelined == nil || *c.Pipelined }
@@ -150,16 +157,18 @@ func docKey(k sid.DocKey) string   { return fmt.Sprintf("doc:%d:%d", k.Peer, k.D
 
 // directory --------------------------------------------------------
 
-// dirPut stores a small directory entry at the home peer of key. It
-// implements the Peer and Doc relations of the data model.
+// dirPut stores a small directory entry at the home peers of key. It
+// implements the Peer and Doc relations of the data model. With DHT
+// replication enabled the entry lands on every replica owner, so
+// address resolution survives the loss of the primary.
 func (p *Peer) dirPut(key string, blob []byte) error {
-	_, err := p.node.CallProc(key, procDirPut, blob)
+	_, err := p.node.CallProcOwners(key, procDirPut, blob)
 	return err
 }
 
-// dirGet retrieves a directory entry.
-func (p *Peer) dirGet(key string) ([]byte, error) {
-	return p.node.CallProc(key, procDirGet, nil)
+// dirGet retrieves a directory entry from any reachable replica owner.
+func (p *Peer) dirGet(ctx context.Context, key string) ([]byte, error) {
+	return p.node.CallProcAnyContext(ctx, key, procDirGet, nil)
 }
 
 func (p *Peer) handleDirPut(_ dht.Contact, key string, blob []byte) ([]byte, error) {
@@ -180,11 +189,11 @@ func (p *Peer) handleDirGet(_ dht.Contact, key string, _ []byte) ([]byte, error)
 }
 
 // contactOf resolves a peer's internal identifier to its DHT contact.
-func (p *Peer) contactOf(id sid.PeerID) (dht.Contact, error) {
+func (p *Peer) contactOf(ctx context.Context, id sid.PeerID) (dht.Contact, error) {
 	if id == p.id {
 		return p.node.Self(), nil
 	}
-	blob, err := p.dirGet(peerKey(id))
+	blob, err := p.dirGet(ctx, peerKey(id))
 	if err != nil {
 		return dht.Contact{}, fmt.Errorf("kadop: resolve peer %d: %w", id, err)
 	}
@@ -340,7 +349,7 @@ func (p *Peer) DocumentCount() int {
 // URI resolves any document key in the collection to its URI via the
 // Doc relation.
 func (p *Peer) URI(k sid.DocKey) (string, error) {
-	blob, err := p.dirGet(docKey(k))
+	blob, err := p.dirGet(context.Background(), docKey(k))
 	if err != nil {
 		return "", err
 	}

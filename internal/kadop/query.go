@@ -1,6 +1,7 @@
 package kadop
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -114,6 +115,14 @@ type Result struct {
 // candidate documents from the distributed index, phase two retrieves
 // the answers from the document peers.
 func (p *Peer) Query(q *pattern.Query, opts QueryOptions) (*Result, error) {
+	return p.QueryContext(context.Background(), q, opts)
+}
+
+// QueryContext is Query under a caller-controlled deadline. The
+// deadline bounds every transfer of both phases; with AllowPartial the
+// query degrades to an explicitly incomplete result when peers fail or
+// the budget runs out mid-phase-two, instead of hanging or erroring.
+func (p *Peer) QueryContext(ctx context.Context, q *pattern.Query, opts QueryOptions) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -124,7 +133,7 @@ func (p *Peer) Query(q *pattern.Query, opts QueryOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	docs, err := p.indexQuery(iq, opts, res, start)
+	docs, err := p.indexQuery(ctx, iq, opts, res, start)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +141,7 @@ func (p *Peer) Query(q *pattern.Query, opts QueryOptions) (*Result, error) {
 	res.IndexTime = time.Since(start)
 
 	if !opts.IndexOnly {
-		matches, failed, err := p.secondPhase(q, docs)
+		matches, failed, err := p.secondPhase(ctx, q, docs)
 		if err != nil && !opts.AllowPartial {
 			return nil, err
 		}
@@ -145,15 +154,15 @@ func (p *Peer) Query(q *pattern.Query, opts QueryOptions) (*Result, error) {
 }
 
 // indexQuery runs phase one and returns the candidate document keys.
-func (p *Peer) indexQuery(iq *indexQuery, opts QueryOptions, res *Result, start time.Time) ([]sid.DocKey, error) {
+func (p *Peer) indexQuery(ctx context.Context, iq *indexQuery, opts QueryOptions, res *Result, start time.Time) ([]sid.DocKey, error) {
 	docSet := map[sid.DocKey]bool{}
 	for si, sub := range iq.subtrees {
 		var subDocs []sid.DocKey
 		var err error
 		if opts.ParallelJoin > 1 && p.dpp != nil && opts.Strategy == Conventional {
-			subDocs, err = p.parallelIndexJoin(sub, opts, res, start)
+			subDocs, err = p.parallelIndexJoin(ctx, sub, opts, res, start)
 		} else {
-			subDocs, err = p.sequentialIndexJoin(sub, opts, res, start)
+			subDocs, err = p.sequentialIndexJoin(ctx, sub, opts, res, start)
 		}
 		if err != nil {
 			return nil, err
@@ -184,8 +193,8 @@ func (p *Peer) indexQuery(iq *indexQuery, opts QueryOptions, res *Result, start 
 
 // sequentialIndexJoin is the default phase-one evaluation: one holistic
 // twig join over the full streams.
-func (p *Peer) sequentialIndexJoin(sub *pattern.Query, opts QueryOptions, res *Result, start time.Time) ([]sid.DocKey, error) {
-	streams, plans, err := p.fetchStreams(sub, opts)
+func (p *Peer) sequentialIndexJoin(ctx context.Context, sub *pattern.Query, opts QueryOptions, res *Result, start time.Time) ([]sid.DocKey, error) {
+	streams, plans, err := p.fetchStreams(ctx, sub, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -210,12 +219,12 @@ func (p *Peer) sequentialIndexJoin(sub *pattern.Query, opts QueryOptions, res *R
 // fetching only its document slice of every list. The vectors' document
 // ranges are disjoint, so answers need no deduplication; they are
 // produced out of order, improving the time to the first answer.
-func (p *Peer) parallelIndexJoin(sub *pattern.Query, opts QueryOptions, res *Result, start time.Time) ([]sid.DocKey, error) {
+func (p *Peer) parallelIndexJoin(ctx context.Context, sub *pattern.Query, opts QueryOptions, res *Result, start time.Time) ([]sid.DocKey, error) {
 	terms := sub.Terms()
 	roots := map[string]*dpp.Root{}
 	var widest *dpp.Root
 	for _, t := range terms {
-		r, err := p.dpp.Root(t.Key())
+		r, err := p.dpp.RootContext(ctx, t.Key())
 		if err != nil {
 			return nil, err
 		}
@@ -254,7 +263,7 @@ func (p *Peer) parallelIndexJoin(sub *pattern.Query, opts QueryOptions, res *Res
 			defer func() { <-sem }()
 			streams := map[string]postings.Stream{}
 			for _, t := range terms {
-				s, plan, err := p.dpp.FetchWithRoot(roots[t.Key()], dpp.FetchOptions{
+				s, plan, err := p.dpp.FetchWithRootContext(ctx, roots[t.Key()], dpp.FetchOptions{
 					Parallel: p.cfg.Parallel,
 					Filter:   true, FilterLo: v.lo, FilterHi: v.hi,
 					AllowedTypes: allowed,
@@ -360,16 +369,16 @@ func cutVectors(widest *dpp.Root, lo, hi sid.DocKey, maxVectors int) []docRange 
 // fetchStreams obtains one posting stream per query node of a subtree,
 // according to the configured transfer machinery and the selected
 // strategy.
-func (p *Peer) fetchStreams(sub *pattern.Query, opts QueryOptions) (map[*pattern.Node]postings.Stream, []*dpp.FetchPlan, error) {
+func (p *Peer) fetchStreams(ctx context.Context, sub *pattern.Query, opts QueryOptions) (map[*pattern.Node]postings.Stream, []*dpp.FetchPlan, error) {
 	if opts.Strategy == AutoStrategy {
-		chosen, err := p.chooseStrategy(sub)
+		chosen, err := p.chooseStrategy(ctx, sub)
 		if err != nil {
 			return nil, nil, err
 		}
 		opts.Strategy = chosen
 	}
 	if opts.Strategy != Conventional {
-		lists, err := p.reducedLists(sub, opts)
+		lists, err := p.reducedLists(ctx, sub, opts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -388,7 +397,7 @@ func (p *Peer) fetchStreams(sub *pattern.Query, opts QueryOptions) (map[*pattern
 	if p.dpp != nil {
 		roots := map[string]*dpp.Root{}
 		for _, t := range terms {
-			r, err := p.dpp.Root(t.Key())
+			r, err := p.dpp.RootContext(ctx, t.Key())
 			if err != nil {
 				return nil, nil, err
 			}
@@ -400,7 +409,7 @@ func (p *Peer) fetchStreams(sub *pattern.Query, opts QueryOptions) (map[*pattern
 		var plans []*dpp.FetchPlan
 		dup := termDup(nodes)
 		for _, t := range terms {
-			s, plan, err := p.dpp.FetchWithRoot(roots[t.Key()], dpp.FetchOptions{
+			s, plan, err := p.dpp.FetchWithRootContext(ctx, roots[t.Key()], dpp.FetchOptions{
 				Parallel: p.cfg.Parallel,
 				Filter:   filter, FilterLo: lo, FilterHi: hi,
 				AllowedTypes: allowed,
@@ -430,12 +439,12 @@ func (p *Peer) fetchStreams(sub *pattern.Query, opts QueryOptions) (map[*pattern
 		var s postings.Stream
 		if p.cfg.pipelined() {
 			var err error
-			s, err = p.node.GetStream(t.Key())
+			s, err = p.node.GetStreamContext(ctx, t.Key())
 			if err != nil {
 				return nil, nil, err
 			}
 		} else {
-			l, err := p.node.Get(t.Key())
+			l, err := p.node.GetContext(ctx, t.Key())
 			if err != nil {
 				return nil, nil, err
 			}
@@ -529,7 +538,7 @@ func rootDocRange(r *dpp.Root) (lo, hi sid.DocKey, ok bool) {
 // secondPhase contacts the peers holding candidate documents and
 // gathers the final answers. It returns the matches, the number of
 // unreachable peers, and the first error encountered.
-func (p *Peer) secondPhase(q *pattern.Query, docs []sid.DocKey) ([]twigjoin.Match, int, error) {
+func (p *Peer) secondPhase(ctx context.Context, q *pattern.Query, docs []sid.DocKey) ([]twigjoin.Match, int, error) {
 	byPeer := map[sid.PeerID][]sid.DocKey{}
 	for _, d := range docs {
 		byPeer[d.Peer] = append(byPeer[d.Peer], d)
@@ -552,14 +561,14 @@ func (p *Peer) secondPhase(q *pattern.Query, docs []sid.DocKey) ([]twigjoin.Matc
 				failed++
 				mu.Unlock()
 			}
-			contact, err := p.contactOf(pid)
+			contact, err := p.contactOf(ctx, pid)
 			if err != nil {
 				fail(err)
 				return
 			}
 			blob := appendStr(nil, q.String())
 			blob = append(blob, encodeDocKeys(keys)...)
-			out, err := p.node.CallProcOn(contact, "", procAnswer, blob)
+			out, err := p.node.CallProcOnContext(ctx, contact, "", procAnswer, blob)
 			if err != nil {
 				// The paper detects faulty peers with time-outs and accepts
 				// an incomplete answer; we record the failure and keep going.
@@ -654,13 +663,13 @@ const selectivityRatio = 20
 
 // chooseStrategy implements the paper's plan-selection heuristic from
 // the stored posting-list sizes.
-func (p *Peer) chooseStrategy(sub *pattern.Query) (Strategy, error) {
+func (p *Peer) chooseStrategy(ctx context.Context, sub *pattern.Query) (Strategy, error) {
 	minCount, maxCount := -1, 0
 	for _, n := range sub.Nodes() {
 		if n.IsWildcard() {
 			continue
 		}
-		c, err := p.termCount(n.Term.Key())
+		c, err := p.termCount(ctx, n.Term.Key())
 		if err != nil {
 			return Conventional, err
 		}

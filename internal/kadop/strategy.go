@@ -1,6 +1,7 @@
 package kadop
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -422,7 +423,7 @@ func hybridKey(session string, nodeID int) string {
 
 // reducedLists runs the selected strategy for one index subtree and
 // returns the (reduced) posting list per query node pre-order position.
-func (p *Peer) reducedLists(sub *pattern.Query, opts QueryOptions) (map[int]postings.List, error) {
+func (p *Peer) reducedLists(ctx context.Context, sub *pattern.Query, opts QueryOptions) (map[int]postings.List, error) {
 	nodes := sub.Nodes()
 	next := 0
 	spec := buildSpec(sub.Root, &next)
@@ -435,7 +436,7 @@ func (p *Peer) reducedLists(sub *pattern.Query, opts QueryOptions) (map[int]post
 	case ABReducer, DBReducer, BloomReducer:
 		reduceSpecs = []*reduceSpec{spec}
 	case SubQueryReducer:
-		subSpec, rest, err := p.selectSubQuery(spec, nodes, opts.SubQuery)
+		subSpec, rest, err := p.selectSubQuery(ctx, spec, nodes, opts.SubQuery)
 		if err != nil {
 			return nil, err
 		}
@@ -461,12 +462,12 @@ func (p *Peer) reducedLists(sub *pattern.Query, opts QueryOptions) (map[int]post
 		var err error
 		switch opts.Strategy {
 		case ABReducer:
-			_, err = p.node.CallProc(s.term, procABReduce, req.encode())
+			_, err = p.node.CallProcContext(ctx, s.term, procABReduce, req.encode())
 		case DBReducer, SubQueryReducer:
-			_, err = p.node.CallProc(s.term, procDBReduce, req.encode())
+			_, err = p.node.CallProcContext(ctx, s.term, procDBReduce, req.encode())
 		case BloomReducer:
-			if _, err = p.node.CallProc(s.term, procHybridAB, req.encode()); err == nil {
-				_, err = p.node.CallProc(s.term, procHybridDB, req.encode())
+			if _, err = p.node.CallProcContext(ctx, s.term, procHybridAB, req.encode()); err == nil {
+				_, err = p.node.CallProcContext(ctx, s.term, procHybridDB, req.encode())
 			}
 		}
 		if err != nil {
@@ -474,21 +475,28 @@ func (p *Peer) reducedLists(sub *pattern.Query, opts QueryOptions) (map[int]post
 		}
 	}
 
+	// Waiting for the pushes is bounded by the caller's context budget,
+	// with a fallback cap so a context with no deadline cannot hang the
+	// query on a lost push. Counting distinct slots (not deliveries)
+	// keeps duplicated pushes — possible under at-least-once delivery —
+	// from ending the wait early.
 	lists := map[int]postings.List{}
-	deadline := time.After(30 * time.Second)
-	for received := 0; received < want; received++ {
+	fallback := time.After(30 * time.Second)
+	for len(lists) < want {
 		select {
 		case m := <-ch:
 			lists[m.nodeID] = m.list
-		case <-deadline:
-			return nil, fmt.Errorf("kadop: strategy %v: timed out waiting for %d of %d lists", opts.Strategy, want-received, want)
+		case <-ctx.Done():
+			return nil, fmt.Errorf("kadop: strategy %v: %w waiting for %d of %d lists", opts.Strategy, ctx.Err(), want-len(lists), want)
+		case <-fallback:
+			return nil, fmt.Errorf("kadop: strategy %v: timed out waiting for %d of %d lists", opts.Strategy, want-len(lists), want)
 		}
 	}
 
 	// Conventionally fetched remainder (sub-query strategy).
 	for _, id := range plainIDs {
 		term := nodes[id].Term.Key()
-		s, err := p.node.GetStream(term)
+		s, err := p.node.GetStreamContext(ctx, term)
 		if err != nil {
 			return nil, err
 		}
@@ -505,7 +513,7 @@ func (p *Peer) reducedLists(sub *pattern.Query, opts QueryOptions) (map[int]post
 // With explicit positions it uses those; otherwise it applies the
 // paper's heuristic — choose the root-to-leaf path ending at the leaf
 // with the smallest posting list, the query's most selective branch.
-func (p *Peer) selectSubQuery(spec *reduceSpec, nodes []*pattern.Node, explicit []int) (*reduceSpec, []int, error) {
+func (p *Peer) selectSubQuery(ctx context.Context, spec *reduceSpec, nodes []*pattern.Node, explicit []int) (*reduceSpec, []int, error) {
 	inSub := map[int]bool{}
 	if len(explicit) > 0 {
 		for _, id := range explicit {
@@ -525,7 +533,7 @@ func (p *Peer) selectSubQuery(spec *reduceSpec, nodes []*pattern.Node, explicit 
 		walk = func(s *reduceSpec, path []int) error {
 			path = append(path[:len(path):len(path)], s.nodeID)
 			if len(s.children) == 0 {
-				n, err := p.termCount(s.term)
+				n, err := p.termCount(ctx, s.term)
 				if err != nil {
 					return err
 				}
@@ -582,8 +590,8 @@ func projectSpec(s *reduceSpec, keep map[int]bool) *reduceSpec {
 
 // termCount asks the home peer of a term for its posting count (used
 // by the sub-query selection heuristic).
-func (p *Peer) termCount(term string) (int, error) {
-	blob, err := p.node.CallProc(term, procCount, nil)
+func (p *Peer) termCount(ctx context.Context, term string) (int, error) {
+	blob, err := p.node.CallProcContext(ctx, term, procCount, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -25,7 +25,29 @@ const (
 	FiltersAB Class = "filters-ab"
 	FiltersDB Class = "filters-db"
 	Control   Class = "control" // query control, conditions, completions
-	Other     Class = "other"
+	// Repair is replica-maintenance traffic: digests exchanged between
+	// key owners and the re-pushed copies that heal under-replicated
+	// keys after churn. Reported separately so experiments can price
+	// robustness the same way they price query bandwidth.
+	Repair Class = "repair"
+	Other  Class = "other"
+)
+
+// Event labels a robustness occurrence counted without a byte cost:
+// the failure-handling machinery reports how often it had to act.
+type Event string
+
+// Events counted by the failure-handling machinery.
+const (
+	// EventRetry counts RPC attempts beyond the first.
+	EventRetry Event = "retries"
+	// EventTimeout counts RPCs abandoned on a context deadline.
+	EventTimeout Event = "timeouts"
+	// EventEviction counts contacts dropped from routing tables after
+	// failed calls.
+	EventEviction Event = "evictions"
+	// EventRepair counts keys re-pushed by the replica repair loop.
+	EventRepair Event = "repairs"
 )
 
 // Collector accumulates message and byte counts per class. The zero
@@ -35,11 +57,35 @@ type Collector struct {
 	mu       sync.Mutex
 	messages map[Class]int64
 	bytes    map[Class]int64
+	events   map[Event]int64
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{messages: map[Class]int64{}, bytes: map[Class]int64{}}
+	return &Collector{messages: map[Class]int64{}, bytes: map[Class]int64{}, events: map[Event]int64{}}
+}
+
+// CountEvent records one robustness event.
+func (c *Collector) CountEvent(e Event) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.events == nil {
+		c.events = map[Event]int64{}
+	}
+	c.events[e]++
+	c.mu.Unlock()
+}
+
+// Events returns the count for one event kind.
+func (c *Collector) Events(e Event) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events[e]
 }
 
 // Count charges one message of n bytes to the class.
@@ -95,6 +141,7 @@ func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.messages = map[Class]int64{}
 	c.bytes = map[Class]int64{}
+	c.events = map[Event]int64{}
 	c.mu.Unlock()
 }
 
@@ -113,6 +160,14 @@ func (c *Collector) Snapshot() string {
 	s := ""
 	for _, cl := range classes {
 		s += fmt.Sprintf("%-10s %8d msgs %12d bytes\n", cl, c.messages[Class(cl)], c.bytes[Class(cl)])
+	}
+	events := make([]string, 0, len(c.events))
+	for e := range c.events {
+		events = append(events, string(e))
+	}
+	sort.Strings(events)
+	for _, e := range events {
+		s += fmt.Sprintf("%-10s %8d events\n", e, c.events[Event(e)])
 	}
 	return s
 }

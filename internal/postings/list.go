@@ -82,6 +82,36 @@ func (l List) ClipDocs(lo, hi sid.DocKey) List {
 	return l[from:to]
 }
 
+// MergeUnique merges two sorted lists into one sorted list without
+// duplicates (within or across the inputs). The replicated read path
+// uses it to combine owner copies, and the idempotent stores use it so
+// at-least-once appends cannot double postings.
+func MergeUnique(a, b List) List {
+	out := make(List, 0, len(a)+len(b))
+	i, j := 0, 0
+	push := func(p sid.Posting) {
+		if n := len(out); n == 0 || out[n-1].Compare(p) != 0 {
+			out = append(out, p)
+		}
+	}
+	for i < len(a) && j < len(b) {
+		if a[i].Compare(b[j]) <= 0 {
+			push(a[i])
+			i++
+		} else {
+			push(b[j])
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		push(a[i])
+	}
+	for ; j < len(b); j++ {
+		push(b[j])
+	}
+	return out
+}
+
 // Merge merges two sorted lists into a new sorted list, keeping
 // duplicates from both inputs.
 func Merge(a, b List) List {

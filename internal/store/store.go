@@ -64,21 +64,24 @@ type Mem struct {
 func NewMem() *Mem { return &Mem{lists: map[string]postings.List{}} }
 
 // Append implements Store. Postings are merged into sorted position.
+// Re-appending a posting already present is a no-op, which makes
+// at-least-once delivery (retried or duplicated DHT appends) safe.
 func (m *Mem) Append(term string, ps postings.List) error {
 	if len(ps) == 0 {
 		return nil
 	}
 	add := ps.Clone()
 	add.Sort()
+	add = add.Dedup()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	cur := m.lists[term]
-	if n := len(cur); n == 0 || cur[n-1].Compare(add[0]) <= 0 {
+	if n := len(cur); n == 0 || cur[n-1].Compare(add[0]) < 0 {
 		// Common fast path: bulk loads arrive in order.
 		m.lists[term] = append(cur, add...)
 		return nil
 	}
-	m.lists[term] = postings.Merge(cur, add)
+	m.lists[term] = postings.MergeUnique(cur, add)
 	return nil
 }
 
@@ -225,7 +228,7 @@ func (n *Naive) Append(term string, ps postings.List) error {
 	}
 	add := ps.Clone()
 	add.Sort()
-	return n.write(term, postings.Merge(cur, add))
+	return n.write(term, postings.MergeUnique(cur, add))
 }
 
 // Get implements Store.

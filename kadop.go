@@ -73,6 +73,11 @@ type (
 	PeerID = sid.PeerID
 	// LinkModel shapes simulated network links.
 	LinkModel = dht.LinkModel
+	// DHTConfig configures the overlay node (replication, retries,
+	// repair cadence) via Config.DHT.
+	DHTConfig = dht.Config
+	// RetryPolicy governs RPC retry attempts and backoff.
+	RetryPolicy = dht.RetryPolicy
 	// TrafficClass labels traffic in the collector reports.
 	TrafficClass = metrics.Class
 	// Intensional layers Section 6 intensional-data handling on a peer.
@@ -137,7 +142,7 @@ func NewSimCluster(n int, cfg Config) (*SimCluster, error) {
 	}
 	c := &SimCluster{net: dht.NewNetwork()}
 	for i := 0; i < n; i++ {
-		nd, err := dht.NewNode(c.net.NewEndpoint(), store.NewMem(), dht.Config{})
+		nd, err := dht.NewNode(c.net.NewEndpoint(), store.NewMem(), cfg.DHT)
 		if err != nil {
 			return nil, err
 		}
@@ -215,7 +220,7 @@ func NewTCPPeer(addr string, id PeerID, storePath string, cfg Config) (*Peer, er
 			return nil, err
 		}
 	}
-	nd, err := dht.NewNode(tr, st, dht.Config{})
+	nd, err := dht.NewNode(tr, st, cfg.DHT)
 	if err != nil {
 		tr.Close()
 		return nil, err
@@ -233,7 +238,9 @@ func NewTCPClientPeer(addr string, id PeerID, cfg Config) (*Peer, error) {
 	if err != nil {
 		return nil, err
 	}
-	nd, err := dht.NewNode(tr, store.NewMem(), dht.Config{Client: true})
+	dcfg := cfg.DHT
+	dcfg.Client = true
+	nd, err := dht.NewNode(tr, store.NewMem(), dcfg)
 	if err != nil {
 		tr.Close()
 		return nil, err
