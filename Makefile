@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -17,3 +17,10 @@ check:
 
 bench:
 	$(GO) run ./cmd/kadop-bench -exp all -short
+
+# bench-smoke is the fastest end-to-end signal that the experiment
+# pipeline still runs: one figure and the robustness sweep (which also
+# prints the per-phase latency percentiles) at the smallest scales.
+bench-smoke:
+	$(GO) run ./cmd/kadop-bench -exp fig3 -short
+	$(GO) run ./cmd/kadop-bench -exp robust -short

@@ -15,18 +15,30 @@ import (
 	"strconv"
 	"strings"
 
+	"kadop/internal/admin"
 	"kadop/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|all")
-		records = flag.String("records", "", "comma-separated corpus sizes in records (experiment-specific default)")
-		peers   = flag.Int("peers", 0, "network size (experiment-specific default)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		short   = flag.Bool("short", false, "smallest scales (smoke run)")
+		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|all")
+		records   = flag.String("records", "", "comma-separated corpus sizes in records (experiment-specific default)")
+		peers     = flag.Int("peers", 0, "network size (experiment-specific default)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		short     = flag.Bool("short", false, "smallest scales (smoke run)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, stop, err := admin.Serve(*debugAddr, admin.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kadop-bench: debug endpoint:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s\n", addr)
+	}
 
 	sizes, err := parseSizes(*records)
 	if err != nil {

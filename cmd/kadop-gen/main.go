@@ -11,20 +11,30 @@ import (
 	"os"
 	"path/filepath"
 
+	"kadop/internal/admin"
 	"kadop/internal/workload"
 	"kadop/internal/xmltree"
 )
 
 func main() {
 	var (
-		corpus  = flag.String("corpus", "dblp", "corpus kind: dblp|inex")
-		out     = flag.String("out", "corpus", "output directory")
-		records = flag.Int("records", 2500, "dblp: bibliographic records")
-		docs    = flag.Int("docs", 500, "inex: host documents (plus as many referenced files)")
-		matches = flag.Int("matches", 10, "inex: planted answers for the canonical query")
-		seed    = flag.Int64("seed", 1, "generator seed")
+		corpus    = flag.String("corpus", "dblp", "corpus kind: dblp|inex")
+		out       = flag.String("out", "corpus", "output directory")
+		records   = flag.Int("records", 2500, "dblp: bibliographic records")
+		docs      = flag.Int("docs", 500, "inex: host documents (plus as many referenced files)")
+		matches   = flag.Int("matches", 10, "inex: planted answers for the canonical query")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof on this address while generating")
 	)
 	flag.Parse()
+	if *debugAddr != "" {
+		addr, stop, err := admin.Serve(*debugAddr, admin.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s\n", addr)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

@@ -31,6 +31,7 @@ func main() {
 		useDPP    = flag.Bool("dpp", false, "enable distributed posting partitioning")
 		repl      = flag.Int("replication", 1, "index replication factor (all peers of a deployment must agree)")
 		repair    = flag.Duration("repair", 0, "replica repair cadence, e.g. 30s (0 = off; needs -replication > 1)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/{metrics,traces,peer,pprof} on this address (off by default)")
 	)
 	flag.Parse()
 	if *id == 0 {
@@ -43,6 +44,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-peer:", err)
 		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		tracer := kadop.EnableTracing(peer, 64)
+		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kadop-peer: debug endpoint:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("kadop-peer %d debug endpoint on http://%s\n", *id, addr)
 	}
 	if err := kadop.Join(peer, *bootstrap); err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-peer: join:", err)

@@ -25,6 +25,7 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		oneshot   = flag.Bool("oneshot", false, "exit after publishing (documents become unreachable for phase two)")
 		repl      = flag.Int("replication", 1, "index replication factor (must match the deployment's peers)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/{metrics,traces,peer,pprof} on this address")
 	)
 	flag.Parse()
 	if *bootstrap == "" || *id == 0 || flag.NArg() == 0 {
@@ -44,6 +45,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-publish:", err)
 		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		tracer := kadop.EnableTracing(peer, 16)
+		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kadop-publish: debug endpoint:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s\n", addr)
 	}
 	if err := kadop.Join(peer, *bootstrap); err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-publish: join:", err)

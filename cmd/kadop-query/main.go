@@ -4,13 +4,17 @@
 //	kadop-query -bootstrap 127.0.0.1:7001 -id 99 '//article//author[. contains "Ullman"]'
 //
 // The -strategy flag selects a Section 5.3 Bloom-reducer plan; -index
-// stops after phase one and prints the candidate documents.
+// stops after phase one and prints the candidate documents; -explain
+// prints the query's trace tree — every phase with its latency and the
+// bytes moved per traffic class.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"kadop"
@@ -24,6 +28,8 @@ func main() {
 		strategy  = flag.String("strategy", "conventional", "conventional|ab|db|bloom|subquery")
 		indexOnly = flag.Bool("index", false, "run the index query only; print candidate documents")
 		repl      = flag.Int("replication", 1, "index replication factor (must match the deployment's peers)")
+		explain   = flag.Bool("explain", false, "print the query's trace tree (per-phase latency and bytes)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/{metrics,traces,peer,pprof} on this address; keeps the process up after the query for inspection")
 	)
 	flag.Parse()
 	if *bootstrap == "" || *id == 0 || flag.NArg() != 1 {
@@ -58,6 +64,21 @@ func main() {
 		os.Exit(1)
 	}
 	defer peer.Node().Close()
+
+	var tracer *kadop.Tracer
+	if *explain || *debugAddr != "" {
+		tracer = kadop.EnableTracing(peer, 16)
+	}
+	if *debugAddr != "" {
+		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kadop-query: debug endpoint:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s\n", addr)
+	}
+
 	if err := kadop.JoinClient(peer, *bootstrap); err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-query: join:", err)
 		os.Exit(1)
@@ -67,6 +88,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-query:", err)
 		os.Exit(1)
+	}
+	if *explain && res.Trace != nil {
+		fmt.Println("--- explain ---")
+		fmt.Print(res.Trace.Tree())
+		fmt.Println("---------------")
 	}
 	fmt.Printf("index query: %v (first answer %v), %d candidate documents\n",
 		res.IndexTime, res.FirstAnswer, len(res.Docs))
@@ -78,19 +104,27 @@ func main() {
 			}
 			fmt.Printf("  %v  %s\n", d, uri)
 		}
-		return
+	} else {
+		fmt.Printf("total: %v, %d answers\n", res.Total, len(res.Matches))
+		for _, m := range res.Matches {
+			uri, err := peer.URI(m.Doc)
+			if err != nil {
+				uri = "?"
+			}
+			fmt.Printf("  %s (%v):", uri, m.Doc)
+			for _, p := range m.Postings {
+				fmt.Printf(" %v", p.SID)
+			}
+			fmt.Println()
+		}
 	}
-	fmt.Printf("total: %v, %d answers\n", res.Total, len(res.Matches))
-	for _, m := range res.Matches {
-		uri, err := peer.URI(m.Doc)
-		if err != nil {
-			uri = "?"
-		}
-		fmt.Printf("  %s (%v):", uri, m.Doc)
-		for _, p := range m.Postings {
-			fmt.Printf(" %v", p.SID)
-		}
-		fmt.Println()
+	if *debugAddr != "" {
+		// The endpoint exists to be inspected: keep it (and the collected
+		// metrics and trace) alive until interrupted.
+		fmt.Fprintln(os.Stderr, "kadop-query: serving debug endpoint; Ctrl-C to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
 	}
 }
 

@@ -1,0 +1,122 @@
+// Package admin serves the live introspection endpoint of a peer: a
+// JSON metrics dump with latency percentiles, a recent-trace viewer,
+// routing-table and store statistics, and net/http/pprof. It is wired
+// behind the -debug-addr flag of the binaries and is off by default —
+// a deployment that does not ask for it runs no HTTP listener at all.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"kadop/internal/dht"
+	"kadop/internal/metrics"
+	"kadop/internal/trace"
+)
+
+// Options name the peer internals the endpoint exposes. Every field is
+// optional; absent subsystems render as empty sections.
+type Options struct {
+	// Collector supplies /debug/metrics (traffic classes, events, and
+	// latency histograms).
+	Collector *metrics.Collector
+	// Tracer supplies /debug/traces.
+	Tracer *trace.Tracer
+	// Node supplies the routing-table and store sections of /debug/peer.
+	Node *dht.Node
+	// Docs reports the number of locally published documents (the KadoP
+	// layer's count), shown on /debug/peer.
+	Docs func() int
+}
+
+// Handler builds the admin mux. Paths:
+//
+//	/debug/metrics  JSON metrics dump (percentiles included)
+//	/debug/traces   recent traces, JSON; ?format=text for trace trees
+//	/debug/peer     identity, routing table and store statistics
+//	/debug/pprof/   the standard pprof handlers
+func Handler(o Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "kadop debug endpoint\n\n"+
+			"/debug/metrics   traffic classes, events, latency percentiles (JSON)\n"+
+			"/debug/traces    recent query traces (JSON; ?format=text&n=8)\n"+
+			"/debug/peer      identity, routing table, store stats (JSON)\n"+
+			"/debug/pprof/    runtime profiles\n")
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.Collector.Export())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 16
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		recent := o.Tracer.Recent(n)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, t := range recent {
+				fmt.Fprintf(w, "trace %x %q\n%s\n", t.ID(), t.Name(), t.Tree())
+			}
+			return
+		}
+		out := make([]trace.TraceRecord, 0, len(recent))
+		for _, t := range recent {
+			out = append(out, t.Export())
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/debug/peer", func(w http.ResponseWriter, r *http.Request) {
+		info := map[string]any{}
+		if o.Node != nil {
+			info["addr"] = o.Node.Self().Addr
+			info["id"] = fmt.Sprintf("%x", o.Node.Self().ID)
+			info["routing_table_size"] = o.Node.Table().Size()
+			if terms, err := o.Node.Store().Terms(); err == nil {
+				info["store_terms"] = len(terms)
+			}
+		}
+		if o.Docs != nil {
+			info["documents"] = o.Docs()
+		}
+		writeJSON(w, info)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Serve starts the endpoint on addr (e.g. "127.0.0.1:6060") and returns
+// the bound address and a shutdown function. The listener accepts
+// immediately; serving runs in the background.
+func Serve(addr string, o Options) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(o)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

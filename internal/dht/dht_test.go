@@ -336,10 +336,10 @@ func TestAppProcs(t *testing.T) {
 	net := NewNetwork()
 	nodes := buildNetwork(t, net, 6)
 	for _, nd := range nodes {
-		nd.Handle("echo", func(from Contact, key string, blob []byte) ([]byte, error) {
+		nd.Handle("echo", func(_ context.Context, from Contact, key string, blob []byte) ([]byte, error) {
 			return append([]byte("echo:"), blob...), nil
 		})
-		nd.HandleStreamProc("stream:first", func(from Contact, key string, blob []byte, send func(postings.List) error) error {
+		nd.HandleStreamProc("stream:first", func(_ context.Context, from Contact, key string, blob []byte, send func(postings.List) error) error {
 			l, err := nodes[0].Store().Get(key)
 			if err != nil {
 				return err

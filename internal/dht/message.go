@@ -69,6 +69,40 @@ type Message struct {
 	Contacts []Contact     // Nodes response
 	Blob     []byte        // App payloads, opaque to the DHT
 	Err      string        // Error responses
+	// TraceID and SpanID propagate the caller's trace across the
+	// transport so servers can attribute their work to the originating
+	// query (internal/trace). Zero when the caller is not traced; an
+	// untraced message costs two extra zero bytes on the wire.
+	TraceID uint64
+	SpanID  uint64
+}
+
+// rpcOp returns the fixed histogram operation name for a message type,
+// avoiding a per-call string concatenation on the RPC hot path.
+func rpcOp(t MsgType) string {
+	switch t {
+	case MsgPing:
+		return "rpc:ping"
+	case MsgFindNode:
+		return "rpc:find-node"
+	case MsgAppend:
+		return "rpc:append"
+	case MsgGet:
+		return "rpc:get"
+	case MsgGetStream:
+		return "rpc:get-stream"
+	case MsgDelete:
+		return "rpc:delete"
+	case MsgDeleteKey:
+		return "rpc:delete-key"
+	case MsgApp:
+		return "rpc:app"
+	case MsgDigest:
+		return "rpc:digest"
+	case MsgRepair:
+		return "rpc:repair"
+	}
+	return "rpc:other"
 }
 
 // Class attributes the message to a traffic class for accounting.
@@ -134,6 +168,8 @@ func (m Message) Encode() ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(len(m.Blob)))
 	buf = append(buf, m.Blob...)
 	buf = appendString(buf, m.Err)
+	buf = binary.AppendUvarint(buf, m.TraceID)
+	buf = binary.AppendUvarint(buf, m.SpanID)
 	return buf, nil
 }
 
@@ -172,6 +208,8 @@ func DecodeMessage(buf []byte) (Message, error) {
 		}
 	}
 	m.Err = r.str()
+	m.TraceID = r.uvarint()
+	m.SpanID = r.uvarint()
 	if r.err != nil {
 		return m, fmt.Errorf("dht: decode message: %w", r.err)
 	}

@@ -8,12 +8,14 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kadop/internal/metrics"
 	"kadop/internal/postings"
 	"kadop/internal/sid"
 	"kadop/internal/store"
+	"kadop/internal/trace"
 )
 
 // Config holds the overlay parameters.
@@ -73,12 +75,16 @@ func (c Config) withDefaults() Config {
 }
 
 // ProcHandler serves one application-level procedure (registered by the
-// KadoP layer on top of the DHT).
-type ProcHandler func(from Contact, key string, blob []byte) ([]byte, error)
+// KadoP layer on top of the DHT). The context carries the calling
+// query's trace span (when the caller was traced), so handlers that
+// issue further DHT calls keep the remote work attributed to the
+// originating query.
+type ProcHandler func(ctx context.Context, from Contact, key string, blob []byte) ([]byte, error)
 
 // StreamProcHandler serves one streaming application procedure; it
-// sends posting batches through send.
-type StreamProcHandler func(from Contact, key string, blob []byte, send func(postings.List) error) error
+// sends posting batches through send. The context carries the calling
+// query's trace span, as for ProcHandler.
+type StreamProcHandler func(ctx context.Context, from Contact, key string, blob []byte, send func(postings.List) error) error
 
 // Node is one DHT peer: routing table, local store, and the wire
 // handlers for the DHT interface (plus registered application
@@ -91,6 +97,7 @@ type Node struct {
 	tr        Transport
 	collector *metrics.Collector
 	rng       *retryRNG
+	tracer    atomic.Pointer[trace.Tracer]
 
 	mu          sync.RWMutex
 	procs       map[string]ProcHandler
@@ -144,6 +151,19 @@ func (n *Node) from() Contact {
 // local index organisation such as DPP blocks).
 func (n *Node) Store() store.Store { return n.store }
 
+// Metrics exposes the node's collector (the transport's, when the
+// transport accounts traffic). May be nil; the collector's methods are
+// nil-safe.
+func (n *Node) Metrics() *metrics.Collector { return n.collector }
+
+// SetTracer installs a tracer: queries from this node start traces, and
+// requests arriving with trace ids get server-side spans recorded in
+// the tracer's ring. A nil tracer (the default) disables tracing.
+func (n *Node) SetTracer(t *trace.Tracer) { n.tracer.Store(t) }
+
+// Tracer returns the installed tracer, or nil.
+func (n *Node) Tracer() *trace.Tracer { return n.tracer.Load() }
+
 // Table exposes the routing table (for diagnostics).
 func (n *Node) Table() *Table { return n.table }
 
@@ -168,6 +188,11 @@ func (n *Node) HandleStreamProc(proc string, h StreamProcHandler) {
 // evicted from the routing table (the replacement cache refills the
 // bucket).
 func (n *Node) call(ctx context.Context, to Contact, req Message) (Message, error) {
+	parent := trace.FromContext(ctx)
+	if parent != nil {
+		req.TraceID, req.SpanID = trace.ID(ctx)
+	}
+	start := time.Now()
 	var resp Message
 	err := withRetry(ctx, n.cfg.Retry, n.collector, n.rng, func() error {
 		actx, cancel := context.WithTimeout(ctx, n.cfg.RPCTimeout)
@@ -188,6 +213,18 @@ func (n *Node) call(ctx context.Context, to Contact, req Message) (Message, erro
 			n.collector.CountEvent(metrics.EventEviction)
 		}
 	}
+	dur := time.Since(start)
+	n.collector.Observe(rpcOp(req.Type), dur)
+	if parent != nil {
+		sp := parent.Child(rpcOp(req.Type), start, dur)
+		sp.SetAttr("peer", to.Addr)
+		if req.Proc != "" {
+			sp.SetAttr("proc", req.Proc)
+		}
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+	}
 	return resp, err
 }
 
@@ -195,6 +232,11 @@ func (n *Node) call(ctx context.Context, to Contact, req Message) (Message, erro
 // policy as call (retries apply to the stream opening only; an error
 // mid-stream surfaces to the consumer).
 func (n *Node) openStream(ctx context.Context, to Contact, req Message) (MsgStream, error) {
+	parent := trace.FromContext(ctx)
+	if parent != nil {
+		req.TraceID, req.SpanID = trace.ID(ctx)
+	}
+	start := time.Now()
 	var ms MsgStream
 	err := withRetry(ctx, n.cfg.Retry, n.collector, n.rng, func() error {
 		actx, cancel := context.WithTimeout(ctx, n.cfg.RPCTimeout)
@@ -210,6 +252,18 @@ func (n *Node) openStream(ctx context.Context, to Contact, req Message) (MsgStre
 	if err != nil && Retryable(err) && !to.ID.IsZero() {
 		if n.table.Remove(to.ID) {
 			n.collector.CountEvent(metrics.EventEviction)
+		}
+	}
+	dur := time.Since(start)
+	n.collector.Observe(rpcOp(req.Type), dur)
+	if parent != nil {
+		sp := parent.Child("stream-open:"+req.Type.String(), start, dur)
+		sp.SetAttr("peer", to.Addr)
+		if req.Proc != "" {
+			sp.SetAttr("proc", req.Proc)
+		}
+		if err != nil {
+			sp.SetAttr("error", err.Error())
 		}
 	}
 	return ms, err
@@ -244,6 +298,25 @@ func (n *Node) Lookup(target ID) ([]Contact, error) {
 // contacts are evicted and dropped from the shortlist; the lookup
 // fails only when the deadline expires or no peer is reachable.
 func (n *Node) LookupContext(ctx context.Context, target ID) ([]Contact, error) {
+	start := time.Now()
+	ctx, sp := trace.StartSpan(ctx, "dht:lookup")
+	rounds := 0
+	cs, err := n.lookupRun(ctx, target, &rounds)
+	n.collector.Observe(metrics.OpLookup, time.Since(start))
+	if sp != nil {
+		sp.SetInt("rounds", int64(rounds))
+		sp.SetInt("contacts", int64(len(cs)))
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.Finish()
+	}
+	return cs, err
+}
+
+// lookupRun is the iterative Kademlia lookup; rounds reports how many
+// α-parallel query rounds it took.
+func (n *Node) lookupRun(ctx context.Context, target ID, rounds *int) ([]Contact, error) {
 	type entry struct {
 		c       Contact
 		queried bool
@@ -288,6 +361,7 @@ func (n *Node) LookupContext(ctx context.Context, target ID) ([]Contact, error) 
 		if len(batch) == 0 {
 			return closestOf(), nil
 		}
+		*rounds++
 		type result struct {
 			from     Contact
 			contacts []Contact
@@ -369,6 +443,14 @@ func (n *Node) Append(key string, ps postings.List) error {
 // acknowledged append reached every replica owner; store-side
 // deduplication makes the retried delivery idempotent.
 func (n *Node) AppendContext(ctx context.Context, key string, ps postings.List) error {
+	start := time.Now()
+	defer func() { n.collector.Observe(metrics.OpAppend, time.Since(start)) }()
+	ctx, sp := trace.StartSpan(ctx, "dht:append")
+	if sp != nil {
+		sp.SetAttr("key", key)
+		sp.SetInt("postings", int64(len(ps)))
+		defer sp.Finish()
+	}
 	owners, err := n.OwnersContext(ctx, key)
 	if err != nil {
 		return err
@@ -549,7 +631,9 @@ func (n *Node) StreamFrom(owner Contact, req Message) (postings.Stream, error) {
 func (n *Node) StreamFromContext(ctx context.Context, owner Contact, req Message) (postings.Stream, error) {
 	if owner.ID == n.self.ID {
 		// Local fast path: serve from the store through a pipe so the
-		// consumer sees the same streaming behaviour.
+		// consumer sees the same streaming behaviour (the trace ids are
+		// stamped so HandleStream attributes the work as usual).
+		req.TraceID, req.SpanID = trace.ID(ctx)
 		pipe := postings.NewPipe(n.cfg.ChunkSize * 2)
 		go func() {
 			err := n.HandleStream(n.self, req, func(chunk Message) error {
@@ -743,7 +827,9 @@ func (n *Node) CallProcOnContext(ctx context.Context, to Contact, key, proc stri
 		if h == nil {
 			return nil, fmt.Errorf("dht: unknown procedure %q", proc)
 		}
-		return h(n.self, key, blob)
+		// Local fast path: the handler inherits the caller's context
+		// directly (deadline and trace span included).
+		return h(ctx, n.self, key, blob)
 	}
 	resp, err := n.call(ctx, to, Message{Type: MsgApp, From: n.from(), Key: key, Proc: proc, Blob: blob})
 	if err != nil {
@@ -867,11 +953,32 @@ func (n *Node) lookupStreamProc(proc string) StreamProcHandler {
 	return n.streamProcs[proc]
 }
 
+// serverContext opens a server-side span for a request that arrived
+// with trace ids and returns a context carrying it. With no tracer or
+// an untraced request it returns the background context and nil.
+func (n *Node) serverContext(req Message) (context.Context, *trace.Span) {
+	ctx := context.Background()
+	if req.TraceID == 0 {
+		return ctx, nil
+	}
+	sp := n.Tracer().JoinRemote(req.TraceID, req.SpanID, "serve:"+req.Type.String())
+	if sp == nil {
+		return ctx, nil
+	}
+	sp.SetAttr("at", n.self.Addr)
+	if req.Proc != "" {
+		sp.SetAttr("proc", req.Proc)
+	}
+	return trace.ContextWithSpan(ctx, sp), sp
+}
+
 // HandleCall implements Handler (the server side of the wire protocol).
 func (n *Node) HandleCall(from Contact, req Message) Message {
 	if !from.ID.IsZero() {
 		n.table.Update(from)
 	}
+	ctx, sp := n.serverContext(req)
+	defer sp.Finish()
 	fail := func(err error) Message {
 		return Message{Type: MsgError, From: n.self, Err: err.Error()}
 	}
@@ -914,7 +1021,7 @@ func (n *Node) HandleCall(from Contact, req Message) Message {
 		if h == nil {
 			return fail(fmt.Errorf("unknown procedure %q", req.Proc))
 		}
-		blob, err := h(from, req.Key, req.Blob)
+		blob, err := h(ctx, from, req.Key, req.Blob)
 		if err != nil {
 			return fail(err)
 		}
@@ -928,6 +1035,8 @@ func (n *Node) HandleStream(from Contact, req Message, send func(Message) error)
 	if !from.ID.IsZero() {
 		n.table.Update(from)
 	}
+	ctx, sp := n.serverContext(req)
+	defer sp.Finish()
 	switch req.Type {
 	case MsgGetStream:
 		return n.streamList(req.Key, send)
@@ -936,7 +1045,7 @@ func (n *Node) HandleStream(from Contact, req Message, send func(Message) error)
 		if h == nil {
 			return fmt.Errorf("unknown stream procedure %q", req.Proc)
 		}
-		return h(from, req.Key, req.Blob, func(batch postings.List) error {
+		return h(ctx, from, req.Key, req.Blob, func(batch postings.List) error {
 			return send(Message{Type: MsgChunk, From: n.self, Postings: batch})
 		})
 	}

@@ -33,7 +33,7 @@ func TestTCPStreamProc(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := randomPostings(rand.New(rand.NewSource(1)), 300)
-	a.HandleStreamProc("stream:test", func(_ Contact, _ string, _ []byte, send func(postings.List) error) error {
+	a.HandleStreamProc("stream:test", func(_ context.Context, _ Contact, _ string, _ []byte, send func(postings.List) error) error {
 		for i := 0; i < len(want); i += 64 {
 			end := i + 64
 			if end > len(want) {

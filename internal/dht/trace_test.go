@@ -1,0 +1,147 @@
+package dht
+
+import (
+	"context"
+	"testing"
+
+	"kadop/internal/metrics"
+	"kadop/internal/trace"
+)
+
+// TestTracePropagatesAcrossLookup runs a multi-hop lookup under a shared
+// tracer and checks that the server-side spans adopted from the wire
+// (the sim transport round-trips every message through Encode /
+// DecodeMessage, so the trace IDs really cross the codec boundary) link
+// back to the client's lookup span.
+func TestTracePropagatesAcrossLookup(t *testing.T) {
+	net := NewNetwork()
+	nodes := buildNetwork(t, net, 16)
+	tr := trace.New(32)
+	for _, nd := range nodes {
+		nd.SetTracer(tr)
+	}
+
+	client := nodes[1]
+	ctx, root := tr.StartTrace(context.Background(), "test-lookup")
+	target := PeerIDFromSeed("some far away key")
+	if _, err := client.LookupContext(ctx, target); err != nil {
+		t.Fatal(err)
+	}
+	root.Finish()
+
+	rec := root.Trace().Export()
+	byID := make(map[uint64]trace.SpanRecord, len(rec.Spans))
+	for _, s := range rec.Spans {
+		byID[s.ID] = s
+	}
+
+	var lookupID uint64
+	var rpcChildren, served int
+	for _, s := range rec.Spans {
+		if s.Name == "dht:lookup" {
+			lookupID = s.ID
+			if byID[s.Parent].Name != "test-lookup" {
+				t.Errorf("dht:lookup parent = %q, want the root span", byID[s.Parent].Name)
+			}
+		}
+	}
+	if lookupID == 0 {
+		t.Fatalf("no dht:lookup span in trace:\n%s", root.Trace().Tree())
+	}
+	for _, s := range rec.Spans {
+		switch s.Name {
+		case "rpc:find-node":
+			if s.Parent != lookupID {
+				t.Errorf("rpc:find-node parent = %d, want lookup span %d", s.Parent, lookupID)
+			}
+			rpcChildren++
+		case "serve:find-node":
+			// The server adopted the caller's span ID from the decoded
+			// message: the parent must be the client's lookup span.
+			if s.Parent != lookupID {
+				t.Errorf("serve:find-node parent = %d, want lookup span %d", s.Parent, lookupID)
+			}
+			served++
+		}
+	}
+	if rpcChildren == 0 || served == 0 {
+		t.Fatalf("rpc=%d served=%d, want both > 0:\n%s", rpcChildren, served, root.Trace().Tree())
+	}
+	if net.Collector.Hist(metrics.OpLookup).Count() == 0 {
+		t.Error("lookup histogram not populated")
+	}
+}
+
+// TestTraceJoinRemoteSeparateTracers checks the TCP-like case where the
+// server's tracer has never seen the trace: the adopted span lands in a
+// stub trace keyed by the caller's trace ID, still carrying the remote
+// parent link.
+func TestTraceJoinRemoteSeparateTracers(t *testing.T) {
+	net := NewNetwork()
+	nodes := buildNetwork(t, net, 4)
+	clientTr, serverTr := trace.New(8), trace.New(8)
+	nodes[1].SetTracer(clientTr)
+	for _, nd := range nodes {
+		if nd != nodes[1] {
+			nd.SetTracer(serverTr)
+		}
+	}
+
+	ctx, root := clientTr.StartTrace(context.Background(), "client-side")
+	if _, err := nodes[1].LookupContext(ctx, PeerIDFromSeed("elsewhere")); err != nil {
+		t.Fatal(err)
+	}
+	root.Finish()
+
+	traceID, _ := trace.ID(trace.ContextWithSpan(context.Background(), root))
+	var found bool
+	for _, tc := range serverTr.Recent(8) {
+		if tc.ID() == traceID {
+			found = true
+			rec := tc.Export()
+			if len(rec.Spans) == 0 {
+				t.Error("stub remote trace has no spans")
+			}
+			for _, s := range rec.Spans {
+				if s.Parent == 0 {
+					t.Errorf("remote span %q lost its parent link", s.Name)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("server tracer never adopted trace %x", traceID)
+	}
+}
+
+// TestUntracedMessagesCarryNoIDs pins the zero-overhead property: calls
+// without a span in context put zero trace IDs on the wire.
+func TestUntracedMessagesCarryNoIDs(t *testing.T) {
+	m := Message{Type: MsgFindNode}
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeMessage(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.TraceID != 0 || dec.SpanID != 0 {
+		t.Errorf("untraced message decoded trace ids %d/%d", dec.TraceID, dec.SpanID)
+	}
+	m.TraceID, m.SpanID = 7, 9
+	enc2, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc2) < len(enc) {
+		t.Error("traced encoding shorter than untraced")
+	}
+	dec2, err := DecodeMessage(enc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.TraceID != 7 || dec2.SpanID != 9 {
+		t.Errorf("trace ids did not survive the codec: %d/%d", dec2.TraceID, dec2.SpanID)
+	}
+}

@@ -182,7 +182,7 @@ func (m *Manager) AppendTyped(term string, ps postings.List, dtype string) error
 }
 
 // handleAppend runs at the term's home peer.
-func (m *Manager) handleAppend(_ dht.Contact, term string, blob []byte) ([]byte, error) {
+func (m *Manager) handleAppend(_ context.Context, _ dht.Contact, term string, blob []byte) ([]byte, error) {
 	dtype, pos, err := readStr(blob, 0)
 	if err != nil {
 		return nil, fmt.Errorf("dpp: append %q: %w", term, err)
@@ -413,7 +413,7 @@ func (m *Manager) splitBlock(root *Root, bi int) error {
 // handleRoot serves the root block of a term this peer is home for.
 // A term that never overflowed reports itself inline, with its local
 // list's bounds attached for the document-interval computation.
-func (m *Manager) handleRoot(_ dht.Contact, term string, _ []byte) ([]byte, error) {
+func (m *Manager) handleRoot(_ context.Context, _ dht.Contact, term string, _ []byte) ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	root := m.roots[term]
@@ -439,7 +439,7 @@ func (m *Manager) handleRoot(_ dht.Contact, term string, _ []byte) ([]byte, erro
 
 // handleBlock streams a block's postings, clipped to the requested
 // document interval (empty blob means no clipping).
-func (m *Manager) handleBlock(_ dht.Contact, key string, blob []byte, send func(postings.List) error) error {
+func (m *Manager) handleBlock(_ context.Context, _ dht.Contact, key string, blob []byte, send func(postings.List) error) error {
 	lo, hi, clip, err := decodeInterval(blob)
 	if err != nil {
 		return err
@@ -690,7 +690,7 @@ func (m *Manager) Delete(term string, ps postings.List) error {
 }
 
 // handleDelete runs at the term's home peer.
-func (m *Manager) handleDelete(_ dht.Contact, term string, blob []byte) ([]byte, error) {
+func (m *Manager) handleDelete(_ context.Context, _ dht.Contact, term string, blob []byte) ([]byte, error) {
 	ps, _, err := postings.Decode(blob)
 	if err != nil {
 		return nil, fmt.Errorf("dpp: delete %q: %w", term, err)

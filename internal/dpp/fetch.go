@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"kadop/internal/dht"
+	"kadop/internal/metrics"
 	"kadop/internal/postings"
 	"kadop/internal/sid"
+	"kadop/internal/trace"
 )
 
 // FetchPlan reports what a fetch decided: how many blocks the term has,
@@ -70,6 +73,21 @@ func (m *Manager) FetchWithRootContext(ctx context.Context, root *Root, opts Fet
 		opts.Parallel = 4
 	}
 	plan := &FetchPlan{Term: root.Term, Blocks: len(root.Blocks), Parallel: opts.Parallel, DocClipped: opts.Filter}
+	// The fan-out span covers the fetch decision; the fetch itself
+	// streams on, so block transfers appear as their own child spans and
+	// the pipeline's cost lands in the consumer's transfer accounting.
+	if sp := trace.FromContext(ctx); sp != nil {
+		defer func() {
+			c := sp.Child("dpp:fetch", time.Now(), 0)
+			c.SetAttr("term", root.Term)
+			c.SetInt("blocks", int64(plan.Blocks))
+			c.SetInt("fetched", int64(plan.Fetched))
+			c.SetInt("parallel", int64(plan.Parallel))
+			if plan.Inline {
+				c.SetAttr("inline", "true")
+			}
+		}()
+	}
 	if len(root.Blocks) == 0 {
 		// Inline list at the home peer.
 		plan.Inline = true
@@ -185,6 +203,7 @@ type fetched struct {
 // a lookup of the pseudo-key is the fallback when the pointer is
 // stale) and drains its (clipped) stream.
 func (m *Manager) fetchBlock(ctx context.Context, b BlockRef, intervalBlob []byte) (postings.List, error) {
+	start := time.Now()
 	owner := dht.Contact{ID: dht.PeerIDFromSeed(b.Owner), Addr: b.Owner}
 	if b.Owner == "" {
 		var err error
@@ -205,7 +224,18 @@ func (m *Manager) fetchBlock(ctx context.Context, b BlockRef, intervalBlob []byt
 			return nil, err
 		}
 	}
-	return postings.Drain(s)
+	list, err := postings.Drain(s)
+	dur := time.Since(start)
+	m.node.Metrics().Observe(metrics.OpDPPFetch, dur)
+	if sp := trace.FromContext(ctx); sp != nil {
+		c := sp.Child("dpp:block", start, dur)
+		c.SetAttr("block", b.Key)
+		c.SetInt("postings", int64(len(list)))
+		if err != nil {
+			c.SetAttr("error", err.Error())
+		}
+	}
+	return list, err
 }
 
 // clipStream filters a stream to the document interval (client side,

@@ -9,6 +9,7 @@ import (
 	"kadop/internal/kadop"
 	"kadop/internal/metrics"
 	"kadop/internal/pattern"
+	"kadop/internal/trace"
 	"kadop/internal/workload"
 )
 
@@ -50,6 +51,17 @@ type RobustnessRow struct {
 	Repairs   int64 // keys re-pushed by the repair pass
 
 	RepairBytes int64 // replica-maintenance traffic
+
+	// Phases are the latency distributions of the query pipeline under
+	// this loss rate, from the collector's histograms.
+	Phases []PhaseLatency
+}
+
+// PhaseLatency is the latency distribution of one pipeline phase.
+type PhaseLatency struct {
+	Op            string
+	Count         int64
+	P50, P95, P99 time.Duration
 }
 
 // RobustnessResult is the loss-rate sweep.
@@ -108,9 +120,12 @@ func RunRobustness(o RobustnessOptions) (*RobustnessResult, error) {
 		}
 
 		// The query workload: every query must come back within its
-		// deadline, either exact or explicitly marked incomplete.
+		// deadline, either exact or explicitly marked incomplete. The
+		// querier gets a tracer so the per-phase histograms (transfer,
+		// twig join) populate alongside the always-on ones.
 		row := RobustnessRow{DropProb: drop}
 		querier := cl.Peers[len(cl.Peers)-1]
+		querier.Node().SetTracer(trace.New(4))
 		for i := 0; i < o.Queries; i++ {
 			qctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 			r, qerr := querier.QueryContext(qctx, q, kadop.QueryOptions{AllowPartial: true})
@@ -132,6 +147,22 @@ func RunRobustness(o RobustnessOptions) (*RobustnessResult, error) {
 		row.Evictions = col.Events(metrics.EventEviction)
 		row.Repairs = col.Events(metrics.EventRepair)
 		row.RepairBytes = col.Bytes(metrics.Repair)
+		for _, op := range []string{
+			metrics.OpQueryTotal, metrics.OpQueryIndex, metrics.OpLookup,
+			metrics.OpPostingsTransfer, metrics.OpTwigJoin, metrics.OpSecondPhase,
+		} {
+			h := col.Hist(op)
+			if h.Count() == 0 {
+				continue
+			}
+			row.Phases = append(row.Phases, PhaseLatency{
+				Op:    op,
+				Count: h.Count(),
+				P50:   h.Quantile(0.50),
+				P95:   h.Quantile(0.95),
+				P99:   h.Quantile(0.99),
+			})
+		}
 		cl.Net.SetFaults(dht.Faults{})
 		cl.Close()
 		res.Rows = append(res.Rows, row)
@@ -154,6 +185,25 @@ func (r *RobustnessResult) Format() string {
 			mb(row.RepairBytes),
 		})
 	}
-	return "Robustness — queries after one peer failure, under message loss (Replication 2)\n" +
+	out := "Robustness — queries after one peer failure, under message loss (Replication 2)\n" +
 		table([]string{"drop", "complete", "partial", "retries", "timeouts", "evictions", "repairs", "repair(MB)"}, rows)
+	for _, row := range r.Rows {
+		if len(row.Phases) == 0 {
+			continue
+		}
+		msq := func(d time.Duration) string {
+			return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+		}
+		prows := make([][]string, 0, len(row.Phases))
+		for _, ph := range row.Phases {
+			prows = append(prows, []string{
+				ph.Op,
+				fmt.Sprintf("%d", ph.Count),
+				msq(ph.P50), msq(ph.P95), msq(ph.P99),
+			})
+		}
+		out += fmt.Sprintf("\nPhase latency at %.0f%% loss\n", row.DropProb*100) +
+			table([]string{"phase", "obs", "p50(ms)", "p95(ms)", "p99(ms)"}, prows)
+	}
+	return out
 }

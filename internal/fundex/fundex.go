@@ -28,6 +28,7 @@
 package fundex
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"time"
@@ -195,7 +196,7 @@ func (ix *Indexer) materialize(uri string) (sid.DocKey, error) {
 // handleFun runs at the home peer of fun:<uri>: on first request it
 // resolves, parses and indexes the referenced document under the
 // functional id; later requests are free ("then p has nothing to do").
-func (ix *Indexer) handleFun(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+func (ix *Indexer) handleFun(_ context.Context, _ dht.Contact, _ string, blob []byte) ([]byte, error) {
 	uri := string(blob)
 	id := fid(uri)
 	key := sid.DocKey{Peer: ix.peer.ID(), Doc: id}

@@ -171,14 +171,14 @@ func (p *Peer) dirGet(ctx context.Context, key string) ([]byte, error) {
 	return p.node.CallProcAnyContext(ctx, key, procDirGet, nil)
 }
 
-func (p *Peer) handleDirPut(_ dht.Contact, key string, blob []byte) ([]byte, error) {
+func (p *Peer) handleDirPut(_ context.Context, _ dht.Contact, key string, blob []byte) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.dir[key] = append([]byte(nil), blob...)
 	return nil, nil
 }
 
-func (p *Peer) handleDirGet(_ dht.Contact, key string, _ []byte) ([]byte, error) {
+func (p *Peer) handleDirGet(_ context.Context, _ dht.Contact, key string, _ []byte) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	blob, ok := p.dir[key]
@@ -359,7 +359,7 @@ func (p *Peer) URI(k sid.DocKey) (string, error) {
 // handleAnswer serves phase-two query evaluation: given a query and a
 // set of local document ids, it evaluates the full tree pattern on the
 // stored documents and returns the answer tuples.
-func (p *Peer) handleAnswer(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+func (p *Peer) handleAnswer(_ context.Context, _ dht.Contact, _ string, blob []byte) ([]byte, error) {
 	queryText, pos, err := readStr(blob, 0)
 	if err != nil {
 		return nil, err

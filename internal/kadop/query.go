@@ -8,9 +8,11 @@ import (
 	"time"
 
 	"kadop/internal/dpp"
+	"kadop/internal/metrics"
 	"kadop/internal/pattern"
 	"kadop/internal/postings"
 	"kadop/internal/sid"
+	"kadop/internal/trace"
 	"kadop/internal/twigjoin"
 )
 
@@ -109,6 +111,11 @@ type Result struct {
 	Incomplete bool
 	// FailedPeers counts the unreachable document peers.
 	FailedPeers int
+	// Trace is the query's span timeline, set when the querying node has
+	// a tracer installed (or the caller's context already carried a
+	// span). Render it with Trace.Tree() — the kadop-query -explain
+	// output.
+	Trace *trace.Trace
 }
 
 // Query evaluates a tree-pattern query: phase one computes the
@@ -126,8 +133,38 @@ func (p *Peer) QueryContext(ctx context.Context, q *pattern.Query, opts QueryOpt
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	col := p.node.Metrics()
+	// Open the query's root span: join the caller's trace when the
+	// context already carries one, else start a fresh trace when the
+	// node has a tracer. With neither, all downstream instrumentation
+	// reduces to its no-op fast paths.
+	var root *trace.Span
+	if trace.FromContext(ctx) != nil {
+		ctx, root = trace.StartSpan(ctx, "query")
+	} else if tr := p.node.Tracer(); tr != nil {
+		ctx, root = tr.StartTrace(ctx, "query")
+	}
+	var classBase map[metrics.Class]int64
+	if root != nil {
+		root.SetAttr("query", q.String())
+		root.SetAttr("strategy", opts.Strategy.String())
+		classBase = col.ClassBytes()
+	}
 	start := time.Now()
-	res := &Result{}
+	res := &Result{Trace: root.Trace()}
+	defer func() {
+		col.Observe(metrics.OpQueryTotal, time.Since(start))
+		if root != nil {
+			// Per-class byte deltas: what this query moved, attributed the
+			// same way the collector attributes traffic.
+			for class, now := range col.ClassBytes() {
+				if d := now - classBase[class]; d > 0 {
+					root.SetInt("bytes."+string(class), d)
+				}
+			}
+			root.Finish()
+		}
+	}()
 
 	iq, err := ProjectIndexQuery(q)
 	if err != nil {
@@ -139,9 +176,18 @@ func (p *Peer) QueryContext(ctx context.Context, q *pattern.Query, opts QueryOpt
 	}
 	res.Docs = docs
 	res.IndexTime = time.Since(start)
+	col.Observe(metrics.OpQueryIndex, res.IndexTime)
 
 	if !opts.IndexOnly {
-		matches, failed, err := p.secondPhase(ctx, q, docs)
+		phaseStart := time.Now()
+		actx, asp := trace.StartSpan(ctx, "phase:answers")
+		matches, failed, err := p.secondPhase(actx, q, docs)
+		col.Observe(metrics.OpSecondPhase, time.Since(phaseStart))
+		if asp != nil {
+			asp.SetInt("matches", int64(len(matches)))
+			asp.SetInt("failed-peers", int64(failed))
+			asp.Finish()
+		}
 		if err != nil && !opts.AllowPartial {
 			return nil, err
 		}
@@ -150,6 +196,10 @@ func (p *Peer) QueryContext(ctx context.Context, q *pattern.Query, opts QueryOpt
 		res.Incomplete = failed > 0
 	}
 	res.Total = time.Since(start)
+	if root != nil {
+		root.SetInt("answers", int64(len(res.Matches)))
+		root.SetInt("candidate-docs", int64(len(res.Docs)))
+	}
 	return res, nil
 }
 
@@ -191,14 +241,81 @@ func (p *Peer) indexQuery(ctx context.Context, iq *indexQuery, opts QueryOptions
 	return docs, nil
 }
 
+// timedStream decorates a posting stream to measure the time its
+// consumer spends blocked in Next and the postings delivered. The twig
+// join's wall time splits into transfer (summed blocked time) and
+// compute (the rest) — the paper's Figure 5 decomposition, per query.
+// Only traced queries pay the two clock reads per posting.
+type timedStream struct {
+	s    postings.Stream
+	wait time.Duration
+	n    int64
+}
+
+func (t *timedStream) Next() (sid.Posting, error) {
+	start := time.Now()
+	p, err := t.s.Next()
+	t.wait += time.Since(start)
+	if err == nil {
+		t.n++
+	}
+	return p, err
+}
+
+// wrapTimed replaces every stream with a timing decorator in place and
+// returns the decorators for later accounting.
+func wrapTimed(streams map[*pattern.Node]postings.Stream) []*timedStream {
+	timed := make([]*timedStream, 0, len(streams))
+	for n, s := range streams {
+		ts := &timedStream{s: s}
+		streams[n] = ts
+		timed = append(timed, ts)
+	}
+	return timed
+}
+
+// recordJoinPhases attributes one twig join's wall time to transfer and
+// compute, both to the collector's histograms and — when traced — as
+// phase spans under the span carried by ctx.
+func (p *Peer) recordJoinPhases(ctx context.Context, joinStart time.Time, joinWall time.Duration, timed []*timedStream, matches int) {
+	var blocked time.Duration
+	var moved int64
+	for _, t := range timed {
+		blocked += t.wait
+		moved += t.n
+	}
+	compute := joinWall - blocked
+	if compute < 0 {
+		compute = 0
+	}
+	col := p.node.Metrics()
+	col.Observe(metrics.OpPostingsTransfer, blocked)
+	col.Observe(metrics.OpTwigJoin, compute)
+	if parent := trace.FromContext(ctx); parent != nil {
+		tsp := parent.Child("phase:transfer", joinStart, blocked)
+		tsp.SetInt("postings", moved)
+		jsp := parent.Child("phase:twigjoin", joinStart, compute)
+		jsp.SetInt("matches", int64(matches))
+	}
+}
+
 // sequentialIndexJoin is the default phase-one evaluation: one holistic
 // twig join over the full streams.
 func (p *Peer) sequentialIndexJoin(ctx context.Context, sub *pattern.Query, opts QueryOptions, res *Result, start time.Time) ([]sid.DocKey, error) {
-	streams, plans, err := p.fetchStreams(ctx, sub, opts)
+	traced := trace.FromContext(ctx) != nil
+	fctx, fsp := trace.StartSpan(ctx, "phase:fetch")
+	streams, plans, err := p.fetchStreams(fctx, sub, opts)
+	fsp.Finish()
 	if err != nil {
 		return nil, err
 	}
 	res.Plans = append(res.Plans, plans...)
+	var timed []*timedStream
+	if traced {
+		timed = wrapTimed(streams)
+	}
+	joinStart := time.Now()
+	matchBase := res.IndexMatches
 	var subDocs []sid.DocKey
 	err = twigjoin.Run(sub, streams, func(m twigjoin.Match) error {
 		if res.FirstAnswer == 0 {
@@ -210,6 +327,9 @@ func (p *Peer) sequentialIndexJoin(ctx context.Context, sub *pattern.Query, opts
 		}
 		return nil
 	})
+	if traced {
+		p.recordJoinPhases(ctx, joinStart, time.Since(joinStart), timed, res.IndexMatches-matchBase)
+	}
 	return subDocs, err
 }
 
@@ -254,16 +374,22 @@ func (p *Peer) parallelIndexJoin(ctx context.Context, sub *pattern.Query, opts Q
 		errOnce sync.Once
 		firstE  error
 	)
+	traced := trace.FromContext(ctx) != nil
 	sem := make(chan struct{}, opts.ParallelJoin)
-	for _, v := range vectors {
+	for vi, v := range vectors {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(v docRange) {
+		go func(vi int, v docRange) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			vctx, vsp := trace.StartSpan(ctx, "vector")
+			if vsp != nil {
+				vsp.SetInt("vector", int64(vi))
+				defer vsp.Finish()
+			}
 			streams := map[string]postings.Stream{}
 			for _, t := range terms {
-				s, plan, err := p.dpp.FetchWithRootContext(ctx, roots[t.Key()], dpp.FetchOptions{
+				s, plan, err := p.dpp.FetchWithRootContext(vctx, roots[t.Key()], dpp.FetchOptions{
 					Parallel: p.cfg.Parallel,
 					Filter:   true, FilterLo: v.lo, FilterHi: v.hi,
 					AllowedTypes: allowed,
@@ -290,6 +416,12 @@ func (p *Peer) parallelIndexJoin(ctx context.Context, sub *pattern.Query, opts Q
 				errOnce.Do(func() { firstE = err })
 				return
 			}
+			var timed []*timedStream
+			if traced {
+				timed = wrapTimed(nodeStreams)
+			}
+			joinStart := time.Now()
+			vecMatches := 0
 			err = twigjoin.Run(sub, nodeStreams, func(m twigjoin.Match) error {
 				mu.Lock()
 				if res.FirstAnswer == 0 {
@@ -298,12 +430,16 @@ func (p *Peer) parallelIndexJoin(ctx context.Context, sub *pattern.Query, opts Q
 				res.IndexMatches++
 				subDocs[m.Doc] = true
 				mu.Unlock()
+				vecMatches++
 				return nil
 			})
+			if traced {
+				p.recordJoinPhases(vctx, joinStart, time.Since(joinStart), timed, vecMatches)
+			}
 			if err != nil {
 				errOnce.Do(func() { firstE = err })
 			}
-		}(v)
+		}(vi, v)
 	}
 	wg.Wait()
 	if firstE != nil {

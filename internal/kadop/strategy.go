@@ -8,10 +8,25 @@ import (
 
 	"kadop/internal/dht"
 	"kadop/internal/dpp"
+	"kadop/internal/metrics"
 	"kadop/internal/pattern"
 	"kadop/internal/postings"
 	"kadop/internal/sbf"
+	"kadop/internal/trace"
 )
+
+// noteFilterBuild records one structural-Bloom-filter construction at a
+// home peer: a latency observation in the node's collector, and — when
+// the serving context carries the query's trace — a span annotated with
+// the filter's kind, wire size and level.
+func (p *Peer) noteFilterBuild(ctx context.Context, st sbf.Stats, start time.Time) {
+	d := time.Since(start)
+	p.node.Metrics().Observe(metrics.OpSBFBuild, d)
+	if parent := trace.FromContext(ctx); parent != nil {
+		sp := parent.Child("sbf:build", start, d)
+		sp.SetAttr("filter", st.String())
+	}
+}
 
 // The Bloom-reducer strategies of Section 5.3. All strategies proceed
 // in two phases: peers exchange structural Bloom filters along the
@@ -181,7 +196,7 @@ func (p *Peer) dropSession(id string) {
 }
 
 // handlePush receives one reduced list at the query peer.
-func (p *Peer) handlePush(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+func (p *Peer) handlePush(_ context.Context, _ dht.Contact, _ string, blob []byte) ([]byte, error) {
 	session, pos, err := readStr(blob, 0)
 	if err != nil {
 		return nil, err
@@ -262,7 +277,7 @@ func applyIncoming(req *reduceReq, list postings.List) (postings.List, error) {
 // filter the local list with the parent's AB filter, push the reduced
 // list to the query peer, and forward an AB filter of the reduced list
 // to the children (Figure 5).
-func (p *Peer) handleABReduce(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+func (p *Peer) handleABReduce(ctx context.Context, _ dht.Contact, _ string, blob []byte) ([]byte, error) {
 	req, err := decodeReduceReq(blob)
 	if err != nil {
 		return nil, err
@@ -281,14 +296,16 @@ func (p *Peer) handleABReduce(_ dht.Contact, _ string, blob []byte) ([]byte, err
 	if len(req.spec.children) == 0 {
 		return nil, nil
 	}
+	buildStart := time.Now()
 	ab := sbf.BuildAB(reduced, req.abFP, sbf.DefaultPsiC)
+	p.noteFilterBuild(ctx, ab.Stats(), buildStart)
 	for _, c := range req.spec.children {
 		child := &reduceReq{
 			session: req.session, queryAddr: req.queryAddr,
 			abFP: req.abFP, dbFP: req.dbFP,
 			filterKind: filterAB, filter: ab.Marshal(), spec: c,
 		}
-		if _, err := p.node.CallProc(c.term, procABReduce, child.encode()); err != nil {
+		if _, err := p.node.CallProcContext(ctx, c.term, procABReduce, child.encode()); err != nil {
 			return nil, err
 		}
 	}
@@ -299,7 +316,7 @@ func (p *Peer) handleABReduce(_ dht.Contact, _ string, blob []byte) ([]byte, err
 // the children (recursively), reduce the local list by all of them,
 // push it to the query peer, and return a DB filter of the reduced list
 // to the caller (Figure 6). Leaves push their full lists.
-func (p *Peer) handleDBReduce(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+func (p *Peer) handleDBReduce(ctx context.Context, _ dht.Contact, _ string, blob []byte) ([]byte, error) {
 	req, err := decodeReduceReq(blob)
 	if err != nil {
 		return nil, err
@@ -314,7 +331,7 @@ func (p *Peer) handleDBReduce(_ dht.Contact, _ string, blob []byte) ([]byte, err
 			session: req.session, queryAddr: req.queryAddr,
 			abFP: req.abFP, dbFP: req.dbFP, spec: c,
 		}
-		dbBytes, err := p.node.CallProc(c.term, procDBReduce, child.encode())
+		dbBytes, err := p.node.CallProcContext(ctx, c.term, procDBReduce, child.encode())
 		if err != nil {
 			return nil, err
 		}
@@ -330,14 +347,16 @@ func (p *Peer) handleDBReduce(_ dht.Contact, _ string, blob []byte) ([]byte, err
 	if req.skipReply {
 		return nil, nil
 	}
+	buildStart := time.Now()
 	db := sbf.BuildDB(reduced, req.dbFP, 0, 0)
+	p.noteFilterBuild(ctx, db.Stats(), buildStart)
 	return db.Marshal(), nil
 }
 
 // handleHybridAB is the first pass of Bloom Reducer: AB filters flow
 // top-down as in handleABReduce, but the reduced lists are retained at
 // their home peers (keyed by session and slot) instead of being pushed.
-func (p *Peer) handleHybridAB(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+func (p *Peer) handleHybridAB(ctx context.Context, _ dht.Contact, _ string, blob []byte) ([]byte, error) {
 	req, err := decodeReduceReq(blob)
 	if err != nil {
 		return nil, err
@@ -356,14 +375,16 @@ func (p *Peer) handleHybridAB(_ dht.Contact, _ string, blob []byte) ([]byte, err
 	if len(req.spec.children) == 0 {
 		return nil, nil
 	}
+	buildStart := time.Now()
 	ab := sbf.BuildAB(reduced, req.abFP, sbf.DefaultPsiC)
+	p.noteFilterBuild(ctx, ab.Stats(), buildStart)
 	for _, c := range req.spec.children {
 		child := &reduceReq{
 			session: req.session, queryAddr: req.queryAddr,
 			abFP: req.abFP, dbFP: req.dbFP,
 			filterKind: filterAB, filter: ab.Marshal(), spec: c,
 		}
-		if _, err := p.node.CallProc(c.term, procHybridAB, child.encode()); err != nil {
+		if _, err := p.node.CallProcContext(ctx, c.term, procHybridAB, child.encode()); err != nil {
 			return nil, err
 		}
 	}
@@ -373,7 +394,7 @@ func (p *Peer) handleHybridAB(_ dht.Contact, _ string, blob []byte) ([]byte, err
 // handleHybridDB is the second pass of Bloom Reducer: DB filters flow
 // bottom-up over the AB-reduced lists retained by the first pass; the
 // final lists are pushed to the query peer.
-func (p *Peer) handleHybridDB(_ dht.Contact, _ string, blob []byte) ([]byte, error) {
+func (p *Peer) handleHybridDB(ctx context.Context, _ dht.Contact, _ string, blob []byte) ([]byte, error) {
 	req, err := decodeReduceReq(blob)
 	if err != nil {
 		return nil, err
@@ -397,7 +418,7 @@ func (p *Peer) handleHybridDB(_ dht.Contact, _ string, blob []byte) ([]byte, err
 			session: req.session, queryAddr: req.queryAddr,
 			abFP: req.abFP, dbFP: req.dbFP, spec: c,
 		}
-		dbBytes, err := p.node.CallProc(c.term, procHybridDB, child.encode())
+		dbBytes, err := p.node.CallProcContext(ctx, c.term, procHybridDB, child.encode())
 		if err != nil {
 			return nil, err
 		}
@@ -413,7 +434,9 @@ func (p *Peer) handleHybridDB(_ dht.Contact, _ string, blob []byte) ([]byte, err
 	if req.skipReply {
 		return nil, nil
 	}
+	buildStart := time.Now()
 	db := sbf.BuildDB(reduced, req.dbFP, 0, 0)
+	p.noteFilterBuild(ctx, db.Stats(), buildStart)
 	return db.Marshal(), nil
 }
 
@@ -424,6 +447,15 @@ func hybridKey(session string, nodeID int) string {
 // reducedLists runs the selected strategy for one index subtree and
 // returns the (reduced) posting list per query node pre-order position.
 func (p *Peer) reducedLists(ctx context.Context, sub *pattern.Query, opts QueryOptions) (map[int]postings.List, error) {
+	exStart := time.Now()
+	ctx, exSp := trace.StartSpan(ctx, "phase:filter-exchange")
+	defer func() {
+		p.node.Metrics().Observe(metrics.OpFilterExchange, time.Since(exStart))
+		exSp.Finish()
+	}()
+	if exSp != nil {
+		exSp.SetAttr("strategy", opts.Strategy.String())
+	}
 	nodes := sub.Nodes()
 	next := 0
 	spec := buildSpec(sub.Root, &next)
@@ -600,7 +632,7 @@ func (p *Peer) termCount(ctx context.Context, term string) (int, error) {
 }
 
 // handleCount serves termCount at the home peer.
-func (p *Peer) handleCount(_ dht.Contact, term string, _ []byte) ([]byte, error) {
+func (p *Peer) handleCount(_ context.Context, _ dht.Contact, term string, _ []byte) ([]byte, error) {
 	if p.dpp != nil {
 		root, err := p.dpp.Root(term)
 		if err == nil && len(root.Blocks) > 0 {

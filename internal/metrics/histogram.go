@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Operation names under which the system records latency histograms.
+// Instrumentation sites use these constants so experiment harnesses and
+// the admin endpoint can query them without string drift.
+const (
+	// OpLookup is one iterative Kademlia lookup, all rounds included.
+	OpLookup = "lookup"
+	// OpAppend is one replicated posting append.
+	OpAppend = "append"
+	// OpPostingsTransfer is the time a query's twig join spent blocked
+	// waiting on posting-list streams (the paper's "data transfer").
+	OpPostingsTransfer = "postings-transfer"
+	// OpTwigJoin is the twig join's own compute time, transfer excluded.
+	OpTwigJoin = "twig-join"
+	// OpFilterExchange is the SBF reduce exchange of one query.
+	OpFilterExchange = "filter-exchange"
+	// OpSBFBuild is the construction of one AB/DB filter at a home peer.
+	OpSBFBuild = "sbf-build"
+	// OpDPPFetch is one DPP partitioned fetch, all blocks included.
+	OpDPPFetch = "dpp-fetch"
+	// OpQueryIndex is a query's whole phase one (index query).
+	OpQueryIndex = "query-index"
+	// OpQueryTotal is a query end to end, phase two included.
+	OpQueryTotal = "query-total"
+	// OpSecondPhase is a query's phase two (answer retrieval).
+	OpSecondPhase = "second-phase"
+)
+
+// histBuckets is the number of log-spaced buckets: powers of two of a
+// microsecond, 1µs .. ~9.1h, which comfortably brackets everything from
+// an in-process proc call to a cross-continent retry storm.
+const histBuckets = 46
+
+// bucketBound returns the inclusive upper bound of bucket i.
+func bucketBound(i int) time.Duration {
+	return time.Microsecond << uint(i)
+}
+
+// Histogram is a fixed-bucket latency histogram with power-of-two
+// bucket bounds starting at 1µs. Recording is lock-free (one atomic add
+// per observation plus count/sum upkeep), so it is cheap enough to sit
+// on RPC hot paths. The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// bucketFor maps a duration to its bucket index: the smallest i with
+// d <= 1µs<<i. Sub-microsecond observations land in bucket 0.
+func bucketFor(d time.Duration) int {
+	us := d.Nanoseconds() / 1e3
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(us - 1)) // ceil(log2(us))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the average observation, or 0 with no data.
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1), interpolated
+// linearly inside the bucket the quantile falls in. With no
+// observations it returns 0. Quantiles read the buckets without
+// stopping writers, so a concurrent snapshot is approximate — exactly
+// as accurate as the histogram's buckets themselves.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the desired observation, 1-based.
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if seen+n >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			hi := bucketBound(i)
+			// Interpolate by the rank's position within this bucket.
+			frac := float64(rank-seen) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		seen += n
+	}
+	return bucketBound(histBuckets - 1)
+}

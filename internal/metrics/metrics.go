@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -58,11 +59,155 @@ type Collector struct {
 	messages map[Class]int64
 	bytes    map[Class]int64
 	events   map[Event]int64
+
+	// histMu guards only the map; the histograms themselves record
+	// through atomics, so Observe takes a read lock on the common path
+	// and the write lock only the first time an operation appears.
+	histMu sync.RWMutex
+	hists  map[string]*Histogram
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{messages: map[Class]int64{}, bytes: map[Class]int64{}, events: map[Event]int64{}}
+	return &Collector{
+		messages: map[Class]int64{},
+		bytes:    map[Class]int64{},
+		events:   map[Event]int64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Observe records one latency observation for the named operation.
+func (c *Collector) Observe(op string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.histMu.RLock()
+	h := c.hists[op]
+	c.histMu.RUnlock()
+	if h == nil {
+		c.histMu.Lock()
+		if c.hists == nil {
+			c.hists = map[string]*Histogram{}
+		}
+		if h = c.hists[op]; h == nil {
+			h = &Histogram{}
+			c.hists[op] = h
+		}
+		c.histMu.Unlock()
+	}
+	h.Record(d)
+}
+
+// Hist returns the histogram for an operation, or nil if nothing has
+// been observed under that name.
+func (c *Collector) Hist(op string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	c.histMu.RLock()
+	defer c.histMu.RUnlock()
+	return c.hists[op]
+}
+
+// Quantile returns the q-th latency quantile of an operation (0 when
+// the operation has no observations).
+func (c *Collector) Quantile(op string, q float64) time.Duration {
+	return c.Hist(op).Quantile(q)
+}
+
+// Ops returns the sorted names of all operations with observations.
+func (c *Collector) Ops() []string {
+	if c == nil {
+		return nil
+	}
+	c.histMu.RLock()
+	ops := make([]string, 0, len(c.hists))
+	for op := range c.hists {
+		ops = append(ops, op)
+	}
+	c.histMu.RUnlock()
+	sort.Strings(ops)
+	return ops
+}
+
+// ClassBytes returns a copy of the per-class byte counters, for
+// before/after deltas around a traced operation.
+func (c *Collector) ClassBytes() map[Class]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := make(map[Class]int64, len(c.bytes))
+	for cl, n := range c.bytes {
+		m[cl] = n
+	}
+	return m
+}
+
+// ClassStat is one traffic class in an Export.
+type ClassStat struct {
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// OpStat is one latency histogram in an Export.
+type OpStat struct {
+	Count   int64         `json:"count"`
+	Mean    time.Duration `json:"mean_ns"`
+	P50     time.Duration `json:"p50_ns"`
+	P95     time.Duration `json:"p95_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	MeanStr string        `json:"mean"`
+	P50Str  string        `json:"p50"`
+	P95Str  string        `json:"p95"`
+	P99Str  string        `json:"p99"`
+}
+
+// Export captures the whole collector for JSON serialisation (the
+// admin endpoint's /debug/metrics).
+type Export struct {
+	Classes map[string]ClassStat `json:"classes"`
+	Events  map[string]int64     `json:"events"`
+	Ops     map[string]OpStat    `json:"ops"`
+}
+
+// Export returns a point-in-time copy of every counter and histogram.
+func (c *Collector) Export() Export {
+	ex := Export{
+		Classes: map[string]ClassStat{},
+		Events:  map[string]int64{},
+		Ops:     map[string]OpStat{},
+	}
+	if c == nil {
+		return ex
+	}
+	c.mu.Lock()
+	for cl, b := range c.bytes {
+		ex.Classes[string(cl)] = ClassStat{Messages: c.messages[cl], Bytes: b}
+	}
+	for e, n := range c.events {
+		ex.Events[string(e)] = n
+	}
+	c.mu.Unlock()
+	c.histMu.RLock()
+	for op, h := range c.hists {
+		st := OpStat{
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+		st.MeanStr = st.Mean.String()
+		st.P50Str = st.P50.String()
+		st.P95Str = st.P95.String()
+		st.P99Str = st.P99.String()
+		ex.Ops[op] = st
+	}
+	c.histMu.RUnlock()
+	return ex
 }
 
 // CountEvent records one robustness event.
@@ -133,7 +278,7 @@ func (c *Collector) TotalBytes() int64 {
 	return n
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters and histograms.
 func (c *Collector) Reset() {
 	if c == nil {
 		return
@@ -143,23 +288,27 @@ func (c *Collector) Reset() {
 	c.bytes = map[Class]int64{}
 	c.events = map[Event]int64{}
 	c.mu.Unlock()
+	c.histMu.Lock()
+	c.hists = map[string]*Histogram{}
+	c.histMu.Unlock()
 }
 
-// Snapshot returns a stable, sorted rendering of the counters.
+// Snapshot returns a stable, sorted rendering of the counters:
+// per-class traffic, robustness events, and latency percentiles for
+// every observed operation.
 func (c *Collector) Snapshot() string {
 	if c == nil {
 		return ""
 	}
+	var b strings.Builder
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	classes := make([]string, 0, len(c.bytes))
 	for cl := range c.bytes {
 		classes = append(classes, string(cl))
 	}
 	sort.Strings(classes)
-	s := ""
 	for _, cl := range classes {
-		s += fmt.Sprintf("%-10s %8d msgs %12d bytes\n", cl, c.messages[Class(cl)], c.bytes[Class(cl)])
+		fmt.Fprintf(&b, "%-10s %8d msgs %12d bytes\n", cl, c.messages[Class(cl)], c.bytes[Class(cl)])
 	}
 	events := make([]string, 0, len(c.events))
 	for e := range c.events {
@@ -167,9 +316,15 @@ func (c *Collector) Snapshot() string {
 	}
 	sort.Strings(events)
 	for _, e := range events {
-		s += fmt.Sprintf("%-10s %8d events\n", e, c.events[Event(e)])
+		fmt.Fprintf(&b, "%-10s %8d events\n", e, c.events[Event(e)])
 	}
-	return s
+	c.mu.Unlock()
+	for _, op := range c.Ops() {
+		h := c.Hist(op)
+		fmt.Fprintf(&b, "%-18s %8d obs  p50 %-10v p95 %-10v p99 %-10v\n",
+			op, h.Count(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
+	return b.String()
 }
 
 // Timer measures wall-clock durations of experiment phases.

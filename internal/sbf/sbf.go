@@ -196,6 +196,24 @@ func (ab *ABFilter) SizeBytes() int { return ab.f.SizeBytes() + 2 }
 // DCLev returns the highest dyadic level recorded in the filter.
 func (ab *ABFilter) DCLev() uint8 { return ab.dclev }
 
+// Stats summarises a filter for observability (trace attributes and
+// the admin endpoint).
+type Stats struct {
+	Kind  string // "ab" or "db"
+	Bytes int    // wire size
+	Level uint8  // AB: highest dyadic level; DB: container chain depth
+}
+
+// String renders the stats compactly, e.g. "ab/1024B/lev=7".
+func (s Stats) String() string {
+	return fmt.Sprintf("%s/%dB/lev=%d", s.Kind, s.Bytes, s.Level)
+}
+
+// Stats describes the filter.
+func (ab *ABFilter) Stats() Stats {
+	return Stats{Kind: "ab", Bytes: ab.SizeBytes(), Level: ab.dclev}
+}
+
 // Marshal serialises the filter.
 func (ab *ABFilter) Marshal() []byte {
 	buf := []byte{ab.dclev, byte(ab.psiC)}
@@ -336,6 +354,11 @@ func (db *DBFilter) Filter(list postings.List) postings.List {
 
 // SizeBytes is the wire size of the filter.
 func (db *DBFilter) SizeBytes() int { return db.f.SizeBytes() + 2 }
+
+// Stats describes the filter.
+func (db *DBFilter) Stats() Stats {
+	return Stats{Kind: "db", Bytes: db.SizeBytes(), Level: db.maxLevel}
+}
 
 // Marshal serialises the filter.
 func (db *DBFilter) Marshal() []byte {

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkDisabledStartSpan is the instrumented hot path with tracing
+// off: one context lookup, no allocations. The allocation count is
+// asserted by TestDisabledPathAllocs below, not just eyeballed.
+func BenchmarkDisabledStartSpan(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx2, sp := StartSpan(ctx, "op")
+		sp.Finish()
+		_ = ctx2
+	}
+}
+
+func BenchmarkDisabledRecord(b *testing.B) {
+	ctx := context.Background()
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Record(ctx, "op", start, time.Microsecond)
+	}
+}
+
+func BenchmarkDisabledFromContext(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if FromContext(ctx) != nil {
+			b.Fatal("unexpected span")
+		}
+	}
+}
+
+func BenchmarkEnabledStartSpan(b *testing.B) {
+	tr := New(4)
+	ctx, root := tr.StartTrace(context.Background(), "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 { // fresh trace before the span cap bites
+			ctx, root = tr.StartTrace(context.Background(), "bench")
+		}
+		_, sp := StartSpan(ctx, "op")
+		sp.Finish()
+	}
+	b.StopTimer()
+	root.Finish()
+}
+
+func TestDisabledPathAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, sp := StartSpan(ctx, "op")
+		sp.Finish()
+		Record(ctx, "op", time.Time{}, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %v per op, want 0", allocs)
+	}
+}

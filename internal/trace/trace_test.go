@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartTraceAndSpanTree(t *testing.T) {
+	tr := New(4)
+	ctx, root := tr.StartTrace(context.Background(), "query")
+	if root == nil {
+		t.Fatal("no root span")
+	}
+	root.SetAttr("query", "//a//b")
+	ctx2, child := StartSpan(ctx, "phase:fetch")
+	if child == nil {
+		t.Fatal("no child span")
+	}
+	_, grand := StartSpan(ctx2, "rpc:get")
+	grand.SetInt("bytes", 123)
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+
+	rec := root.Trace().Export()
+	if len(rec.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(rec.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range rec.Spans {
+		byName[s.Name] = s
+	}
+	if byName["phase:fetch"].Parent != byName["query"].ID {
+		t.Error("fetch not child of root")
+	}
+	if byName["rpc:get"].Parent != byName["phase:fetch"].ID {
+		t.Error("rpc not child of fetch")
+	}
+	if !byName["rpc:get"].Done || byName["rpc:get"].Duration < 0 {
+		t.Error("rpc span not finished")
+	}
+	tree := root.Trace().Tree()
+	if !strings.Contains(tree, "query") || !strings.Contains(tree, "phase:fetch") ||
+		!strings.Contains(tree, "bytes=123") {
+		t.Errorf("tree missing content:\n%s", tree)
+	}
+	// Children must be indented under parents.
+	if strings.Index(tree, "query") > strings.Index(tree, "rpc:get") {
+		t.Errorf("root should come first:\n%s", tree)
+	}
+}
+
+func TestRecordAndChild(t *testing.T) {
+	tr := New(2)
+	ctx, root := tr.StartTrace(context.Background(), "op")
+	start := time.Now().Add(-time.Millisecond)
+	Record(ctx, "done-before", start, time.Millisecond, String("k", "v"))
+	c := root.Child("child", start, 2*time.Millisecond)
+	if c == nil {
+		t.Fatal("child nil")
+	}
+	rec := root.Trace().Export()
+	if len(rec.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(rec.Spans))
+	}
+	for _, s := range rec.Spans {
+		if s.Name == "done-before" {
+			if !s.Done || s.Duration != time.Millisecond {
+				t.Errorf("recorded span wrong: %+v", s)
+			}
+			if len(s.Attrs) != 1 || s.Attrs[0].Key != "k" {
+				t.Errorf("attrs = %v", s.Attrs)
+			}
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(2)
+	_, a := tr.StartTrace(context.Background(), "a")
+	_, bSpan := tr.StartTrace(context.Background(), "b")
+	_, c := tr.StartTrace(context.Background(), "c")
+	recent := tr.Recent(10)
+	if len(recent) != 2 {
+		t.Fatalf("recent = %d, want 2", len(recent))
+	}
+	if recent[0].Name() != "c" || recent[1].Name() != "b" {
+		t.Errorf("recent order: %s, %s", recent[0].Name(), recent[1].Name())
+	}
+	if tr.byID(a.Trace().ID()) != nil {
+		t.Error("oldest trace should be evicted")
+	}
+	_ = bSpan
+	_ = c
+}
+
+func TestJoinRemote(t *testing.T) {
+	tr := New(4)
+	ctx, root := tr.StartTrace(context.Background(), "query")
+	traceID, spanID := ID(ctx)
+	if traceID == 0 || spanID == 0 {
+		t.Fatal("ids not carried")
+	}
+	// Same tracer (simulated network): joins the live trace.
+	sp := tr.JoinRemote(traceID, spanID, "serve:find-node")
+	sp.Finish()
+	if sp.Trace() != root.Trace() {
+		t.Error("remote span should join the live trace")
+	}
+	// Different tracer (real deployment): stub trace is created.
+	other := New(4)
+	sp2 := other.JoinRemote(traceID, spanID, "serve:get")
+	sp2.Finish()
+	if sp2.Trace().ID() != traceID {
+		t.Error("stub trace should keep the caller's trace id")
+	}
+	if len(other.Recent(10)) != 1 {
+		t.Error("stub trace should be in the ring")
+	}
+	// A second join on the same trace id reuses the stub.
+	other.JoinRemote(traceID, spanID, "serve:get").Finish()
+	if len(other.Recent(10)) != 1 {
+		t.Error("second join should reuse the stub trace")
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := New(1)
+	_, root := tr.StartTrace(context.Background(), "big")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		root.Child("c", time.Now(), 0)
+	}
+	rec := root.Trace().Export()
+	if len(rec.Spans) != maxSpansPerTrace {
+		t.Errorf("spans = %d, want cap %d", len(rec.Spans), maxSpansPerTrace)
+	}
+	if rec.Dropped == 0 {
+		t.Error("dropped count not reported")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartTrace(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	ctx2, sp2 := StartSpan(ctx, "y")
+	if sp2 != nil || ctx2 != ctx {
+		t.Fatal("no-span context must pass through")
+	}
+	sp.Finish()
+	sp.SetAttr("a", "b")
+	sp.SetInt("n", 1)
+	sp.Child("c", time.Now(), 0)
+	Record(ctx, "r", time.Now(), 0)
+	if a, b := ID(ctx); a != 0 || b != 0 {
+		t.Error("nil ids should be zero")
+	}
+	if tr.Recent(5) != nil {
+		t.Error("nil tracer Recent should be nil")
+	}
+	if tr.JoinRemote(1, 2, "s") != nil {
+		t.Error("nil tracer JoinRemote should be nil")
+	}
+	var trace *Trace
+	trace.Export()
+	if trace.Tree() != "" {
+		t.Error("nil trace tree should be empty")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(8)
+	ctx, root := tr.StartTrace(context.Background(), "conc")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_, sp := StartSpan(ctx, "w")
+				sp.SetInt("j", int64(j))
+				sp.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	root.Finish()
+	if n := len(root.Trace().Export().Spans); n != 801 {
+		t.Errorf("spans = %d, want 801", n)
+	}
+}

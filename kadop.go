@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"time"
 
+	"kadop/internal/admin"
 	"kadop/internal/dht"
 	"kadop/internal/dpp"
 	"kadop/internal/fundex"
@@ -48,6 +49,7 @@ import (
 	"kadop/internal/pattern"
 	"kadop/internal/sid"
 	"kadop/internal/store"
+	"kadop/internal/trace"
 )
 
 // Re-exported core types. The underlying packages carry the full
@@ -86,6 +88,10 @@ type (
 	IntensionalMode = fundex.Mode
 	// Resolver materialises referenced documents for the Fundex.
 	Resolver = fundex.Resolver
+	// Tracer records query traces into a bounded in-memory ring.
+	Tracer = trace.Tracer
+	// Trace is one recorded query timeline; render it with Tree().
+	Trace = trace.Trace
 )
 
 // Query strategies (Section 5.3).
@@ -122,6 +128,35 @@ func MustParseQuery(s string) *Query { return pattern.MustParse(s) }
 // able to resolve the same reference URIs.
 func NewIntensional(p *Peer, mode IntensionalMode, resolve Resolver) *Intensional {
 	return fundex.New(p, mode, resolve)
+}
+
+// EnableTracing installs a fresh tracer keeping the peer's most recent
+// capacity traces (16 if capacity <= 0) and returns it. Every query the
+// peer runs from then on records a phase-attributed timeline, viewable
+// through Result.Trace or the debug endpoint. Tracing is off until this
+// is called; the untraced hot path costs two words per message and one
+// context lookup per operation.
+func EnableTracing(p *Peer, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	tr := trace.New(capacity)
+	p.Node().SetTracer(tr)
+	return tr
+}
+
+// ServeDebug starts the live introspection endpoint for a peer on addr
+// (e.g. "127.0.0.1:6060"): /debug/metrics, /debug/traces, /debug/peer
+// and /debug/pprof. It returns the bound address and a shutdown
+// function. Pass the peer's tracer (from EnableTracing) to expose its
+// recent traces; nil leaves that section empty.
+func ServeDebug(addr string, p *Peer, tr *Tracer) (string, func() error, error) {
+	return admin.Serve(addr, admin.Options{
+		Collector: p.Node().Metrics(),
+		Tracer:    tr,
+		Node:      p.Node(),
+		Docs:      p.DocumentCount,
+	})
 }
 
 // SimCluster is an in-process deployment: every peer runs over the
@@ -190,6 +225,39 @@ func (c *SimCluster) TrafficBytes(class TrafficClass) int64 {
 
 // TrafficReport renders all traffic counters.
 func (c *SimCluster) TrafficReport() string { return c.net.Collector.Snapshot() }
+
+// EnableTracing installs one shared tracer on every peer of the
+// cluster (capacity <= 0 defaults to 16) and returns it. Because the
+// tracer is shared, server-side spans join the querying peer's trace
+// and a query's timeline shows the whole cluster's work.
+func (c *SimCluster) EnableTracing(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	tr := trace.New(capacity)
+	for _, nd := range c.nodes {
+		nd.SetTracer(tr)
+	}
+	return tr
+}
+
+// LatencyQuantile reports the q-quantile (0..1) of the named operation's
+// latency histogram — e.g. kadop.OpQueryTotal — over the cluster's
+// shared collector. Zero when the operation was never observed.
+func (c *SimCluster) LatencyQuantile(op string, q float64) time.Duration {
+	return c.net.Collector.Quantile(op, q)
+}
+
+// Histogram operation names accepted by LatencyQuantile.
+const (
+	OpLookup           = metrics.OpLookup
+	OpPostingsTransfer = metrics.OpPostingsTransfer
+	OpTwigJoin         = metrics.OpTwigJoin
+	OpFilterExchange   = metrics.OpFilterExchange
+	OpQueryIndex       = metrics.OpQueryIndex
+	OpQueryTotal       = metrics.OpQueryTotal
+	OpSecondPhase      = metrics.OpSecondPhase
+)
 
 // ResetTraffic zeroes the traffic counters.
 func (c *SimCluster) ResetTraffic() { c.net.Collector.Reset() }
