@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-smoke
+.PHONY: build test check bench bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,18 @@ bench:
 	$(GO) run ./cmd/kadop-bench -exp all -short
 
 # bench-smoke is the fastest end-to-end signal that the experiment
-# pipeline still runs: one figure and the robustness sweep (which also
-# prints the per-phase latency percentiles) at the smallest scales.
+# pipeline still runs: one figure, the robustness sweep (which also
+# prints the per-phase latency percentiles) and the block-cache
+# cold/warm comparison, all at the smallest scales.
 bench-smoke:
 	$(GO) run ./cmd/kadop-bench -exp fig3 -short
 	$(GO) run ./cmd/kadop-bench -exp robust -short
+	$(GO) run ./cmd/kadop-bench -exp cache -short
+
+# fuzz-smoke runs each fuzz target for 30s on top of its checked-in
+# seed corpus: the pattern parser, the posting codec, and the DHT
+# message codec.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/pattern/
+	$(GO) test -run='^$$' -fuzz=FuzzCodec -fuzztime=30s ./internal/postings/
+	$(GO) test -run='^$$' -fuzz=FuzzMessage -fuzztime=30s ./internal/dht/

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|all")
+		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|cache|all")
 		records   = flag.String("records", "", "comma-separated corpus sizes in records (experiment-specific default)")
 		peers     = flag.Int("peers", 0, "network size (experiment-specific default)")
 		seed      = flag.Int64("seed", 1, "workload seed")
@@ -107,10 +107,20 @@ func main() {
 			}
 			return experiments.RunRobustness(o)
 		},
+		"cache": func() (interface{ Format() string }, error) {
+			o := experiments.CacheOptions{Peers: *peers, Seed: *seed}
+			if len(sizes) > 0 {
+				o.Records = sizes[len(sizes)-1]
+			}
+			if *short {
+				o.Records, o.Repeats, o.BlockSize = 150, 2, 64
+			}
+			return experiments.RunCache(o)
+		},
 	}
 
 	order := []string{"fig2", "fig3", "traffic", "table1", "sensitivity",
-		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust"}
+		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust", "cache"}
 
 	var selected []string
 	if *exp == "all" {

@@ -29,6 +29,7 @@ func main() {
 		id        = flag.Uint("id", 0, "internal peer id (unique across the deployment, > 0)")
 		storePath = flag.String("store", "", "B+-tree index file (empty = in-memory)")
 		useDPP    = flag.Bool("dpp", false, "enable distributed posting partitioning")
+		cache     = flag.Int64("cache", 0, "posting-block cache capacity in bytes (0 = off; effective with -dpp)")
 		repl      = flag.Int("replication", 1, "index replication factor (all peers of a deployment must agree)")
 		repair    = flag.Duration("repair", 0, "replica repair cadence, e.g. 30s (0 = off; needs -replication > 1)")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/{metrics,traces,peer,pprof} on this address (off by default)")
@@ -39,7 +40,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := kadop.Config{UseDPP: *useDPP, DHT: deployDHT(*repl, *repair)}
+	cfg := kadop.Config{UseDPP: *useDPP, CacheBytes: *cache, DHT: deployDHT(*repl, *repair)}
 	peer, err := kadop.NewTCPPeer(*listen, kadop.PeerID(*id), *storePath, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-peer:", err)

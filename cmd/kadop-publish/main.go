@@ -24,6 +24,7 @@ func main() {
 		id        = flag.Uint("id", 0, "internal peer id for this publisher (unique, > 0)")
 		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		oneshot   = flag.Bool("oneshot", false, "exit after publishing (documents become unreachable for phase two)")
+		useDPP    = flag.Bool("dpp", false, "the deployment partitions posting lists (-dpp on its peers)")
 		repl      = flag.Int("replication", 1, "index replication factor (must match the deployment's peers)")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/{metrics,traces,peer,pprof} on this address")
 	)
@@ -33,7 +34,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := kadop.Config{DHT: kadop.DHTConfig{
+	cfg := kadop.Config{UseDPP: *useDPP, DHT: kadop.DHTConfig{
 		Replication: *repl,
 		Retry: kadop.RetryPolicy{
 			Attempts:    3,

@@ -26,6 +26,8 @@ func main() {
 		id        = flag.Uint("id", 0, "internal peer id for this query peer (unique, > 0)")
 		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		strategy  = flag.String("strategy", "conventional", "conventional|ab|db|bloom|subquery")
+		useDPP    = flag.Bool("dpp", false, "the deployment partitions posting lists (-dpp on its peers)")
+		cache     = flag.Int64("cache", 0, "posting-block cache capacity in bytes for this query peer (0 = off; needs -dpp)")
 		indexOnly = flag.Bool("index", false, "run the index query only; print candidate documents")
 		repl      = flag.Int("replication", 1, "index replication factor (must match the deployment's peers)")
 		explain   = flag.Bool("explain", false, "print the query's trace tree (per-phase latency and bytes)")
@@ -50,7 +52,7 @@ func main() {
 	// A client peer: it looks up and fetches but never joins routing
 	// tables, so firing off ephemeral queries does not disturb the
 	// overlay's key ownership.
-	cfg := kadop.Config{DHT: kadop.DHTConfig{
+	cfg := kadop.Config{UseDPP: *useDPP, CacheBytes: *cache, DHT: kadop.DHTConfig{
 		Replication: *repl,
 		Retry: kadop.RetryPolicy{
 			Attempts:    3,

@@ -13,6 +13,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 
+	"kadop/internal/blockcache"
 	"kadop/internal/dht"
 	"kadop/internal/metrics"
 	"kadop/internal/trace"
@@ -31,6 +32,9 @@ type Options struct {
 	// Docs reports the number of locally published documents (the KadoP
 	// layer's count), shown on /debug/peer.
 	Docs func() int
+	// Cache supplies /debug/cache (the posting-block cache counters).
+	// Safe to leave nil — and a nil *blockcache.Cache renders as zeros.
+	Cache *blockcache.Cache
 }
 
 // Handler builds the admin mux. Paths:
@@ -50,6 +54,7 @@ func Handler(o Options) http.Handler {
 			"/debug/metrics   traffic classes, events, latency percentiles (JSON)\n"+
 			"/debug/traces    recent query traces (JSON; ?format=text&n=8)\n"+
 			"/debug/peer      identity, routing table, store stats (JSON)\n"+
+			"/debug/cache     posting-block cache counters (JSON)\n"+
 			"/debug/pprof/    runtime profiles\n")
 	})
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -90,6 +95,9 @@ func Handler(o Options) http.Handler {
 			info["documents"] = o.Docs()
 		}
 		writeJSON(w, info)
+	})
+	mux.HandleFunc("/debug/cache", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.Cache.Stats())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -40,6 +40,13 @@ const (
 	// MsgRepair is an append pushed by the repair loop; it behaves
 	// exactly like MsgAppend but is accounted as repair traffic.
 	MsgRepair
+	// MsgGetBatch opens a stream that fetches several keys from one
+	// peer in a single round trip: the DPP layer uses it to pull a run
+	// of posting blocks co-located on the same owner. The requested
+	// keys (and an optional document-interval clip) travel in Blob;
+	// the response is a MsgChunk sequence where each chunk's Key names
+	// the block it belongs to.
+	MsgGetBatch
 )
 
 func (t MsgType) String() string {
@@ -50,6 +57,7 @@ func (t MsgType) String() string {
 		MsgChunk: "chunk", MsgEnd: "end", MsgAck: "ack", MsgError: "error",
 		MsgApp: "app", MsgAppReply: "app-reply",
 		MsgDigest: "digest", MsgDigestAck: "digest-ack", MsgRepair: "repair",
+		MsgGetBatch: "get-batch",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -91,6 +99,8 @@ func rpcOp(t MsgType) string {
 		return "rpc:get"
 	case MsgGetStream:
 		return "rpc:get-stream"
+	case MsgGetBatch:
+		return "rpc:get-batch"
 	case MsgDelete:
 		return "rpc:delete"
 	case MsgDeleteKey:
@@ -115,7 +125,7 @@ func (m Message) Class() metrics.Class {
 		return metrics.Routing
 	case MsgAppend:
 		return metrics.Index
-	case MsgGet, MsgGetStream, MsgChunk, MsgEnd:
+	case MsgGet, MsgGetStream, MsgGetBatch, MsgChunk, MsgEnd:
 		return metrics.Postings
 	case MsgApp, MsgAppReply:
 		switch {

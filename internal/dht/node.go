@@ -232,13 +232,21 @@ func (n *Node) call(ctx context.Context, to Contact, req Message) (Message, erro
 // policy as call (retries apply to the stream opening only; an error
 // mid-stream surfaces to the consumer).
 func (n *Node) openStream(ctx context.Context, to Contact, req Message) (MsgStream, error) {
+	return n.openStreamPolicy(ctx, to, req, n.cfg.Retry)
+}
+
+// openStreamPolicy is openStream under an explicit retry policy, so
+// callers that rotate replicas themselves (the DPP block fetch) can
+// probe each candidate once instead of burning the full retry budget
+// on a stale one.
+func (n *Node) openStreamPolicy(ctx context.Context, to Contact, req Message, retry RetryPolicy) (MsgStream, error) {
 	parent := trace.FromContext(ctx)
 	if parent != nil {
 		req.TraceID, req.SpanID = trace.ID(ctx)
 	}
 	start := time.Now()
 	var ms MsgStream
-	err := withRetry(ctx, n.cfg.Retry, n.collector, n.rng, func() error {
+	err := withRetry(ctx, retry, n.collector, n.rng, func() error {
 		actx, cancel := context.WithTimeout(ctx, n.cfg.RPCTimeout)
 		defer cancel()
 		var cerr error
@@ -629,6 +637,18 @@ func (n *Node) StreamFrom(owner Contact, req Message) (postings.Stream, error) {
 
 // StreamFromContext is StreamFrom under a caller-controlled deadline.
 func (n *Node) StreamFromContext(ctx context.Context, owner Contact, req Message) (postings.Stream, error) {
+	return n.streamFromPolicy(ctx, owner, req, n.cfg.Retry)
+}
+
+// StreamFromOnceContext is StreamFromContext with a single connection
+// attempt: callers that hold their own list of candidate replicas probe
+// each once and rotate, instead of spending the configured retry budget
+// on a candidate that may simply be stale.
+func (n *Node) StreamFromOnceContext(ctx context.Context, owner Contact, req Message) (postings.Stream, error) {
+	return n.streamFromPolicy(ctx, owner, req, RetryPolicy{Attempts: 1})
+}
+
+func (n *Node) streamFromPolicy(ctx context.Context, owner Contact, req Message, retry RetryPolicy) (postings.Stream, error) {
 	if owner.ID == n.self.ID {
 		// Local fast path: serve from the store through a pipe so the
 		// consumer sees the same streaming behaviour (the trace ids are
@@ -646,7 +666,7 @@ func (n *Node) StreamFromContext(ctx context.Context, owner Contact, req Message
 		}()
 		return pipe, nil
 	}
-	ms, err := n.openStream(ctx, owner, req)
+	ms, err := n.openStreamPolicy(ctx, owner, req, retry)
 	if err != nil {
 		return nil, err
 	}
@@ -850,6 +870,13 @@ func (n *Node) OpenProcStreamContext(ctx context.Context, to Contact, key, proc 
 	return n.StreamFromContext(ctx, to, Message{Type: MsgApp, From: n.from(), Key: key, Proc: proc, Blob: blob})
 }
 
+// OpenProcStreamOnceContext is OpenProcStreamContext with a single
+// connection attempt (no retries): the DPP fetch path uses it to probe
+// a recorded block owner before rotating to a freshly located replica.
+func (n *Node) OpenProcStreamOnceContext(ctx context.Context, to Contact, key, proc string, blob []byte) (postings.Stream, error) {
+	return n.StreamFromOnceContext(ctx, to, Message{Type: MsgApp, From: n.from(), Key: key, Proc: proc, Blob: blob})
+}
+
 // replica repair ----------------------------------------------------
 
 // RepairOnce runs one repair pass: for every key held locally, check
@@ -1040,6 +1067,8 @@ func (n *Node) HandleStream(from Contact, req Message, send func(Message) error)
 	switch req.Type {
 	case MsgGetStream:
 		return n.streamList(req.Key, send)
+	case MsgGetBatch:
+		return n.streamBatch(req, send)
 	case MsgApp:
 		h := n.lookupStreamProc(req.Proc)
 		if h == nil {

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 
+	"kadop/internal/blockcache"
 	"kadop/internal/dht"
 	"kadop/internal/postings"
 	"kadop/internal/sid"
@@ -54,6 +55,12 @@ type BlockRef struct {
 	Key    string
 	Owner  string
 	Count  int
+	// Gen is the block's generation, bumped by every append or delete
+	// that touches the block. Query peers key their block cache by
+	// (term, key, gen), so a mutation makes every cached copy of the
+	// block unreachable without any invalidation traffic: the next root
+	// fetch carries the new generation.
+	Gen uint64
 	// Types are the document types present in the block (Section 4.1:
 	// conditions carry type information so queries can skip blocks whose
 	// types cannot match). Empty means untyped content: never skipped.
@@ -70,6 +77,9 @@ type Root struct {
 	Blocks  []BlockRef
 	Count   int         // inline only: posting count
 	Lo, Hi  sid.Posting // inline only: list bounds (when Count > 0)
+	// Gen is the inline list's generation (see BlockRef.Gen); it tracks
+	// appends and deletes while the term has not overflowed.
+	Gen uint64
 	// Types are the document types of the term's postings (inline or
 	// across all blocks); empty means untyped.
 	Types []string
@@ -123,10 +133,12 @@ type Manager struct {
 	node      *dht.Node
 	blockSize int
 	ordered   bool
+	cache     *blockcache.Cache
 
 	mu          sync.Mutex
 	roots       map[string]*Root
 	inlineTypes map[string][]string // term -> types of its inline list
+	inlineGen   map[string]uint64   // term -> inline list generation
 	next        int                 // pseudo-key counter
 }
 
@@ -138,6 +150,12 @@ type Options struct {
 	// blocks still distribute across peers but carry no order, so
 	// fetches must merge and cannot filter by condition.
 	RandomSplit bool
+	// Cache, when non-nil, caches fetched posting blocks at this peer
+	// keyed by (term, block, generation), coalesces concurrent fetches
+	// of the same block, and switches block transfers to full blocks
+	// clipped client-side so cached copies are reusable across queries
+	// with different document intervals.
+	Cache *blockcache.Cache
 }
 
 // NewManager creates the DPP manager for a node and registers its
@@ -148,13 +166,19 @@ func NewManager(node *dht.Node, opts Options) *Manager {
 		bs = DefaultBlockSize
 	}
 	m := &Manager{node: node, blockSize: bs, ordered: !opts.RandomSplit,
-		roots: map[string]*Root{}, inlineTypes: map[string][]string{}}
+		cache: opts.Cache,
+		roots: map[string]*Root{}, inlineTypes: map[string][]string{},
+		inlineGen: map[string]uint64{}}
 	node.Handle(ProcAppend, m.handleAppend)
 	node.Handle(ProcDelete, m.handleDelete)
 	node.Handle(ProcRoot, m.handleRoot)
 	node.HandleStreamProc(ProcBlock, m.handleBlock)
 	return m
 }
+
+// Cache returns the manager's block cache (nil when caching is off),
+// for stats surfacing on the admin endpoint and in experiments.
+func (m *Manager) Cache() *blockcache.Cache { return m.cache }
 
 // Append routes postings for a term through the term's home peer, which
 // maintains the DPP structure. It is the publishing-side entry point.
@@ -199,6 +223,7 @@ func (m *Manager) handleAppend(_ context.Context, _ dht.Contact, term string, bl
 		if err := m.node.Store().Append(term, ps); err != nil {
 			return nil, err
 		}
+		m.inlineGen[term]++
 		set, ok := addType(m.inlineTypes[term], dtype)
 		if !ok {
 			set = nil
@@ -357,6 +382,7 @@ func (m *Manager) appendToBlock(root *Root, bi int, chunk postings.List, dtype s
 	if err := m.node.Append(ref.Key, chunk); err != nil {
 		return err
 	}
+	ref.Gen++
 	ref.Count += len(chunk)
 	set, ok := addType(ref.Types, dtype)
 	if !ok {
@@ -418,7 +444,7 @@ func (m *Manager) handleRoot(_ context.Context, _ dht.Contact, term string, _ []
 	defer m.mu.Unlock()
 	root := m.roots[term]
 	if root == nil {
-		inline := &Root{Term: term, Types: m.inlineTypes[term]}
+		inline := &Root{Term: term, Types: m.inlineTypes[term], Gen: m.inlineGen[term]}
 		first := true
 		err := m.node.Store().Scan(term, sid.MinPosting, func(p sid.Posting) bool {
 			if first {
@@ -502,6 +528,7 @@ func encodeRoot(r *Root) []byte {
 		buf = append(buf, 0)
 	}
 	buf = binary.AppendUvarint(buf, uint64(r.Count))
+	buf = binary.AppendUvarint(buf, r.Gen)
 	buf = appendPosting(buf, r.Lo)
 	buf = appendPosting(buf, r.Hi)
 	buf = appendStrs(buf, r.Types)
@@ -512,6 +539,7 @@ func encodeRoot(r *Root) []byte {
 		buf = appendPosting(buf, b.Lo)
 		buf = appendPosting(buf, b.Hi)
 		buf = binary.AppendUvarint(buf, uint64(b.Count))
+		buf = binary.AppendUvarint(buf, b.Gen)
 		buf = appendStrs(buf, b.Types)
 	}
 	return buf
@@ -561,6 +589,12 @@ func decodeRoot(buf []byte) (*Root, error) {
 	}
 	pos += sz
 	r.Count = int(cnt)
+	g, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("dpp: decode root: bad generation")
+	}
+	pos += sz
+	r.Gen = g
 	if r.Lo, pos, err = readPosting(buf, pos); err != nil {
 		return nil, err
 	}
@@ -595,6 +629,12 @@ func decodeRoot(buf []byte) (*Root, error) {
 		}
 		pos += sz
 		b.Count = int(c)
+		bg, sz := binary.Uvarint(buf[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("dpp: decode root: bad block generation")
+		}
+		pos += sz
+		b.Gen = bg
 		if b.Types, pos, err = readStrs(buf, pos); err != nil {
 			return nil, err
 		}
@@ -704,6 +744,7 @@ func (m *Manager) handleDelete(_ context.Context, _ dht.Contact, term string, bl
 				return nil, err
 			}
 		}
+		m.inlineGen[term]++
 		return nil, nil
 	}
 	for _, p := range ps {
@@ -716,6 +757,7 @@ func (m *Manager) handleDelete(_ context.Context, _ dht.Contact, term string, bl
 			if err := m.node.DeleteAt(owner, ref.Key, p); err != nil {
 				return nil, err
 			}
+			ref.Gen++
 			if ref.Count > 0 {
 				ref.Count--
 			}

@@ -2,10 +2,13 @@ package dpp
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
+	"kadop/internal/blockcache"
 	"kadop/internal/dht"
 	"kadop/internal/metrics"
 	"kadop/internal/postings"
@@ -23,6 +26,9 @@ type FetchPlan struct {
 	Fetched    int
 	Parallel   int
 	DocClipped bool
+	// CacheHits counts blocks (or the inline list) served from the
+	// query-peer block cache instead of the network.
+	CacheHits int
 }
 
 // FetchOptions configure the query-side fetch.
@@ -68,6 +74,14 @@ func (m *Manager) FetchWithRoot(root *Root, opts FetchOptions) (postings.Stream,
 
 // FetchWithRootContext is FetchWithRoot under a caller-controlled
 // deadline, which bounds the root and block transfers.
+//
+// With a block cache configured, the condition-based block selection of
+// Section 4 is unchanged, but kept blocks are looked up in the cache by
+// (term, key, generation) first; misses transfer the FULL block — the
+// interval clip moves to this side — so the cached copy serves any
+// later interval, and concurrent fetches of one block coalesce into a
+// single transfer. Miss blocks co-located on one peer are fetched in a
+// single batched round trip.
 func (m *Manager) FetchWithRootContext(ctx context.Context, root *Root, opts FetchOptions) (postings.Stream, *FetchPlan, error) {
 	if opts.Parallel <= 0 {
 		opts.Parallel = 4
@@ -83,25 +97,14 @@ func (m *Manager) FetchWithRootContext(ctx context.Context, root *Root, opts Fet
 			c.SetInt("blocks", int64(plan.Blocks))
 			c.SetInt("fetched", int64(plan.Fetched))
 			c.SetInt("parallel", int64(plan.Parallel))
+			c.SetInt("cache-hits", int64(plan.CacheHits))
 			if plan.Inline {
 				c.SetAttr("inline", "true")
 			}
 		}()
 	}
 	if len(root.Blocks) == 0 {
-		// Inline list at the home peer.
-		plan.Inline = true
-		if !typeMatches(root.Types, opts.AllowedTypes) {
-			return postings.NewSliceStream(nil), plan, nil
-		}
-		s, err := m.node.GetStreamContext(ctx, root.Term)
-		if err != nil {
-			return nil, nil, err
-		}
-		if opts.Filter {
-			s = clipStream(s, opts.FilterLo, opts.FilterHi)
-		}
-		return s, plan, nil
+		return m.fetchInline(ctx, root, opts, plan)
 	}
 
 	// Select blocks: keep those whose condition intersects the filter
@@ -123,27 +126,106 @@ func (m *Manager) FetchWithRootContext(ctx context.Context, root *Root, opts Fet
 		return postings.NewSliceStream(nil), plan, nil
 	}
 
+	// With a cache, blocks transfer whole and the interval clip applies
+	// on this side; without one the holder clips (the old behaviour),
+	// which also rules batching out under a filter — an empty clipped
+	// block and a stale owner would be indistinguishable.
+	cacheOn := m.cache != nil
+	clientClip := opts.Filter && cacheOn
 	var blob []byte
-	if opts.Filter {
+	if opts.Filter && !cacheOn {
 		blob = encodeInterval(opts.FilterLo, opts.FilterHi)
 	}
+	clip := func(l postings.List) postings.List {
+		if clientClip {
+			return l.ClipDocs(opts.FilterLo, opts.FilterHi)
+		}
+		return l
+	}
 
-	// Fetch with a sliding window of Parallel blocks in flight. Each
-	// slot drains its block stream in the background; the consumer reads
-	// the results in block order (ordered DPP) or merged (random DPP).
+	// Each kept block gets a result slot; the consumer below reads them
+	// in block order (ordered DPP) or merges them (random ablation).
 	results := make([]chan fetched, len(keep))
 	for i := range results {
 		results[i] = make(chan fetched, 1)
 	}
+
+	// Resolve cache hits and coalesced waiters now; what remains are
+	// leaders, which owe the network a transfer each.
+	type leaderBlock struct {
+		i      int
+		b      BlockRef
+		key    blockcache.Key
+		flight *blockcache.Flight
+	}
+	var leaders []leaderBlock
+	for i, b := range keep {
+		k := blockcache.Key{Term: root.Term, Block: b.Key, Gen: b.Gen}
+		if l, ok := m.cache.Get(k); ok {
+			plan.CacheHits++
+			results[i] <- fetched{list: clip(l)}
+			continue
+		}
+		f, lead := m.cache.BeginFlight(k)
+		if !lead {
+			go func(i int, f *blockcache.Flight) {
+				l, err := f.Wait(ctx)
+				results[i] <- fetched{list: clip(l), err: err}
+			}(i, f)
+			continue
+		}
+		leaders = append(leaders, leaderBlock{i: i, b: b, key: k, flight: f})
+	}
+
+	// finish publishes a leader's result to its flight (unblocking any
+	// coalesced waiters, and caching the block) and to its result slot.
+	finish := func(lb leaderBlock, l postings.List, err error) {
+		m.cache.Complete(lb.key, lb.flight, l, err)
+		results[lb.i] <- fetched{list: clip(l), err: err}
+	}
+	fetchOne := func(lb leaderBlock) {
+		l, err := m.fetchBlock(ctx, lb.b, blob)
+		finish(lb, l, err)
+	}
+
+	// Group leader blocks by recorded owner: two or more on one peer
+	// fetch in a single round trip. Batching transfers full blocks, so
+	// it only applies when a cache clips client-side or no filter is
+	// set; otherwise every block degrades to its own clipped get.
+	singles, batches := planBatches(leaders, cacheOn || !opts.Filter, func(lb leaderBlock) string {
+		return lb.b.Owner
+	})
+
 	sem := make(chan struct{}, opts.Parallel)
 	go func() {
-		for i, b := range keep {
+		for _, lb := range singles {
 			sem <- struct{}{}
-			go func(i int, b BlockRef) {
+			go func(lb leaderBlock) {
 				defer func() { <-sem }()
-				list, err := m.fetchBlock(ctx, b, blob)
-				results[i] <- fetched{list: list, err: err}
-			}(i, b)
+				fetchOne(lb)
+			}(lb)
+		}
+		for owner, group := range batches {
+			sem <- struct{}{}
+			go func(owner string, group []leaderBlock) {
+				defer func() { <-sem }()
+				keys := make([]string, len(group))
+				for gi, lb := range group {
+					keys[gi] = lb.b.Key
+				}
+				got, err := m.fetchBatch(ctx, owner, keys)
+				for _, lb := range group {
+					if err != nil || (len(got[lb.b.Key]) == 0 && lb.b.Count > 0) {
+						// The whole batch failed, or this block came back
+						// empty from a peer that should hold postings (a
+						// stale owner): fall back to the rotating
+						// per-block fetch.
+						fetchOne(lb)
+						continue
+					}
+					finish(lb, got[lb.b.Key], nil)
+				}
+			}(owner, group)
 		}
 	}()
 
@@ -194,16 +276,105 @@ func (m *Manager) FetchWithRootContext(ctx context.Context, root *Root, opts Fet
 	return postings.MergeStreams(streams...), plan, nil
 }
 
+// fetchInline serves a term that never overflowed: the list streams
+// from the term's home peer and is clipped on this side. With a cache,
+// a hit skips the stream entirely and a miss tees the transfer into
+// the cache as it completes.
+func (m *Manager) fetchInline(ctx context.Context, root *Root, opts FetchOptions, plan *FetchPlan) (postings.Stream, *FetchPlan, error) {
+	plan.Inline = true
+	if !typeMatches(root.Types, opts.AllowedTypes) {
+		return postings.NewSliceStream(nil), plan, nil
+	}
+	key := blockcache.Key{Term: root.Term, Gen: root.Gen}
+	if m.cache != nil && root.Count > 0 {
+		if l, ok := m.cache.Get(key); ok {
+			plan.CacheHits++
+			if opts.Filter {
+				l = l.ClipDocs(opts.FilterLo, opts.FilterHi)
+			}
+			return postings.NewSliceStream(l), plan, nil
+		}
+	}
+	s, err := m.node.GetStreamContext(ctx, root.Term)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m.cache != nil && root.Count > 0 {
+		// The transfer is full-list regardless (the clip below is local),
+		// so a completely drained stream is exactly the cacheable block.
+		// No singleflight here: a consumer may abandon the stream, and a
+		// flight without a guaranteed completion would hang its waiters.
+		s = &teeStream{s: s, cache: m.cache, key: key}
+	}
+	if opts.Filter {
+		s = clipStream(s, opts.FilterLo, opts.FilterHi)
+	}
+	return s, plan, nil
+}
+
 type fetched struct {
 	list postings.List
 	err  error
 }
 
-// fetchBlock contacts the block's holder (recorded in the root block;
-// a lookup of the pseudo-key is the fallback when the pointer is
-// stale) and drains its (clipped) stream.
+// planBatches splits leaders into per-block singles and per-owner
+// batches of two or more blocks. Batching requires full-block transfers
+// (allowed=false forces everything single); blocks with no recorded
+// owner must locate, so they stay single too.
+func planBatches[T any](leaders []T, allowed bool, ownerOf func(T) string) (singles []T, batches map[string][]T) {
+	if !allowed {
+		return leaders, nil
+	}
+	byOwner := map[string][]T{}
+	for _, lb := range leaders {
+		owner := ownerOf(lb)
+		if owner == "" {
+			singles = append(singles, lb)
+			continue
+		}
+		byOwner[owner] = append(byOwner[owner], lb)
+	}
+	for owner, group := range byOwner {
+		if len(group) < 2 {
+			singles = append(singles, group...)
+			continue
+		}
+		if batches == nil {
+			batches = map[string][]T{}
+		}
+		batches[owner] = group
+	}
+	return singles, batches
+}
+
+// fetchBatch pulls a group of co-located blocks from their recorded
+// owner in one round trip (a key the peer holds nothing for maps to an
+// empty list).
+func (m *Manager) fetchBatch(ctx context.Context, owner string, keys []string) (map[string]postings.List, error) {
+	start := time.Now()
+	contact := dht.Contact{ID: dht.PeerIDFromSeed(owner), Addr: owner}
+	got, err := m.node.GetBatchContext(ctx, contact, keys, false, sid.DocKey{}, sid.DocKey{})
+	dur := time.Since(start)
+	m.node.Metrics().Observe(metrics.OpDPPFetch, dur)
+	if sp := trace.FromContext(ctx); sp != nil {
+		c := sp.Child("dpp:block-batch", start, dur)
+		c.SetAttr("peer", owner)
+		c.SetInt("blocks", int64(len(keys)))
+		if err != nil {
+			c.SetAttr("error", err.Error())
+		}
+	}
+	return got, err
+}
+
+// fetchBlock contacts the block's holder and drains its (possibly
+// clipped) stream. The holder recorded in the root block is probed with
+// a single attempt; on failure the fetch ROTATES to a freshly located
+// replica before any retrying, so a stale pointer costs one failed
+// probe instead of the whole retry budget.
 func (m *Manager) fetchBlock(ctx context.Context, b BlockRef, intervalBlob []byte) (postings.List, error) {
 	start := time.Now()
+	located := false
 	owner := dht.Contact{ID: dht.PeerIDFromSeed(b.Owner), Addr: b.Owner}
 	if b.Owner == "" {
 		var err error
@@ -211,14 +382,22 @@ func (m *Manager) fetchBlock(ctx context.Context, b BlockRef, intervalBlob []byt
 		if err != nil {
 			return nil, err
 		}
+		located = true
 	}
-	s, err := m.node.OpenProcStreamContext(ctx, owner, b.Key, ProcBlock, intervalBlob)
-	if err != nil {
-		// Stale pointer (the holder left): fall back to routing.
-		owner, lerr := m.node.LocateContext(ctx, b.Key)
-		if lerr != nil {
-			return nil, err
+	s, err := m.node.OpenProcStreamOnceContext(ctx, owner, b.Key, ProcBlock, intervalBlob)
+	if err != nil && !located {
+		// Rotate: route the pseudo-key to the current holder and probe
+		// that once too, before spending retries anywhere.
+		if loc, lerr := m.node.LocateContext(ctx, b.Key); lerr == nil {
+			if loc.Addr != owner.Addr {
+				owner = loc
+				s, err = m.node.OpenProcStreamOnceContext(ctx, owner, b.Key, ProcBlock, intervalBlob)
+			}
 		}
+	}
+	if err != nil {
+		// Every candidate failed its probe: the full retry/backoff budget
+		// now goes to the routed holder (transient faults heal here).
 		s, err = m.node.OpenProcStreamContext(ctx, owner, b.Key, ProcBlock, intervalBlob)
 		if err != nil {
 			return nil, err
@@ -236,6 +415,28 @@ func (m *Manager) fetchBlock(ctx context.Context, b BlockRef, intervalBlob []byt
 		}
 	}
 	return list, err
+}
+
+// teeStream accumulates a fully drained stream into the block cache.
+type teeStream struct {
+	s     postings.Stream
+	cache *blockcache.Cache
+	key   blockcache.Key
+	acc   postings.List
+	done  bool
+}
+
+func (t *teeStream) Next() (sid.Posting, error) {
+	p, err := t.s.Next()
+	if err == nil {
+		t.acc = append(t.acc, p)
+		return p, nil
+	}
+	if errors.Is(err, io.EOF) && !t.done {
+		t.done = true
+		t.cache.Add(t.key, t.acc)
+	}
+	return p, err
 }
 
 // clipStream filters a stream to the document interval (client side,

@@ -1,0 +1,127 @@
+package kadop
+
+// Cache-invalidation chaos test: concurrent appends bump block
+// generations while queries run against a hot block cache under message
+// loss. A query must never serve a stale cached block — every document
+// whose publish completed before the query started has to appear in the
+// result, and nothing beyond what was published may appear.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kadop/internal/dht"
+	"kadop/internal/dpp"
+	"kadop/internal/pattern"
+)
+
+func TestChaosConcurrentAppendsNeverServeStale(t *testing.T) {
+	c := newChaosCluster(t, 8, Config{
+		UseDPP:     true,
+		DPP:        dpp.Options{BlockSize: 8},
+		CacheBytes: 1 << 20,
+	})
+	mkDoc := func(i int) string {
+		return fmt.Sprintf(
+			`<dblp><article><author>Jeffrey Ullman</author><title>Paper %d</title></article></dblp>`, i)
+	}
+	const baseDocs = 20
+	for i := 0; i < baseDocs; i++ {
+		p := c.peers[i%len(c.peers)]
+		if _, err := p.PublishXML([]byte(mkDoc(i)), fmt.Sprintf("base%d.xml", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := pattern.MustParse(`//article//author[. contains "Ullman"]`)
+	querier := c.peers[len(c.peers)-1]
+
+	// Warm the cache on the healthy cluster.
+	res, err := querier.Query(q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != baseDocs {
+		t.Fatalf("baseline: %d matches, want %d", len(res.Matches), baseDocs)
+	}
+
+	c.net.SetFaults(dht.Faults{Seed: 41, DropProb: 0.10, DupProb: 0.02})
+
+	const extraDocs = 8
+	// A publish is visible piecewise while it runs, so the bounds below
+	// bracket each query with both counters: completed publishes must all
+	// be visible, and nothing beyond the started ones may be.
+	var started, completed atomic.Int64
+	appendDone := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(appendDone)
+		for i := 0; i < extraDocs; i++ {
+			p := c.peers[i%3]
+			started.Add(1)
+			if _, err := p.PublishXML([]byte(mkDoc(baseDocs+i)), fmt.Sprintf("extra%d.xml", i)); err != nil {
+				t.Errorf("publish under faults: %v", err)
+				return
+			}
+			completed.Add(1)
+		}
+	}()
+
+	// Queriers race the appender on a shared cache. Each query brackets
+	// its run with the published counter: everything published before it
+	// started must be visible (no stale block served), and nothing may
+	// appear that was never published.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-appendDone:
+					return
+				default:
+				}
+				before := completed.Load()
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				res, err := querier.QueryContext(ctx, q, QueryOptions{})
+				cancel()
+				if err != nil {
+					t.Errorf("querier %d: %v", w, err)
+					return
+				}
+				after := started.Load()
+				got := int64(len(res.Matches))
+				if got < baseDocs+before {
+					t.Errorf("querier %d served stale data: %d matches, %d published before the query",
+						w, got, baseDocs+before)
+					return
+				}
+				if got > baseDocs+after {
+					t.Errorf("querier %d invented matches: %d, only %d publishes started", w, got, baseDocs+after)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Faults off: the final query must account for every append, and the
+	// cache must have actually been exercised along the way.
+	c.net.SetFaults(dht.Faults{})
+	res, err = querier.Query(q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != baseDocs+extraDocs {
+		t.Fatalf("final query: %d matches, want %d", len(res.Matches), baseDocs+extraDocs)
+	}
+	st := querier.BlockCache().Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("cache was not exercised: %+v", st)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"kadop/internal/blockcache"
 	"kadop/internal/dht"
 	"kadop/internal/dpp"
 	"kadop/internal/pattern"
@@ -46,6 +47,12 @@ type Config struct {
 	UseDPP bool
 	// DPP holds the partitioning options when UseDPP is set.
 	DPP dpp.Options
+	// CacheBytes, when positive, gives this peer a posting-block cache
+	// of that capacity for its DPP fetches: repeated and overlapping
+	// queries reuse fetched blocks instead of transferring them again,
+	// concurrent fetches of one block coalesce, and generation-keyed
+	// entries self-invalidate on append/delete. Zero disables caching.
+	CacheBytes int64
 	// Pipelined selects the pipelined get of Section 3 for index
 	// queries (default true; the blocking baseline is kept for the
 	// ablation experiments).
@@ -117,6 +124,10 @@ func NewPeer(node *dht.Node, id sid.PeerID, cfg Config) (*Peer, error) {
 		hybrid:   map[string]postings.List{},
 	}
 	if cfg.UseDPP {
+		if cfg.CacheBytes > 0 && cfg.DPP.Cache == nil {
+			cfg.DPP.Cache = blockcache.New(blockcache.Options{MaxBytes: cfg.CacheBytes})
+			cfg.DPP.Cache.SetCollector(node.Metrics())
+		}
 		p.dpp = dpp.NewManager(node, cfg.DPP)
 	}
 	node.Handle(procDirPut, p.handleDirPut)
@@ -151,6 +162,15 @@ func (p *Peer) ID() sid.PeerID { return p.id }
 
 // DPP returns the peer's DPP manager (nil when disabled).
 func (p *Peer) DPP() *dpp.Manager { return p.dpp }
+
+// BlockCache returns the peer's posting-block cache, or nil when
+// caching (or DPP) is disabled.
+func (p *Peer) BlockCache() *blockcache.Cache {
+	if p.dpp == nil {
+		return nil
+	}
+	return p.dpp.Cache()
+}
 
 func peerKey(id sid.PeerID) string { return fmt.Sprintf("peer:%d", id) }
 func docKey(k sid.DocKey) string   { return fmt.Sprintf("doc:%d:%d", k.Peer, k.Doc) }

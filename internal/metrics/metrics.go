@@ -49,6 +49,20 @@ const (
 	EventEviction Event = "evictions"
 	// EventRepair counts keys re-pushed by the replica repair loop.
 	EventRepair Event = "repairs"
+	// EventCacheHit counts posting blocks served from the query-peer
+	// block cache instead of the network.
+	EventCacheHit Event = "cache-hits"
+	// EventCacheMiss counts posting blocks the cache had to fetch.
+	EventCacheMiss Event = "cache-misses"
+	// EventCacheCoalesced counts fetches that joined an in-flight
+	// request for the same block instead of issuing their own RPC.
+	EventCacheCoalesced Event = "cache-coalesced"
+	// EventCacheEviction counts cached blocks evicted to stay within
+	// the cache's byte budget.
+	EventCacheEviction Event = "cache-evictions"
+	// EventCacheBytesSaved accumulates the encoded bytes of posting
+	// blocks served from cache — wire transfer that did not happen.
+	EventCacheBytesSaved Event = "cache-bytes-saved"
 )
 
 // Collector accumulates message and byte counts per class. The zero
@@ -212,6 +226,12 @@ func (c *Collector) Export() Export {
 
 // CountEvent records one robustness event.
 func (c *Collector) CountEvent(e Event) {
+	c.AddEvent(e, 1)
+}
+
+// AddEvent adds n to an event counter; byte-valued events (such as
+// cache-bytes-saved) accumulate through it.
+func (c *Collector) AddEvent(e Event, n int64) {
 	if c == nil {
 		return
 	}
@@ -219,7 +239,7 @@ func (c *Collector) CountEvent(e Event) {
 	if c.events == nil {
 		c.events = map[Event]int64{}
 	}
-	c.events[e]++
+	c.events[e] += n
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,63 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser on arbitrary input. Malformed queries must
+// be rejected with an error, never a panic; accepted queries must
+// validate, and their String() rendering must reparse to an equivalent
+// query whose rendering is a fixpoint (parse∘String is idempotent).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// The paper's examples.
+		`//article[. contains "Ullman"]`,
+		`//article//author[. contains "Ullman"]`,
+		`//article[//title]//author[. contains "Ullman"]`,
+		`//article[contains(.//title,'system') and contains(.//abstract,'interface')]`,
+		`//*[contains(.,'xml')]//title`,
+		// Grammar corners: absolute child steps, word steps, stacked and
+		// relative predicates, wildcard interior nodes.
+		`/dblp/article/title`,
+		`//{ullman}`,
+		`//a[/b][/c]//d`,
+		`//a[./b and .//c]`,
+		`//a[.//b[. contains "x"]]//c`,
+		`//*//*[. contains "w"]`,
+		// Near-misses the parser must reject cleanly.
+		``, `//`, `//*`, `///`, `a//b`, `//a[`, `//a[]`, `//a[. contains "x`,
+		`//a[contains(]`, `//{w`, `//a[. contains "x" and]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejected input; only a panic is a failure here
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Parse(%q) returned an invalid query: %v", input, err)
+		}
+		s1 := q.String()
+		// Tokenize keeps every rune above 127, printable or not, while
+		// String() quotes words with %q and the parser reads quoted
+		// strings verbatim (no escape processing). A word that needs
+		// escaping therefore cannot round-trip through the concrete
+		// syntax; skip the reparse for those renderings.
+		if strings.Contains(s1, `\`) {
+			return
+		}
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("String() of parsed %q does not reparse: %q: %v", input, s1, err)
+		}
+		if got, want := len(q2.Nodes()), len(q.Nodes()); got != want {
+			t.Fatalf("reparse of %q changed node count: got %d, want %d", s1, got, want)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("String() is not a fixpoint: %q reparses and rerenders as %q", s1, s2)
+		}
+	})
+}

@@ -118,6 +118,12 @@ func Decode(buf []byte) (List, int, error) {
 		if err != nil {
 			return nil, 0, fmt.Errorf("postings: posting %d: %w", i, err)
 		}
+		// The deltas force (peer, doc, start) to be non-decreasing, but a
+		// crafted input can still regress on (end, level) at an equal
+		// start; reject it so decoded lists are always in canonical order.
+		if i > 0 && p.Compare(prev) < 0 {
+			return nil, 0, fmt.Errorf("postings: posting %d out of canonical order", i)
+		}
 		off += consumed
 		out = append(out, p)
 		prev = p

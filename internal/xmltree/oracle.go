@@ -1,0 +1,117 @@
+package xmltree
+
+import "kadop/internal/sid"
+
+// The oracle: a naive tree-walk evaluator for twig patterns, used by the
+// property tests as independent ground truth for the distributed query
+// machinery. It deliberately lives here — with its own minimal pattern
+// representation — rather than reusing package pattern's evaluator:
+// pattern imports xmltree, and an oracle sharing pattern's code could
+// share its bugs. The algorithm is also intentionally different: a
+// bottom-up per-binding tuple join instead of pattern's pre-order
+// backtracking.
+
+// PatternAxis is the edge kind between a pattern node and its parent.
+type PatternAxis uint8
+
+const (
+	// PatternChild requires a direct parent/child relationship.
+	PatternChild PatternAxis = iota
+	// PatternDescendant requires strict containment.
+	PatternDescendant
+	// PatternDescendantOrSelf additionally accepts the element itself
+	// (how word predicates attach to their host element).
+	PatternDescendantOrSelf
+)
+
+// PatternWildcard matches any element label.
+const PatternWildcard = "*"
+
+// PatternNode is one node of an oracle twig pattern. A Label term with
+// text PatternWildcard matches every element; a Word term matches
+// elements directly containing that word token. The root node's Axis is
+// ignored: like the paper's tree patterns, the pattern root may bind to
+// any element of the document.
+type PatternNode struct {
+	Term     Term
+	Axis     PatternAxis
+	Children []*PatternNode
+}
+
+// MatchPattern enumerates every embedding of the pattern in the
+// document. Each result tuple holds the bound element SIDs in the
+// pattern's pre-order.
+func MatchPattern(d *Document, root *PatternNode) [][]sid.SID {
+	if d == nil || d.Root == nil || root == nil {
+		return nil
+	}
+	var all []*Node
+	d.Walk(func(n *Node) { all = append(all, n) })
+
+	var out [][]sid.SID
+	for _, dn := range all {
+		if !oracleTermMatches(root, dn) {
+			continue
+		}
+		out = append(out, oracleBind(root, dn, all)...)
+	}
+	return out
+}
+
+// oracleBind returns all tuples for the pattern subtree rooted at pn
+// with pn bound to dn (dn's SID leads each tuple).
+func oracleBind(pn *PatternNode, dn *Node, all []*Node) [][]sid.SID {
+	// Tuples of the children, joined left to right by cross product.
+	acc := [][]sid.SID{{}}
+	for _, c := range pn.Children {
+		var cTuples [][]sid.SID
+		for _, dn2 := range all {
+			if !oracleAxisHolds(c.Axis, dn.SID, dn2.SID) || !oracleTermMatches(c, dn2) {
+				continue
+			}
+			cTuples = append(cTuples, oracleBind(c, dn2, all)...)
+		}
+		if len(cTuples) == 0 {
+			return nil
+		}
+		var next [][]sid.SID
+		for _, left := range acc {
+			for _, right := range cTuples {
+				tuple := make([]sid.SID, 0, len(left)+len(right))
+				tuple = append(tuple, left...)
+				tuple = append(tuple, right...)
+				next = append(next, tuple)
+			}
+		}
+		acc = next
+	}
+	out := make([][]sid.SID, len(acc))
+	for i, tail := range acc {
+		out[i] = append([]sid.SID{dn.SID}, tail...)
+	}
+	return out
+}
+
+func oracleTermMatches(pn *PatternNode, dn *Node) bool {
+	if pn.Term.Kind == Word {
+		for _, w := range dn.Words {
+			if w == pn.Term.Text {
+				return true
+			}
+		}
+		return false
+	}
+	return pn.Term.Text == PatternWildcard || dn.Label == pn.Term.Text
+}
+
+func oracleAxisHolds(axis PatternAxis, a, d sid.SID) bool {
+	switch axis {
+	case PatternChild:
+		return a.ParentOf(d)
+	case PatternDescendant:
+		return a.Contains(d)
+	case PatternDescendantOrSelf:
+		return a == d || a.Contains(d)
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package xmltree
+
+import (
+	"testing"
+
+	"kadop/internal/sid"
+)
+
+func TestMatchPatternHandChecked(t *testing.T) {
+	doc, err := ParseBytes([]byte(
+		`<dblp><article><author>Jeffrey Ullman</author><title>Databases</title></article>` +
+			`<article><author>Serge Abiteboul</author></article></dblp>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// //article//author — two embeddings.
+	p := &PatternNode{Term: LabelTerm("article"), Children: []*PatternNode{
+		{Term: LabelTerm("author"), Axis: PatternDescendant},
+	}}
+	got := MatchPattern(doc, p)
+	if len(got) != 2 {
+		t.Fatalf("article//author: %d tuples, want 2", len(got))
+	}
+	for _, tuple := range got {
+		if len(tuple) != 2 || !tuple[0].Contains(tuple[1]) {
+			t.Fatalf("bad tuple %v", tuple)
+		}
+	}
+
+	// //article//author[. contains "ullman"] — one embedding, the word
+	// binding to the author element itself (descendant-or-self).
+	p.Children[0].Children = []*PatternNode{
+		{Term: WordTerm("ullman"), Axis: PatternDescendantOrSelf},
+	}
+	got = MatchPattern(doc, p)
+	if len(got) != 1 {
+		t.Fatalf("with word predicate: %d tuples, want 1", len(got))
+	}
+	if got[0][1] != got[0][2] {
+		t.Fatalf("word should bind to the author element itself: %v", got[0])
+	}
+
+	// Child vs descendant: //dblp/author must be empty (author is a
+	// grandchild), //dblp//author must not.
+	child := &PatternNode{Term: LabelTerm("dblp"), Children: []*PatternNode{
+		{Term: LabelTerm("author"), Axis: PatternChild},
+	}}
+	if got := MatchPattern(doc, child); len(got) != 0 {
+		t.Fatalf("dblp/author: %d tuples, want 0", len(got))
+	}
+	child.Children[0].Axis = PatternDescendant
+	if got := MatchPattern(doc, child); len(got) != 2 {
+		t.Fatalf("dblp//author: %d tuples, want 2", len(got))
+	}
+
+	// Wildcard with two branches: //*[//author][//title] — only the
+	// first article has both, binding * to article and dblp.
+	wild := &PatternNode{Term: LabelTerm(PatternWildcard), Children: []*PatternNode{
+		{Term: LabelTerm("author"), Axis: PatternDescendant},
+		{Term: LabelTerm("title"), Axis: PatternDescendant},
+	}}
+	got = MatchPattern(doc, wild)
+	// dblp binds with 2 authors x 1 title, article binds with 1 x 1.
+	if len(got) != 3 {
+		t.Fatalf("wildcard branches: %d tuples, want 3", len(got))
+	}
+	var zero sid.SID
+	for _, tuple := range got {
+		for _, s := range tuple {
+			if s == zero {
+				t.Fatalf("unbound SID in %v", tuple)
+			}
+		}
+	}
+}

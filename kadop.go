@@ -156,6 +156,7 @@ func ServeDebug(addr string, p *Peer, tr *Tracer) (string, func() error, error) 
 		Tracer:    tr,
 		Node:      p.Node(),
 		Docs:      p.DocumentCount,
+		Cache:     p.BlockCache(),
 	})
 }
 
