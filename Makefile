@@ -20,12 +20,16 @@ bench:
 
 # bench-smoke is the fastest end-to-end signal that the experiment
 # pipeline still runs: one figure, the robustness sweep (which also
-# prints the per-phase latency percentiles) and the block-cache
-# cold/warm comparison, all at the smallest scales.
+# prints the per-phase latency percentiles), the block-cache cold/warm
+# comparison and the load-distribution experiment, all at the smallest
+# scales. The kadop-top selftest scrapes a live 4-peer cluster over
+# HTTP and fails on an empty or malformed Prometheus exposition.
 bench-smoke:
 	$(GO) run ./cmd/kadop-bench -exp fig3 -short
 	$(GO) run ./cmd/kadop-bench -exp robust -short
 	$(GO) run ./cmd/kadop-bench -exp cache -short
+	$(GO) run ./cmd/kadop-bench -exp load -short
+	$(GO) run ./cmd/kadop-top -selftest 4
 
 # fuzz-smoke runs each fuzz target for 30s on top of its checked-in
 # seed corpus: the pattern parser, the posting codec, and the DHT

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|cache|all")
+		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|cache|load|all")
 		records   = flag.String("records", "", "comma-separated corpus sizes in records (experiment-specific default)")
 		peers     = flag.Int("peers", 0, "network size (experiment-specific default)")
 		seed      = flag.Int64("seed", 1, "workload seed")
@@ -31,13 +31,16 @@ func main() {
 	flag.Parse()
 
 	if *debugAddr != "" {
-		addr, stop, err := admin.Serve(*debugAddr, admin.Options{})
+		// Profiling is the whole point of a bench-side debug endpoint, so
+		// pprof is on here (unlike the long-lived peers, where it is
+		// flag-gated).
+		addr, stop, err := admin.Serve(*debugAddr, admin.Options{Pprof: true})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kadop-bench: debug endpoint:", err)
+			fmt.Fprintf(os.Stderr, "kadop-bench: debug endpoint %s: %v\n", *debugAddr, err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "kadop-bench: debug endpoint on http://%s\n", addr)
 	}
 
 	sizes, err := parseSizes(*records)
@@ -117,10 +120,20 @@ func main() {
 			}
 			return experiments.RunCache(o)
 		},
+		"load": func() (interface{ Format() string }, error) {
+			o := experiments.LoadOptions{Peers: *peers, Seed: *seed}
+			if len(sizes) > 0 {
+				o.Records = sizes[len(sizes)-1]
+			}
+			if *short {
+				o.Records, o.Peers, o.Queries = 150, 8, 2
+			}
+			return experiments.RunLoad(o)
+		},
 	}
 
 	order := []string{"fig2", "fig3", "traffic", "table1", "sensitivity",
-		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust", "cache"}
+		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust", "cache", "load"}
 
 	var selected []string
 	if *exp == "all" {

@@ -28,12 +28,13 @@ func main() {
 	)
 	flag.Parse()
 	if *debugAddr != "" {
-		addr, stop, err := admin.Serve(*debugAddr, admin.Options{})
+		addr, stop, err := admin.Serve(*debugAddr, admin.Options{Pprof: true})
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(os.Stderr, "kadop-gen: debug endpoint %s: %v\n", *debugAddr, err)
+			os.Exit(1)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "kadop-gen: debug endpoint on http://%s\n", addr)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)

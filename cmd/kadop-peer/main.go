@@ -32,7 +32,8 @@ func main() {
 		cache     = flag.Int64("cache", 0, "posting-block cache capacity in bytes (0 = off; effective with -dpp)")
 		repl      = flag.Int("replication", 1, "index replication factor (all peers of a deployment must agree)")
 		repair    = flag.Duration("repair", 0, "replica repair cadence, e.g. 30s (0 = off; needs -replication > 1)")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/{metrics,traces,peer,pprof} on this address (off by default)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/{metrics,load,traces,peer} on this address (off by default)")
+		pprofOn   = flag.Bool("pprof", false, "also serve /debug/pprof profiling handlers on the debug address")
 	)
 	flag.Parse()
 	if *id == 0 {
@@ -48,13 +49,13 @@ func main() {
 	}
 	if *debugAddr != "" {
 		tracer := kadop.EnableTracing(peer, 64)
-		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer)
+		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer, *pprofOn)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kadop-peer: debug endpoint:", err)
+			fmt.Fprintf(os.Stderr, "kadop-peer: debug endpoint %s: %v\n", *debugAddr, err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Printf("kadop-peer %d debug endpoint on http://%s\n", *id, addr)
+		fmt.Fprintf(os.Stderr, "kadop-peer: debug endpoint on http://%s\n", addr)
 	}
 	if err := kadop.Join(peer, *bootstrap); err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-peer: join:", err)

@@ -26,7 +26,7 @@ func main() {
 		oneshot   = flag.Bool("oneshot", false, "exit after publishing (documents become unreachable for phase two)")
 		useDPP    = flag.Bool("dpp", false, "the deployment partitions posting lists (-dpp on its peers)")
 		repl      = flag.Int("replication", 1, "index replication factor (must match the deployment's peers)")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/{metrics,traces,peer,pprof} on this address")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/{metrics,load,traces,peer} on this address")
 	)
 	flag.Parse()
 	if *bootstrap == "" || *id == 0 || flag.NArg() == 0 {
@@ -49,13 +49,13 @@ func main() {
 	}
 	if *debugAddr != "" {
 		tracer := kadop.EnableTracing(peer, 16)
-		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer)
+		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer, false)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kadop-publish: debug endpoint:", err)
+			fmt.Fprintf(os.Stderr, "kadop-publish: debug endpoint %s: %v\n", *debugAddr, err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "kadop-publish: debug endpoint on http://%s\n", addr)
 	}
 	if err := kadop.Join(peer, *bootstrap); err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-publish: join:", err)

@@ -31,7 +31,9 @@ func main() {
 		indexOnly = flag.Bool("index", false, "run the index query only; print candidate documents")
 		repl      = flag.Int("replication", 1, "index replication factor (must match the deployment's peers)")
 		explain   = flag.Bool("explain", false, "print the query's trace tree (per-phase latency and bytes)")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/{metrics,traces,peer,pprof} on this address; keeps the process up after the query for inspection")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/{metrics,load,traces,peer} on this address; keeps the process up after the query for inspection")
+		logPath   = flag.String("log", "", "append one structured JSONL record per query to this file (- = stderr)")
+		logSample = flag.Float64("log-sample", 1, "fraction of queries logged to -log (deterministic: every 1/rate-th)")
 	)
 	flag.Parse()
 	if *bootstrap == "" || *id == 0 || flag.NArg() != 1 {
@@ -60,6 +62,19 @@ func main() {
 			MaxBackoff:  time.Second,
 		},
 	}}
+	if *logPath != "" {
+		w := os.Stderr
+		if *logPath != "-" {
+			f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "kadop-query: query log:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		cfg.QueryLog = kadop.NewQueryLog(w, kadop.QueryLogOptions{SampleRate: *logSample})
+	}
 	peer, err := kadop.NewTCPClientPeer(*listen, kadop.PeerID(*id), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-query:", err)
@@ -72,13 +87,13 @@ func main() {
 		tracer = kadop.EnableTracing(peer, 16)
 	}
 	if *debugAddr != "" {
-		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer)
+		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer, false)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kadop-query: debug endpoint:", err)
+			fmt.Fprintf(os.Stderr, "kadop-query: debug endpoint %s: %v\n", *debugAddr, err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "kadop-query: debug endpoint on http://%s\n", addr)
 	}
 
 	if err := kadop.JoinClient(peer, *bootstrap); err != nil {

@@ -23,11 +23,13 @@ import (
 // optional; absent subsystems render as empty sections.
 type Options struct {
 	// Collector supplies /debug/metrics (traffic classes, events, and
-	// latency histograms).
+	// latency histograms) and the histogram/counter families of /metrics.
 	Collector *metrics.Collector
 	// Tracer supplies /debug/traces.
 	Tracer *trace.Tracer
 	// Node supplies the routing-table and store sections of /debug/peer.
+	// It also supplies /debug/load and the load/registry families of
+	// /metrics unless Load/Registry override it.
 	Node *dht.Node
 	// Docs reports the number of locally published documents (the KadoP
 	// layer's count), shown on /debug/peer.
@@ -35,14 +37,49 @@ type Options struct {
 	// Cache supplies /debug/cache (the posting-block cache counters).
 	// Safe to leave nil — and a nil *blockcache.Cache renders as zeros.
 	Cache *blockcache.Cache
+	// Load supplies /debug/load and the kadop_load_*/kadop_hot_term
+	// families of /metrics. Defaults to Node.Load().
+	Load *metrics.Load
+	// Registry supplies the labeled counter/gauge families of /metrics.
+	// Defaults to Node.Registry().
+	Registry *metrics.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling endpoints on a public address are a foot-gun, so the
+	// binaries gate them behind an explicit flag (kadop-bench, whose
+	// endpoint exists for profiling, turns it on).
+	Pprof bool
+}
+
+// load resolves the effective load source.
+func (o Options) load() *metrics.Load {
+	if o.Load != nil {
+		return o.Load
+	}
+	if o.Node != nil {
+		return o.Node.Load()
+	}
+	return nil
+}
+
+// registry resolves the effective registry source.
+func (o Options) registry() *metrics.Registry {
+	if o.Registry != nil {
+		return o.Registry
+	}
+	if o.Node != nil {
+		return o.Node.Registry()
+	}
+	return nil
 }
 
 // Handler builds the admin mux. Paths:
 //
+//	/metrics        Prometheus text exposition
 //	/debug/metrics  JSON metrics dump (percentiles included)
+//	/debug/load     per-peer load ledger and hot-term sketch (JSON)
 //	/debug/traces   recent traces, JSON; ?format=text for trace trees
 //	/debug/peer     identity, routing table and store statistics
-//	/debug/pprof/   the standard pprof handlers
+//	/debug/pprof/   the standard pprof handlers (only with Options.Pprof)
 func Handler(o Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -51,11 +88,26 @@ func Handler(o Options) http.Handler {
 			return
 		}
 		fmt.Fprint(w, "kadop debug endpoint\n\n"+
+			"/metrics         Prometheus text exposition\n"+
 			"/debug/metrics   traffic classes, events, latency percentiles (JSON)\n"+
+			"/debug/load      per-peer load ledger, hot-term sketch (JSON)\n"+
 			"/debug/traces    recent query traces (JSON; ?format=text&n=8)\n"+
 			"/debug/peer      identity, routing table, store stats (JSON)\n"+
-			"/debug/cache     posting-block cache counters (JSON)\n"+
-			"/debug/pprof/    runtime profiles\n")
+			"/debug/cache     posting-block cache counters (JSON)\n")
+		if o.Pprof {
+			fmt.Fprint(w, "/debug/pprof/    runtime profiles\n")
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WriteProm(w, metrics.PromOptions{
+			Collector: o.Collector,
+			Load:      o.load(),
+			Registry:  o.registry(),
+		})
+	})
+	mux.HandleFunc("/debug/load", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.load().Export())
 	})
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, o.Collector.Export())
@@ -99,11 +151,13 @@ func Handler(o Options) http.Handler {
 	mux.HandleFunc("/debug/cache", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, o.Cache.Stats())
 	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if o.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

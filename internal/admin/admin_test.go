@@ -30,6 +30,7 @@ func testServer(t *testing.T) (*httptest.Server, *metrics.Collector, *trace.Trac
 		Tracer:    tr,
 		Node:      nd,
 		Docs:      func() int { return 3 },
+		Pprof:     true,
 	}))
 	t.Cleanup(srv.Close)
 	return srv, net.Collector, tr
@@ -116,7 +117,7 @@ func TestPeerEndpoint(t *testing.T) {
 func TestNilOptionsSafe(t *testing.T) {
 	srv := httptest.NewServer(Handler(Options{}))
 	defer srv.Close()
-	for _, p := range []string{"/", "/debug/metrics", "/debug/traces", "/debug/peer"} {
+	for _, p := range []string{"/", "/metrics", "/debug/metrics", "/debug/load", "/debug/traces", "/debug/peer"} {
 		get(t, srv.URL+p)
 	}
 }
@@ -126,6 +127,19 @@ func TestPprofWired(t *testing.T) {
 	b := get(t, srv.URL+"/debug/pprof/")
 	if !strings.Contains(string(b), "goroutine") {
 		t.Error("pprof index missing profiles")
+	}
+}
+
+func TestPprofGatedOffByDefault(t *testing.T) {
+	srv := httptest.NewServer(Handler(Options{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof should be absent without Options.Pprof, got %s", resp.Status)
 	}
 }
 

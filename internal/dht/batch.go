@@ -154,6 +154,7 @@ func (n *Node) streamBatch(req Message, send func(Message) error) error {
 		return err
 	}
 	for _, key := range keys {
+		n.load.ServeBlock()
 		batch := make(postings.List, 0, n.cfg.ChunkSize)
 		var sendErr error
 		err := n.store.Scan(key, sid.MinPosting, func(p sid.Posting) bool {

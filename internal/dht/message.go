@@ -90,29 +90,29 @@ type Message struct {
 func rpcOp(t MsgType) string {
 	switch t {
 	case MsgPing:
-		return "rpc:ping"
+		return metrics.OpRPCPing
 	case MsgFindNode:
-		return "rpc:find-node"
+		return metrics.OpRPCFindNode
 	case MsgAppend:
-		return "rpc:append"
+		return metrics.OpRPCAppend
 	case MsgGet:
-		return "rpc:get"
+		return metrics.OpRPCGet
 	case MsgGetStream:
-		return "rpc:get-stream"
+		return metrics.OpRPCGetStream
 	case MsgGetBatch:
-		return "rpc:get-batch"
+		return metrics.OpRPCGetBatch
 	case MsgDelete:
-		return "rpc:delete"
+		return metrics.OpRPCDelete
 	case MsgDeleteKey:
-		return "rpc:delete-key"
+		return metrics.OpRPCDeleteKey
 	case MsgApp:
-		return "rpc:app"
+		return metrics.OpRPCApp
 	case MsgDigest:
-		return "rpc:digest"
+		return metrics.OpRPCDigest
 	case MsgRepair:
-		return "rpc:repair"
+		return metrics.OpRPCRepair
 	}
-	return "rpc:other"
+	return metrics.OpRPCOther
 }
 
 // Class attributes the message to a traffic class for accounting.

@@ -96,6 +96,8 @@ type Node struct {
 	store     store.Store
 	tr        Transport
 	collector *metrics.Collector
+	load      *metrics.Load
+	reg       *metrics.Registry
 	rng       *retryRNG
 	tracer    atomic.Pointer[trace.Tracer]
 
@@ -114,11 +116,17 @@ func NewNode(tr Transport, st store.Store, cfg Config) (*Node, error) {
 	n := &Node{
 		self:        Contact{ID: PeerIDFromSeed(tr.Addr()), Addr: tr.Addr()},
 		cfg:         cfg.withDefaults(),
-		store:       st,
 		tr:          tr,
+		load:        metrics.NewLoad(metrics.DefaultHotTerms),
+		reg:         metrics.NewRegistry(),
 		procs:       map[string]ProcHandler{},
 		streamProcs: map[string]StreamProcHandler{},
 	}
+	// Every store operation — replicated appends, repair pushes, posting
+	// streams, DPP block serves — accrues to this node's per-peer load
+	// ledger. The simulated network shares one Collector across all
+	// peers, so the per-node Load is what makes skew observable there.
+	n.store = store.Instrument(st, n.load)
 	n.rng = newRetryRNG(n.cfg.Seed)
 	// Robustness events land in the transport's collector, next to the
 	// traffic they explain.
@@ -155,6 +163,14 @@ func (n *Node) Store() store.Store { return n.store }
 // transport accounts traffic). May be nil; the collector's methods are
 // nil-safe.
 func (n *Node) Metrics() *metrics.Collector { return n.collector }
+
+// Load exposes this node's per-peer load ledger: bytes/postings/blocks
+// served, appends absorbed, and the hot-term sketch.
+func (n *Node) Load() *metrics.Load { return n.load }
+
+// Registry exposes this node's labeled metric registry (per-peer RPC
+// counters, plus anything higher layers register).
+func (n *Node) Registry() *metrics.Registry { return n.reg }
 
 // SetTracer installs a tracer: queries from this node start traces, and
 // requests arriving with trace ids get server-side spans recorded in
@@ -215,6 +231,7 @@ func (n *Node) call(ctx context.Context, to Contact, req Message) (Message, erro
 	}
 	dur := time.Since(start)
 	n.collector.Observe(rpcOp(req.Type), dur)
+	n.countPeerRPC(rpcOp(req.Type), to, err)
 	if parent != nil {
 		sp := parent.Child(rpcOp(req.Type), start, dur)
 		sp.SetAttr("peer", to.Addr)
@@ -226,6 +243,23 @@ func (n *Node) call(ctx context.Context, to Contact, req Message) (Message, erro
 		}
 	}
 	return resp, err
+}
+
+// countPeerRPC records one outgoing RPC (and its failure, if any) in
+// the labeled registry, keyed by operation and remote peer — the
+// per-peer breakdown the shared Collector's traffic classes cannot
+// express.
+func (n *Node) countPeerRPC(op string, to Contact, err error) {
+	n.reg.Counter("kadop_rpc_client_total",
+		"Outgoing RPCs by operation and remote peer (retried calls count once).",
+		metrics.Label{Key: "op", Value: op},
+		metrics.Label{Key: "peer", Value: to.Addr}).Add(1)
+	if err != nil {
+		n.reg.Counter("kadop_rpc_client_errors_total",
+			"Outgoing RPCs that failed after retries, by operation and remote peer.",
+			metrics.Label{Key: "op", Value: op},
+			metrics.Label{Key: "peer", Value: to.Addr}).Add(1)
+	}
 }
 
 // openStream opens a message stream with the same retry/eviction
@@ -264,6 +298,7 @@ func (n *Node) openStreamPolicy(ctx context.Context, to Contact, req Message, re
 	}
 	dur := time.Since(start)
 	n.collector.Observe(rpcOp(req.Type), dur)
+	n.countPeerRPC(rpcOp(req.Type), to, err)
 	if parent != nil {
 		sp := parent.Child("stream-open:"+req.Type.String(), start, dur)
 		sp.SetAttr("peer", to.Addr)

@@ -470,6 +470,7 @@ func (m *Manager) handleBlock(_ context.Context, _ dht.Contact, key string, blob
 	if err != nil {
 		return err
 	}
+	m.node.Load().ServeBlock()
 	const batchSize = 512
 	batch := make(postings.List, 0, batchSize)
 	var sendErr error

@@ -21,6 +21,7 @@ import (
 	"kadop/internal/blockcache"
 	"kadop/internal/dht"
 	"kadop/internal/dpp"
+	"kadop/internal/obs/querylog"
 	"kadop/internal/pattern"
 	"kadop/internal/postings"
 	"kadop/internal/sid"
@@ -72,6 +73,10 @@ type Config struct {
 	// value is the seed behaviour: one copy of every key, one RPC
 	// attempt. Constructors taking an existing *dht.Node ignore it.
 	DHT dht.Config
+	// QueryLog, when set, receives one structured JSONL record per
+	// (sampled) query: pattern, phase latencies, bytes moved, cache
+	// hits, hops and retries. kadop-query -log wires this up.
+	QueryLog *querylog.Logger
 }
 
 func (c Config) pipelined() bool { return c.Pipelined == nil || *c.Pipelined }

@@ -129,7 +129,22 @@ func (p *Peer) Query(q *pattern.Query, opts QueryOptions) (*Result, error) {
 // deadline bounds every transfer of both phases; with AllowPartial the
 // query degrades to an explicitly incomplete result when peers fail or
 // the budget runs out mid-phase-two, instead of hanging or erroring.
+// When the peer's Config.QueryLog is set, every sampled query also
+// emits one structured JSONL record.
 func (p *Peer) QueryContext(ctx context.Context, q *pattern.Query, opts QueryOptions) (*Result, error) {
+	ql := p.cfg.QueryLog
+	if ql == nil || !ql.Sample() {
+		return p.queryContext(ctx, q, opts)
+	}
+	snap := p.logSnapshot()
+	res, err := p.queryContext(ctx, q, opts)
+	ql.Log(p.buildLogRecord(q, opts, snap, res, err))
+	return res, err
+}
+
+// queryContext is the query body; QueryContext wraps it with the
+// structured query log.
+func (p *Peer) queryContext(ctx context.Context, q *pattern.Query, opts QueryOptions) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}

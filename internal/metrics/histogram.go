@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math/bits"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -33,15 +34,82 @@ const (
 	OpSecondPhase = "second-phase"
 )
 
+// Per-RPC-type operation names: one histogram per message type, client
+// side, retries included. Declared here rather than derived from the
+// message type's String() so the exposition names cannot drift when a
+// message type is renamed.
+const (
+	OpRPCPing      = "rpc:ping"
+	OpRPCFindNode  = "rpc:find-node"
+	OpRPCAppend    = "rpc:append"
+	OpRPCGet       = "rpc:get"
+	OpRPCGetStream = "rpc:get-stream"
+	OpRPCGetBatch  = "rpc:get-batch"
+	OpRPCDelete    = "rpc:delete"
+	OpRPCDeleteKey = "rpc:delete-key"
+	OpRPCApp       = "rpc:app"
+	OpRPCDigest    = "rpc:digest"
+	OpRPCRepair    = "rpc:repair"
+	OpRPCOther     = "rpc:other"
+)
+
+// declaredOps is the closed set of operation names instrumentation may
+// record under. Tests assert every observed op is in it, so a new
+// Observe site must add its constant here.
+var declaredOps = map[string]bool{
+	OpLookup:           true,
+	OpAppend:           true,
+	OpPostingsTransfer: true,
+	OpTwigJoin:         true,
+	OpFilterExchange:   true,
+	OpSBFBuild:         true,
+	OpDPPFetch:         true,
+	OpQueryIndex:       true,
+	OpQueryTotal:       true,
+	OpSecondPhase:      true,
+	OpRPCPing:          true,
+	OpRPCFindNode:      true,
+	OpRPCAppend:        true,
+	OpRPCGet:           true,
+	OpRPCGetStream:     true,
+	OpRPCGetBatch:      true,
+	OpRPCDelete:        true,
+	OpRPCDeleteKey:     true,
+	OpRPCApp:           true,
+	OpRPCDigest:        true,
+	OpRPCRepair:        true,
+	OpRPCOther:         true,
+}
+
+// IsDeclaredOp reports whether op is one of the declared Op* constants.
+func IsDeclaredOp(op string) bool { return declaredOps[op] }
+
+// DeclaredOps returns the sorted declared operation names.
+func DeclaredOps() []string {
+	ops := make([]string, 0, len(declaredOps))
+	for op := range declaredOps {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}
+
 // histBuckets is the number of log-spaced buckets: powers of two of a
 // microsecond, 1µs .. ~9.1h, which comfortably brackets everything from
 // an in-process proc call to a cross-continent retry storm.
 const histBuckets = 46
 
+// NumBuckets is the bucket count, exported for exposition writers and
+// scrapers that reconstruct the histogram shape.
+const NumBuckets = histBuckets
+
 // bucketBound returns the inclusive upper bound of bucket i.
 func bucketBound(i int) time.Duration {
 	return time.Microsecond << uint(i)
 }
+
+// BucketBound returns the inclusive upper bound of bucket i.
+func BucketBound(i int) time.Duration { return bucketBound(i) }
 
 // Histogram is a fixed-bucket latency histogram with power-of-two
 // bucket bounds starting at 1µs. Recording is lock-free (one atomic add
@@ -78,6 +146,14 @@ func (h *Histogram) Record(d time.Duration) {
 	h.counts[bucketFor(d)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(d.Nanoseconds())
+}
+
+// BucketCount returns the (non-cumulative) count of bucket i.
+func (h *Histogram) BucketCount(i int) int64 {
+	if h == nil || i < 0 || i >= histBuckets {
+		return 0
+	}
+	return h.counts[i].Load()
 }
 
 // Count returns the number of observations.

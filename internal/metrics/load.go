@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// PostingWireBytes is the nominal encoded size of one posting used for
+// load accounting: the uncompressed wire posting (document key + SID)
+// costs 18 bytes, and load comparisons only need a consistent unit, not
+// the delta-compressed size of each individual transfer.
+const PostingWireBytes = 18
+
+// DefaultHotTerms is the sketch capacity a peer tracks hot terms with
+// when no explicit capacity is configured.
+const DefaultHotTerms = 64
+
+// Load accounts the indexing and serving work one peer performs, per
+// term, with a bounded top-K hot-term sketch so skew stays visible
+// without an unbounded per-term map. Unlike the Collector — which an
+// in-process simulation shares across every peer of the network — a
+// Load belongs to exactly one node, which is what makes per-peer skew
+// measurable at all. All methods are safe for concurrent use and
+// nil-safe.
+type Load struct {
+	bytesServed    atomic.Int64
+	postingsServed atomic.Int64
+	blocksServed   atomic.Int64
+	appends        atomic.Int64
+	appendPostings atomic.Int64
+	appendBytes    atomic.Int64
+	hot            *SpaceSaving
+}
+
+// NewLoad returns a Load tracking up to topK hot terms (DefaultHotTerms
+// when topK <= 0).
+func NewLoad(topK int) *Load {
+	if topK <= 0 {
+		topK = DefaultHotTerms
+	}
+	return &Load{hot: NewSpaceSaving(topK)}
+}
+
+// Serve charges this peer with delivering n postings of a term from its
+// local store (Get, Scan, or a DPP block stream).
+func (l *Load) Serve(term string, n int) {
+	if l == nil || n <= 0 {
+		return
+	}
+	b := int64(n) * PostingWireBytes
+	l.bytesServed.Add(b)
+	l.postingsServed.Add(int64(n))
+	l.hot.Add(CanonicalTerm(term), b)
+}
+
+// ServeBlock counts one DPP posting block (or batched block fetch
+// element) served by this peer.
+func (l *Load) ServeBlock() {
+	if l == nil {
+		return
+	}
+	l.blocksServed.Add(1)
+}
+
+// Append charges this peer with storing n appended postings of a term.
+func (l *Load) Append(term string, n int) {
+	if l == nil || n <= 0 {
+		return
+	}
+	b := int64(n) * PostingWireBytes
+	l.appends.Add(1)
+	l.appendPostings.Add(int64(n))
+	l.appendBytes.Add(b)
+	l.hot.Add(CanonicalTerm(term), b)
+}
+
+// BytesServed returns the posting bytes this peer has served.
+func (l *Load) BytesServed() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.bytesServed.Load()
+}
+
+// BlocksServed returns the DPP blocks this peer has served.
+func (l *Load) BlocksServed() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.blocksServed.Load()
+}
+
+// Appends returns the append operations this peer has absorbed.
+func (l *Load) Appends() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.appends.Load()
+}
+
+// HotTerms returns the sketch's current top-n terms by byte weight.
+func (l *Load) HotTerms(n int) []HotTerm {
+	if l == nil {
+		return nil
+	}
+	return l.hot.Top(n)
+}
+
+// LoadExport is the JSON shape of /debug/load.
+type LoadExport struct {
+	BytesServed    int64     `json:"bytes_served"`
+	PostingsServed int64     `json:"postings_served"`
+	BlocksServed   int64     `json:"blocks_served"`
+	Appends        int64     `json:"appends"`
+	AppendPostings int64     `json:"append_postings"`
+	AppendBytes    int64     `json:"append_bytes"`
+	HotTerms       []HotTerm `json:"hot_terms"`
+}
+
+// Export returns a point-in-time copy of the counters and the full
+// hot-term sketch.
+func (l *Load) Export() LoadExport {
+	if l == nil {
+		return LoadExport{}
+	}
+	return LoadExport{
+		BytesServed:    l.bytesServed.Load(),
+		PostingsServed: l.postingsServed.Load(),
+		BlocksServed:   l.blocksServed.Load(),
+		Appends:        l.appends.Load(),
+		AppendPostings: l.appendPostings.Load(),
+		AppendBytes:    l.appendBytes.Load(),
+		HotTerms:       l.hot.Top(0),
+	}
+}
+
+// CanonicalTerm maps a store key to the term it belongs to for load
+// attribution: DPP overflow pseudo-keys "overflow:<n>:<term>" count
+// against their real term, everything else against itself.
+func CanonicalTerm(key string) string {
+	rest, ok := strings.CutPrefix(key, "overflow:")
+	if !ok {
+		return key
+	}
+	i := strings.IndexByte(rest, ':')
+	if i <= 0 {
+		return key
+	}
+	for _, c := range rest[:i] {
+		if c < '0' || c > '9' {
+			return key
+		}
+	}
+	return rest[i+1:]
+}
+
+// HotTerm is one entry of the space-saving sketch. Bytes overestimates
+// the term's true byte weight by at most Err.
+type HotTerm struct {
+	Term  string `json:"term"`
+	Bytes int64  `json:"bytes"`
+	Err   int64  `json:"err,omitempty"`
+}
+
+// SpaceSaving is the classic bounded top-K heavy-hitter sketch
+// (Metwally et al.), weighted: it tracks at most k terms, and when a
+// new term arrives at capacity it replaces the minimum-weight entry,
+// inheriting its weight as the new entry's error bound. Any term whose
+// true weight exceeds total/k is guaranteed to be present. Safe for
+// concurrent use.
+type SpaceSaving struct {
+	mu    sync.Mutex
+	k     int
+	items map[string]*HotTerm
+}
+
+// NewSpaceSaving returns a sketch of capacity k (minimum 1).
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving{k: k, items: make(map[string]*HotTerm, k)}
+}
+
+// Add charges w to a term.
+func (s *SpaceSaving) Add(term string, w int64) {
+	if s == nil || w <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if it, ok := s.items[term]; ok {
+		it.Bytes += w
+		return
+	}
+	if len(s.items) < s.k {
+		s.items[term] = &HotTerm{Term: term, Bytes: w}
+		return
+	}
+	// At capacity: evict the minimum, inherit its weight as error.
+	var min *HotTerm
+	for _, it := range s.items {
+		if min == nil || it.Bytes < min.Bytes {
+			min = it
+		}
+	}
+	delete(s.items, min.Term)
+	s.items[term] = &HotTerm{Term: term, Bytes: min.Bytes + w, Err: min.Bytes}
+}
+
+// Top returns the n heaviest tracked terms (all of them when n <= 0),
+// sorted by weight descending, ties broken by term for determinism.
+func (s *SpaceSaving) Top(n int) []HotTerm {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]HotTerm, 0, len(s.items))
+	for _, it := range s.items {
+		out = append(out, *it)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Term < out[j].Term
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSpaceSavingExactUnderCapacity(t *testing.T) {
+	s := NewSpaceSaving(8)
+	s.Add("a", 100)
+	s.Add("b", 50)
+	s.Add("a", 25)
+	top := s.Top(0)
+	if len(top) != 2 {
+		t.Fatalf("want 2 items, got %d", len(top))
+	}
+	if top[0].Term != "a" || top[0].Bytes != 125 || top[0].Err != 0 {
+		t.Fatalf("bad top item: %+v", top[0])
+	}
+	if top[1].Term != "b" || top[1].Bytes != 50 {
+		t.Fatalf("bad second item: %+v", top[1])
+	}
+}
+
+func TestSpaceSavingKeepsHeavyHitters(t *testing.T) {
+	// 4 heavy terms, then a long tail of singletons. A capacity-8 sketch
+	// must retain every term whose weight exceeds total/8.
+	s := NewSpaceSaving(8)
+	heavy := map[string]int64{"h0": 10000, "h1": 8000, "h2": 6000, "h3": 4000}
+	for term, w := range heavy {
+		s.Add(term, w)
+	}
+	for i := 0; i < 200; i++ {
+		s.Add(fmt.Sprintf("tail%d", i), 1)
+	}
+	top := s.Top(4)
+	got := map[string]bool{}
+	for _, ht := range top {
+		got[ht.Term] = true
+		if ht.Bytes < heavy[ht.Term] {
+			t.Errorf("%s underestimated: %d < %d", ht.Term, ht.Bytes, heavy[ht.Term])
+		}
+		if ht.Bytes-ht.Err > heavy[ht.Term] {
+			t.Errorf("%s over-guaranteed: bytes %d err %d true %d", ht.Term, ht.Bytes, ht.Err, heavy[ht.Term])
+		}
+	}
+	for term := range heavy {
+		if !got[term] {
+			t.Errorf("heavy hitter %s evicted; top = %v", term, top)
+		}
+	}
+	if n := len(s.Top(0)); n != 8 {
+		t.Errorf("sketch exceeded capacity: %d items", n)
+	}
+}
+
+func TestCanonicalTerm(t *testing.T) {
+	cases := map[string]string{
+		"l:author":              "l:author",
+		"overflow:3:l:author":   "l:author",
+		"overflow:12:w:ullman":  "w:ullman",
+		"overflow:1:overflow:x": "overflow:x",
+		"overflow:notanum:l:a":  "overflow:notanum:l:a",
+		"overflow:":             "overflow:",
+		"overflow::x":           "overflow::x",
+		"doc:xyz":               "doc:xyz",
+		"overflow:7:":           "",
+	}
+	for in, want := range cases {
+		if got := CanonicalTerm(in); got != want {
+			t.Errorf("CanonicalTerm(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadAccounting(t *testing.T) {
+	l := NewLoad(4)
+	l.Append("l:author", 10)
+	l.Serve("overflow:2:l:author", 5)
+	l.ServeBlock()
+	l.Serve("w:ullman", 1)
+	ex := l.Export()
+	if ex.BytesServed != 6*PostingWireBytes {
+		t.Errorf("bytes served = %d, want %d", ex.BytesServed, 6*PostingWireBytes)
+	}
+	if ex.PostingsServed != 6 || ex.BlocksServed != 1 {
+		t.Errorf("postings/blocks = %d/%d", ex.PostingsServed, ex.BlocksServed)
+	}
+	if ex.Appends != 1 || ex.AppendPostings != 10 || ex.AppendBytes != 10*PostingWireBytes {
+		t.Errorf("appends = %+v", ex)
+	}
+	if len(ex.HotTerms) != 2 || ex.HotTerms[0].Term != "l:author" {
+		t.Fatalf("hot terms = %+v", ex.HotTerms)
+	}
+	// Overflow serve and append both attribute to the canonical term.
+	if ex.HotTerms[0].Bytes != 15*PostingWireBytes {
+		t.Errorf("l:author weight = %d, want %d", ex.HotTerms[0].Bytes, 15*PostingWireBytes)
+	}
+}
+
+func TestLoadNilSafe(t *testing.T) {
+	var l *Load
+	l.Serve("x", 1)
+	l.ServeBlock()
+	l.Append("x", 1)
+	if l.BytesServed() != 0 || l.BlocksServed() != 0 || l.Appends() != 0 {
+		t.Fatal("nil load must read as zero")
+	}
+	if ex := l.Export(); ex.BytesServed != 0 || ex.HotTerms != nil {
+		t.Fatalf("nil export = %+v", ex)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("kadop_rpc_peer_messages_total", "help", Label{"peer", "p1"}, Label{"op", "rpc:get"})
+	// Same labels in another order resolve to the same series.
+	b := r.Counter("kadop_rpc_peer_messages_total", "help", Label{"op", "rpc:get"}, Label{"peer", "p1"})
+	if a != b {
+		t.Fatal("label order created a second series")
+	}
+	a.Add(2)
+	b.Add(3)
+	if a.Value() != 5 {
+		t.Fatalf("value = %d, want 5", a.Value())
+	}
+	g := r.Gauge("kadop_up", "is up")
+	g.Set(1)
+	ex := r.Export()
+	if len(ex) != 2 {
+		t.Fatalf("families = %d, want 2", len(ex))
+	}
+	f := ex["kadop_rpc_peer_messages_total"]
+	if f.Kind != "counter" || len(f.Series) != 1 || f.Series[0].Value != 5 {
+		t.Fatalf("family = %+v", f)
+	}
+	if f.Series[0].Labels["peer"] != "p1" || f.Series[0].Labels["op"] != "rpc:get" {
+		t.Fatalf("labels = %+v", f.Series[0].Labels)
+	}
+	if ex["kadop_up"].Kind != "gauge" || ex["kadop_up"].Series[0].Value != 1 {
+		t.Fatalf("gauge = %+v", ex["kadop_up"])
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		`back\slash`: `back\\slash`,
+		`qu"ote`:     `qu\"ote`,
+		"new\nline":  `new\nline`,
+		"\\\"\n":     `\\\"\n`,
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDeclaredOps(t *testing.T) {
+	if !IsDeclaredOp(OpLookup) || !IsDeclaredOp(OpRPCFindNode) {
+		t.Fatal("known constants must be declared")
+	}
+	if IsDeclaredOp("made-up-op") {
+		t.Fatal("unknown op must not be declared")
+	}
+	ops := DeclaredOps()
+	if len(ops) != len(declaredOps) {
+		t.Fatalf("DeclaredOps returned %d of %d", len(ops), len(declaredOps))
+	}
+}

@@ -1,0 +1,203 @@
+// Prometheus text exposition (version 0.0.4) for the collector, the
+// per-peer load accounting, and the labeled registry. Written by hand —
+// the format is a dozen lines of rules and the repo takes no
+// dependencies — and kept deterministic (families and series sorted) so
+// the output can be golden-file tested and diffed between scrapes.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromOptions name the sources rendered by WriteProm. Every field is
+// optional; nil sources render nothing.
+type PromOptions struct {
+	Collector *Collector
+	Load      *Load
+	Registry  *Registry
+	// HotTerms bounds the kadop_hot_term_bytes series emitted per scrape
+	// (0 = the sketch's full contents).
+	HotTerms int
+}
+
+// WriteProm renders the metrics in Prometheus text exposition format.
+func WriteProm(w io.Writer, o PromOptions) error {
+	bw := &errWriter{w: w}
+	writePromCollector(bw, o.Collector)
+	writePromLoad(bw, o.Load, o.HotTerms)
+	writePromRegistry(bw, o.Registry)
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func writePromCollector(w *errWriter, c *Collector) {
+	if c == nil {
+		return
+	}
+	ex := c.Export()
+
+	classes := make([]string, 0, len(ex.Classes))
+	for cl := range ex.Classes {
+		classes = append(classes, cl)
+	}
+	sort.Strings(classes)
+	if len(classes) > 0 {
+		w.printf("# HELP kadop_traffic_messages_total DHT messages by traffic class.\n")
+		w.printf("# TYPE kadop_traffic_messages_total counter\n")
+		for _, cl := range classes {
+			w.printf("kadop_traffic_messages_total{class=\"%s\"} %d\n", escapeLabelValue(cl), ex.Classes[cl].Messages)
+		}
+		w.printf("# HELP kadop_traffic_bytes_total DHT message bytes by traffic class.\n")
+		w.printf("# TYPE kadop_traffic_bytes_total counter\n")
+		for _, cl := range classes {
+			w.printf("kadop_traffic_bytes_total{class=\"%s\"} %d\n", escapeLabelValue(cl), ex.Classes[cl].Bytes)
+		}
+	}
+
+	events := make([]string, 0, len(ex.Events))
+	for e := range ex.Events {
+		events = append(events, e)
+	}
+	sort.Strings(events)
+	if len(events) > 0 {
+		w.printf("# HELP kadop_events_total Robustness and cache events.\n")
+		w.printf("# TYPE kadop_events_total counter\n")
+		for _, e := range events {
+			w.printf("kadop_events_total{event=\"%s\"} %d\n", escapeLabelValue(e), ex.Events[e])
+		}
+	}
+
+	ops := c.Ops()
+	if len(ops) > 0 {
+		w.printf("# HELP kadop_op_latency_seconds Operation latency.\n")
+		w.printf("# TYPE kadop_op_latency_seconds histogram\n")
+		for _, op := range ops {
+			h := c.Hist(op)
+			if h == nil {
+				continue
+			}
+			lv := escapeLabelValue(op)
+			var cum int64
+			for i := 0; i < NumBuckets; i++ {
+				cum += h.BucketCount(i)
+				w.printf("kadop_op_latency_seconds_bucket{op=\"%s\",le=\"%s\"} %d\n",
+					lv, formatFloat(BucketBound(i).Seconds()), cum)
+			}
+			w.printf("kadop_op_latency_seconds_bucket{op=\"%s\",le=\"+Inf\"} %d\n", lv, h.Count())
+			w.printf("kadop_op_latency_seconds_sum{op=\"%s\"} %s\n", lv, formatFloat(h.Sum().Seconds()))
+			w.printf("kadop_op_latency_seconds_count{op=\"%s\"} %d\n", lv, h.Count())
+		}
+	}
+}
+
+func writePromLoad(w *errWriter, l *Load, hotTerms int) {
+	if l == nil {
+		return
+	}
+	ex := l.Export()
+	counter := func(name, help string, v int64) {
+		w.printf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("kadop_load_bytes_served_total", "Posting bytes served from this peer's store.", ex.BytesServed)
+	counter("kadop_load_postings_served_total", "Postings served from this peer's store.", ex.PostingsServed)
+	counter("kadop_load_blocks_served_total", "DPP posting blocks served by this peer.", ex.BlocksServed)
+	counter("kadop_load_appends_total", "Append operations absorbed by this peer.", ex.Appends)
+	counter("kadop_load_append_postings_total", "Postings appended at this peer.", ex.AppendPostings)
+	counter("kadop_load_append_bytes_total", "Posting bytes appended at this peer.", ex.AppendBytes)
+	hot := ex.HotTerms
+	if hotTerms > 0 && len(hot) > hotTerms {
+		hot = hot[:hotTerms]
+	}
+	if len(hot) > 0 {
+		w.printf("# HELP kadop_hot_term_bytes Byte weight of this peer's hottest terms (space-saving sketch; overestimates by at most the sketch error).\n")
+		w.printf("# TYPE kadop_hot_term_bytes gauge\n")
+		// Top() sorts by weight; exposition wants a stable series order.
+		sort.Slice(hot, func(i, j int) bool { return hot[i].Term < hot[j].Term })
+		for _, ht := range hot {
+			w.printf("kadop_hot_term_bytes{term=\"%s\"} %d\n", escapeLabelValue(ht.Term), ht.Bytes)
+		}
+	}
+}
+
+func writePromRegistry(w *errWriter, r *Registry) {
+	if r == nil {
+		return
+	}
+	ex := r.Export()
+	names := make([]string, 0, len(ex))
+	for name := range ex {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := ex[name]
+		if f.Help != "" {
+			w.printf("# HELP %s %s\n", name, escapeHelp(f.Help))
+		}
+		w.printf("# TYPE %s %s\n", name, f.Kind)
+		for _, s := range f.Series {
+			if len(s.Labels) == 0 {
+				w.printf("%s %d\n", name, s.Value)
+				continue
+			}
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%s=\"%s\"", k, escapeLabelValue(s.Labels[k])))
+			}
+			w.printf("%s{%s} %d\n", name, strings.Join(parts, ","), s.Value)
+		}
+	}
+}
+
+// escapeLabelValue escapes a label value per the exposition format —
+// backslash, double quote, and newline — returning a string safe to
+// print between plain double quotes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a small labeled counter/gauge registry for metrics that
+// need a dimension the Collector's fixed classes cannot express — RPC
+// traffic per remote peer, for example. Series values are int64 and
+// recording is one atomic add, so series handles can sit on RPC hot
+// paths once resolved. The zero value is unusable; use NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// Kind distinguishes counters (monotonic) from gauges (set-anytime) in
+// the exposition output.
+type Kind string
+
+// Series kinds.
+const (
+	KindCounter Kind = "counter"
+	KindGauge   Kind = "gauge"
+)
+
+// Label is one name="value" pair on a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	mu     sync.RWMutex
+	series map[string]*Series
+}
+
+// Series is one labeled time series. Add and Set are safe for
+// concurrent use.
+type Series struct {
+	labels []Label
+	val    atomic.Int64
+}
+
+// Add increments the series (counters).
+func (s *Series) Add(n int64) {
+	if s == nil {
+		return
+	}
+	s.val.Add(n)
+}
+
+// Set overwrites the series value (gauges).
+func (s *Series) Set(n int64) {
+	if s == nil {
+		return
+	}
+	s.val.Store(n)
+}
+
+// Value returns the current value.
+func (s *Series) Value() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.val.Load()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter returns (creating on first use) the counter series of the
+// named family with exactly these labels. The help string is recorded
+// on first use of the family; the kind of an existing family wins.
+func (r *Registry) Counter(name, help string, labels ...Label) *Series {
+	return r.series(name, help, KindCounter, labels)
+}
+
+// Gauge returns (creating on first use) the gauge series of the named
+// family with exactly these labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Series {
+	return r.series(name, help, KindGauge, labels)
+}
+
+func (r *Registry) series(name, help string, kind Kind, labels []Label) *Series {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{name: name, help: help, kind: kind, series: map[string]*Series{}}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	// Canonical label order makes {a=1,b=2} and {b=2,a=1} one series.
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := labelKey(ls)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s == nil {
+		f.mu.Lock()
+		if s = f.series[key]; s == nil {
+			s = &Series{labels: ls}
+			f.series[key] = s
+		}
+		f.mu.Unlock()
+	}
+	return s
+}
+
+func labelKey(ls []Label) string {
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// SeriesValue is one labeled value in a RegistryExport.
+type SeriesValue struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// FamilyExport is one metric family in a RegistryExport.
+type FamilyExport struct {
+	Help   string        `json:"help,omitempty"`
+	Kind   string        `json:"kind"`
+	Series []SeriesValue `json:"series"`
+}
+
+// Export returns a point-in-time copy of every family, families sorted
+// by name and series by label key.
+func (r *Registry) Export() map[string]FamilyExport {
+	out := map[string]FamilyExport{}
+	if r == nil {
+		return out
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		fe := FamilyExport{Help: f.help, Kind: string(f.kind)}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			sv := SeriesValue{Value: s.Value()}
+			if len(s.labels) > 0 {
+				sv.Labels = map[string]string{}
+				for _, l := range s.labels {
+					sv.Labels[l.Key] = l.Value
+				}
+			}
+			fe.Series = append(fe.Series, sv)
+		}
+		f.mu.RUnlock()
+		out[f.name] = fe
+	}
+	return out
+}

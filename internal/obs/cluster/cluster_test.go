@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"kadop/internal/admin"
+	"kadop/internal/metrics"
+)
+
+func TestParseExposition(t *testing.T) {
+	in := `# HELP kadop_traffic_bytes_total DHT message bytes by traffic class.
+# TYPE kadop_traffic_bytes_total counter
+kadop_traffic_bytes_total{class="postings"} 1500
+kadop_op_latency_seconds_bucket{op="lookup",le="4e-06"} 1
+kadop_op_latency_seconds_bucket{op="lookup",le="+Inf"} 3
+kadop_hot_term_bytes{term="l:we\"ird\\term\n"} 36
+kadop_load_bytes_served_total 396
+`
+	samples, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("samples = %d, want 5", len(samples))
+	}
+	if samples[0].Name != "kadop_traffic_bytes_total" || samples[0].Label("class") != "postings" || samples[0].Value != 1500 {
+		t.Errorf("sample 0 = %+v", samples[0])
+	}
+	if samples[1].Label("le") != "4e-06" {
+		t.Errorf("le label = %q", samples[1].Label("le"))
+	}
+	if got := samples[3].Label("term"); got != "l:we\"ird\\term\n" {
+		t.Errorf("unescaped term = %q", got)
+	}
+	if samples[4].Value != 396 || len(samples[4].Labels) != 0 {
+		t.Errorf("bare sample = %+v", samples[4])
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"kadop_bytes{class=\"postings\" 15\n", // unterminated label set
+		"kadop_bytes{class=postings} 15\n",    // unquoted value
+		"kadop_bytes fifteen\n",               // non-numeric value
+		"0bad_name 3\n",                       // invalid metric name
+		"# TYPE kadop_bytes widget\n",         // unknown type
+		"kadop_bytes{class=\"a\\q\"} 1\n",     // bad escape
+	}
+	for _, in := range bad {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini(nil); g != 0 {
+		t.Errorf("empty Gini = %v", g)
+	}
+	if g := Gini([]int64{5, 5, 5, 5}); math.Abs(g) > 1e-9 {
+		t.Errorf("flat Gini = %v, want 0", g)
+	}
+	// One peer does everything: Gini = (n-1)/n.
+	if g := Gini([]int64{0, 0, 0, 100}); math.Abs(g-0.75) > 1e-9 {
+		t.Errorf("concentrated Gini = %v, want 0.75", g)
+	}
+	flat := Gini([]int64{90, 100, 110, 100})
+	skew := Gini([]int64{10, 20, 30, 340})
+	if flat >= skew {
+		t.Errorf("flat %v should be < skewed %v", flat, skew)
+	}
+}
+
+func TestMaxMeanRatio(t *testing.T) {
+	if r := maxMeanRatio([]int64{100, 100, 100, 100}); math.Abs(r-1) > 1e-9 {
+		t.Errorf("flat ratio = %v", r)
+	}
+	if r := maxMeanRatio([]int64{0, 0, 0, 400}); math.Abs(r-4) > 1e-9 {
+		t.Errorf("concentrated ratio = %v", r)
+	}
+}
+
+// TestScrapeEndToEnd serves real admin endpoints over deterministic
+// load/collector state and checks the scraped report end to end,
+// merged histograms included.
+func TestScrapeEndToEnd(t *testing.T) {
+	var targets []string
+	for i := 0; i < 3; i++ {
+		col := metrics.NewCollector()
+		load := metrics.NewLoad(8)
+		// Peer i serves i*1000 postings of l:author: a skewed cluster.
+		load.Serve("l:author", i*1000)
+		load.ServeBlock()
+		col.Observe(metrics.OpQueryTotal, time.Duration(i+1)*time.Millisecond)
+		addr, stop, err := admin.Serve("127.0.0.1:0", admin.Options{Collector: col, Load: load})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer stop()
+		targets = append(targets, addr)
+	}
+
+	var sc Scraper
+	scrapes, err := sc.ScrapeAll(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(scrapes, 4)
+	if len(rep.Peers) != 3 || rep.SampleCount == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	wantBytes := int64(2000) * metrics.PostingWireBytes
+	var gotMax int64
+	for _, p := range rep.Peers {
+		if p.BytesServed > gotMax {
+			gotMax = p.BytesServed
+		}
+	}
+	if gotMax != wantBytes {
+		t.Errorf("max bytes served = %d, want %d", gotMax, wantBytes)
+	}
+	// Cluster-wide hot terms merge per-peer sketches.
+	if len(rep.HotTerms) != 1 || rep.HotTerms[0].Term != "l:author" || rep.HotTerms[0].Bytes != 3000*metrics.PostingWireBytes {
+		t.Errorf("hot terms = %+v", rep.HotTerms)
+	}
+	if rep.MaxMeanRatio < 1.9 || rep.Gini <= 0 {
+		t.Errorf("imbalance = ratio %v gini %v", rep.MaxMeanRatio, rep.Gini)
+	}
+	// Merged histogram: 3 query-total observations, one per peer.
+	var found bool
+	for _, o := range rep.Ops {
+		if o.Op == metrics.OpQueryTotal {
+			found = true
+			if o.Count != 3 || o.P50 <= 0 {
+				t.Errorf("merged op = %+v", o)
+			}
+		}
+	}
+	if !found {
+		t.Error("merged ops missing query-total")
+	}
+	out := rep.Format()
+	for _, want := range []string{"imbalance:", "Gini", "l:author", "query-total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}

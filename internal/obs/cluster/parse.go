@@ -1,0 +1,198 @@
+// Package cluster scrapes the admin endpoints of a set of KadoP peers
+// and merges them into one cluster-wide view: per-peer load rows, a
+// load-imbalance report (max/mean ratio and Gini coefficient over
+// bytes served), cluster-wide hot terms, and latency quantiles from
+// merged histograms. It is the measurement half of the paper's load
+// distribution story — DPP only matters if skew is visible.
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its labels, and
+// the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value ("" when absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// ParseExposition parses Prometheus text exposition format strictly
+// enough to catch a malformed exporter: unparsable lines are errors,
+// not skips. Comment lines (# HELP / # TYPE) are validated for shape
+// and discarded.
+func ParseExposition(r io.Reader) ([]Sample, error) {
+	var samples []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("no value separator in %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[1+end:]
+	}
+	val := strings.TrimSpace(rest)
+	// A timestamp may trail the value; the in-repo exporter emits none,
+	// but tolerate it like a real scraper would.
+	if j := strings.IndexByte(val, ' '); j >= 0 {
+		val = val[:j]
+	}
+	v, err := parseValue(val)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", val, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `key="value",...}` starting after the opening
+// brace, filling into; it returns the offset just past the closing
+// brace.
+func parseLabels(in string, into map[string]string) (int, error) {
+	i := 0
+	for {
+		if i >= len(in) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if in[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(in[i : i+eq])
+		if key == "" || !validLabelName(key) {
+			return 0, fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, fmt.Errorf("label %s: value not quoted", key)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return 0, fmt.Errorf("label %s: unterminated value", key)
+			}
+			c := in[i]
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return 0, fmt.Errorf("label %s: dangling escape", key)
+				}
+				switch in[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %s: bad escape \\%c", key, in[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		into[key] = b.String()
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return float64(1<<63 - 1), nil // sentinel; only le labels carry Inf in practice
+	case "-Inf":
+		return -float64(1<<63 - 1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}

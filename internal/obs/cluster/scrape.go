@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"kadop/internal/metrics"
+)
+
+// PeerScrape is one peer's scraped state: its parsed /metrics samples
+// and its /debug/load ledger.
+type PeerScrape struct {
+	Target  string
+	Samples []Sample
+	Load    metrics.LoadExport
+}
+
+// Scraper pulls peers' admin endpoints. The zero value uses a default
+// HTTP client with a 5-second timeout.
+type Scraper struct {
+	Client *http.Client
+}
+
+func (s *Scraper) client() *http.Client {
+	if s != nil && s.Client != nil {
+		return s.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Scrape pulls one peer. The target is a base URL ("http://host:port")
+// or a bare "host:port". A scrape that returns no samples is an error —
+// an empty exporter means the endpoint is miswired, and the CI smoke
+// test relies on that failing loudly.
+func (s *Scraper) Scrape(ctx context.Context, target string) (*PeerScrape, error) {
+	base := target
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	body, err := s.get(ctx, base+"/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", target, err)
+	}
+	samples, err := ParseExposition(strings.NewReader(string(body)))
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: malformed exposition: %w", target, err)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("scrape %s: no samples", target)
+	}
+	ps := &PeerScrape{Target: target, Samples: samples}
+
+	loadBody, err := s.get(ctx, base+"/debug/load")
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", target, err)
+	}
+	if err := json.Unmarshal(loadBody, &ps.Load); err != nil {
+		return nil, fmt.Errorf("scrape %s: /debug/load: %w", target, err)
+	}
+	return ps, nil
+}
+
+// ScrapeAll pulls every target, failing on the first unreachable or
+// malformed peer.
+func (s *Scraper) ScrapeAll(ctx context.Context, targets []string) ([]*PeerScrape, error) {
+	out := make([]*PeerScrape, 0, len(targets))
+	for _, t := range targets {
+		ps, err := s.Scrape(ctx, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps)
+	}
+	return out, nil
+}
+
+func (s *Scraper) get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

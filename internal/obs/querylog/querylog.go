@@ -1,0 +1,120 @@
+// Package querylog writes one structured JSONL record per query: the
+// pattern, per-phase latencies, bytes moved, cache hits, routing hops
+// and retries. The records are the durable counterpart of the live
+// trace ring — greppable with jq, joinable across peers by time, and
+// cheap enough (one slog line per sampled query) to leave on in
+// production deployments.
+package querylog
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// Options tune a Logger.
+type Options struct {
+	// SampleRate is the fraction of queries logged: 1 (or anything
+	// >= 1, or <= 0) logs every query; 0.25 logs every fourth. Sampling
+	// is deterministic — every round(1/rate)-th query — so repeated runs
+	// log the same records.
+	SampleRate float64
+}
+
+// Logger emits query records as JSON lines through log/slog. Safe for
+// concurrent use; the zero value is not usable, use New. A nil Logger
+// is safe: Sample reports false and Log is a no-op.
+type Logger struct {
+	lg    *slog.Logger
+	every int64
+	n     atomic.Int64
+}
+
+// New returns a Logger writing JSONL to w.
+func New(w io.Writer, o Options) *Logger {
+	every := int64(1)
+	if o.SampleRate > 0 && o.SampleRate < 1 {
+		every = int64(1/o.SampleRate + 0.5)
+		if every < 1 {
+			every = 1
+		}
+	}
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
+	return &Logger{lg: slog.New(h), every: every}
+}
+
+// Sample reports whether the next query should be logged, advancing
+// the sampling counter. Callers pair one Sample with at most one Log.
+func (l *Logger) Sample() bool {
+	if l == nil {
+		return false
+	}
+	return (l.n.Add(1)-1)%l.every == 0
+}
+
+// Record is one query's log line. Durations are nanoseconds, named
+// *_ns; byte counts are the collector's class deltas around the query
+// (exact for a single-query process; approximate under concurrent
+// queries sharing a collector).
+type Record struct {
+	Query     string `json:"query"`
+	Strategy  string `json:"strategy"`
+	IndexOnly bool   `json:"index_only,omitempty"`
+
+	IndexNS       int64 `json:"index_ns"`
+	FirstAnswerNS int64 `json:"first_answer_ns"`
+	SecondPhaseNS int64 `json:"second_phase_ns,omitempty"`
+	TotalNS       int64 `json:"total_ns"`
+
+	PostingBytes int64 `json:"posting_bytes"`
+	FilterBytes  int64 `json:"filter_bytes,omitempty"`
+	RoutingBytes int64 `json:"routing_bytes,omitempty"`
+
+	CacheHits     int   `json:"cache_hits"`
+	BlocksFetched int   `json:"blocks_fetched,omitempty"`
+	Hops          int64 `json:"hops"`
+	Retries       int64 `json:"retries"`
+	Timeouts      int64 `json:"timeouts,omitempty"`
+	IndexMatches  int   `json:"index_matches"`
+	CandidateDocs int   `json:"candidate_docs"`
+	Answers       int   `json:"answers"`
+	Incomplete    bool  `json:"incomplete,omitempty"`
+	FailedPeers   int   `json:"failed_peers,omitempty"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// Log writes one record.
+func (l *Logger) Log(r Record) {
+	if l == nil {
+		return
+	}
+	l.lg.LogAttrs(context.Background(), slog.LevelInfo, "query",
+		slog.String("query", r.Query),
+		slog.String("strategy", r.Strategy),
+		slog.Bool("index_only", r.IndexOnly),
+		slog.Int64("index_ns", r.IndexNS),
+		slog.Int64("first_answer_ns", r.FirstAnswerNS),
+		slog.Int64("second_phase_ns", r.SecondPhaseNS),
+		slog.Int64("total_ns", r.TotalNS),
+		slog.Int64("posting_bytes", r.PostingBytes),
+		slog.Int64("filter_bytes", r.FilterBytes),
+		slog.Int64("routing_bytes", r.RoutingBytes),
+		slog.Int("cache_hits", r.CacheHits),
+		slog.Int("blocks_fetched", r.BlocksFetched),
+		slog.Int64("hops", r.Hops),
+		slog.Int64("retries", r.Retries),
+		slog.Int64("timeouts", r.Timeouts),
+		slog.Int("index_matches", r.IndexMatches),
+		slog.Int("candidate_docs", r.CandidateDocs),
+		slog.Int("answers", r.Answers),
+		slog.Bool("incomplete", r.Incomplete),
+		slog.Int("failed_peers", r.FailedPeers),
+		slog.String("err", r.Err),
+	)
+}
+
+// DurNS converts a duration to the record's nanosecond representation.
+func DurNS(d time.Duration) int64 { return d.Nanoseconds() }

@@ -1,0 +1,113 @@
+package querylog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Options{})
+	if !l.Sample() {
+		t.Fatal("rate 1 should sample every query")
+	}
+	l.Log(Record{
+		Query:         `//article//author[. contains "Ullman"]`,
+		Strategy:      "conventional",
+		IndexNS:       DurNS(3 * time.Millisecond),
+		FirstAnswerNS: DurNS(time.Millisecond),
+		TotalNS:       DurNS(5 * time.Millisecond),
+		PostingBytes:  1500,
+		CacheHits:     2,
+		Hops:          7,
+		Retries:       1,
+		IndexMatches:  4,
+		CandidateDocs: 3,
+		Answers:       4,
+	})
+
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("want exactly one JSONL line, got:\n%s", buf.String())
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, line)
+	}
+	checks := map[string]any{
+		"query":           `//article//author[. contains "Ullman"]`,
+		"strategy":        "conventional",
+		"index_ns":        float64(3e6),
+		"first_answer_ns": float64(1e6),
+		"total_ns":        float64(5e6),
+		"posting_bytes":   float64(1500),
+		"cache_hits":      float64(2),
+		"hops":            float64(7),
+		"retries":         float64(1),
+		"index_matches":   float64(4),
+		"candidate_docs":  float64(3),
+		"answers":         float64(4),
+		"incomplete":      false,
+	}
+	for k, want := range checks {
+		if got[k] != want {
+			t.Errorf("%s = %v (%T), want %v", k, got[k], got[k], want)
+		}
+	}
+	if _, ok := got["time"]; !ok {
+		t.Error("record missing slog timestamp")
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	l := New(io.Discard, Options{SampleRate: 0.25})
+	var logged int
+	for i := 0; i < 100; i++ {
+		if l.Sample() {
+			logged++
+		}
+	}
+	if logged != 25 {
+		t.Errorf("rate 0.25 over 100 queries logged %d, want 25", logged)
+	}
+	// First query is always sampled so one-shot CLI runs produce a line.
+	l2 := New(io.Discard, Options{SampleRate: 0.01})
+	if !l2.Sample() {
+		t.Error("first query not sampled at rate 0.01")
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	if l.Sample() {
+		t.Error("nil logger should never sample")
+	}
+	l.Log(Record{Query: "x"}) // must not panic
+}
+
+func TestEveryLineParses(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Options{SampleRate: 0.5})
+	for i := 0; i < 10; i++ {
+		if l.Sample() {
+			l.Log(Record{Query: "q", Answers: i})
+		}
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		lines++
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+	}
+	if lines != 5 {
+		t.Errorf("rate 0.5 over 10 queries wrote %d lines, want 5", lines)
+	}
+}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"kadop/internal/metrics"
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+)
+
+// Instrumented wraps a Store and charges every append and every serve
+// (Get or Scan) to a per-peer metrics.Load, attributing by term. The
+// DHT node wraps its store at construction, so all index traffic a
+// peer absorbs — replicated appends, repair pushes, posting streams,
+// DPP block serves — lands in the same per-peer ledger regardless of
+// which handler triggered it.
+type Instrumented struct {
+	inner Store
+	load  *metrics.Load
+}
+
+// Instrument wraps st so its traffic accrues to load. A nil load
+// returns st unchanged.
+func Instrument(st Store, load *metrics.Load) Store {
+	if load == nil {
+		return st
+	}
+	return &Instrumented{inner: st, load: load}
+}
+
+// Unwrap returns the wrapped store.
+func (s *Instrumented) Unwrap() Store { return s.inner }
+
+// Append implements Store.
+func (s *Instrumented) Append(term string, ps postings.List) error {
+	err := s.inner.Append(term, ps)
+	if err == nil {
+		s.load.Append(term, len(ps))
+	}
+	return err
+}
+
+// Get implements Store.
+func (s *Instrumented) Get(term string) (postings.List, error) {
+	l, err := s.inner.Get(term)
+	if err == nil {
+		s.load.Serve(term, len(l))
+	}
+	return l, err
+}
+
+// Scan implements Store. Only postings actually delivered to fn are
+// charged — an early-stopped scan served less.
+func (s *Instrumented) Scan(term string, from sid.Posting, fn func(sid.Posting) bool) error {
+	n := 0
+	err := s.inner.Scan(term, from, func(p sid.Posting) bool {
+		ok := fn(p)
+		if ok {
+			n++
+		}
+		return ok
+	})
+	s.load.Serve(term, n)
+	return err
+}
+
+// Count implements Store.
+func (s *Instrumented) Count(term string) (int, error) { return s.inner.Count(term) }
+
+// Delete implements Store.
+func (s *Instrumented) Delete(term string, p sid.Posting) error { return s.inner.Delete(term, p) }
+
+// DeleteTerm implements Store.
+func (s *Instrumented) DeleteTerm(term string) error { return s.inner.DeleteTerm(term) }
+
+// Terms implements Store.
+func (s *Instrumented) Terms() ([]string, error) { return s.inner.Terms() }
+
+// Close implements Store.
+func (s *Instrumented) Close() error { return s.inner.Close() }

@@ -1,0 +1,49 @@
+package store
+
+import (
+	"testing"
+
+	"kadop/internal/metrics"
+	"kadop/internal/postings"
+	"kadop/internal/sid"
+)
+
+func TestInstrumentedAccountsTraffic(t *testing.T) {
+	load := metrics.NewLoad(8)
+	st := Instrument(NewMem(), load)
+
+	ps := postings.List{
+		{Peer: 1, Doc: 1, SID: sid.SID{Start: 1, End: 2, Level: 1}},
+		{Peer: 1, Doc: 1, SID: sid.SID{Start: 3, End: 4, Level: 1}},
+		{Peer: 1, Doc: 1, SID: sid.SID{Start: 5, End: 6, Level: 1}},
+	}
+	if err := st.Append("l:author", ps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("l:author")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("get: %v, %d postings", err, len(got))
+	}
+	// Scan that stops after the first posting serves one.
+	if err := st.Scan("l:author", sid.Posting{}, func(sid.Posting) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+
+	ex := load.Export()
+	if ex.Appends != 1 || ex.AppendPostings != 3 {
+		t.Errorf("appends = %d/%d, want 1/3", ex.Appends, ex.AppendPostings)
+	}
+	if ex.PostingsServed != 3 {
+		t.Errorf("postings served = %d, want 3 (full get, early-stopped scan)", ex.PostingsServed)
+	}
+	if len(ex.HotTerms) != 1 || ex.HotTerms[0].Term != "l:author" {
+		t.Errorf("hot terms = %+v", ex.HotTerms)
+	}
+}
+
+func TestInstrumentNilLoadPassthrough(t *testing.T) {
+	m := NewMem()
+	if st := Instrument(m, nil); st != Store(m) {
+		t.Fatal("nil load must return the store unchanged")
+	}
+}

@@ -38,6 +38,7 @@ package kadop
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"kadop/internal/admin"
@@ -46,6 +47,7 @@ import (
 	"kadop/internal/fundex"
 	ikadop "kadop/internal/kadop"
 	"kadop/internal/metrics"
+	"kadop/internal/obs/querylog"
 	"kadop/internal/pattern"
 	"kadop/internal/sid"
 	"kadop/internal/store"
@@ -92,6 +94,11 @@ type (
 	Tracer = trace.Tracer
 	// Trace is one recorded query timeline; render it with Tree().
 	Trace = trace.Trace
+	// QueryLogger emits one structured JSONL record per sampled query;
+	// install one via Config.QueryLog.
+	QueryLogger = querylog.Logger
+	// QueryLogOptions tune a QueryLogger (sampling rate).
+	QueryLogOptions = querylog.Options
 )
 
 // Query strategies (Section 5.3).
@@ -146,18 +153,29 @@ func EnableTracing(p *Peer, capacity int) *Tracer {
 }
 
 // ServeDebug starts the live introspection endpoint for a peer on addr
-// (e.g. "127.0.0.1:6060"): /debug/metrics, /debug/traces, /debug/peer
-// and /debug/pprof. It returns the bound address and a shutdown
-// function. Pass the peer's tracer (from EnableTracing) to expose its
-// recent traces; nil leaves that section empty.
-func ServeDebug(addr string, p *Peer, tr *Tracer) (string, func() error, error) {
+// (e.g. "127.0.0.1:6060"): /metrics (Prometheus exposition),
+// /debug/metrics, /debug/load, /debug/traces and /debug/peer. It
+// returns the bound address and a shutdown function. Pass the peer's
+// tracer (from EnableTracing) to expose its recent traces; nil leaves
+// that section empty. pprof gates the net/http/pprof profiling
+// handlers — off by default because the debug address is often bound
+// on a reachable interface.
+func ServeDebug(addr string, p *Peer, tr *Tracer, pprof bool) (string, func() error, error) {
 	return admin.Serve(addr, admin.Options{
 		Collector: p.Node().Metrics(),
 		Tracer:    tr,
 		Node:      p.Node(),
 		Docs:      p.DocumentCount,
 		Cache:     p.BlockCache(),
+		Pprof:     pprof,
 	})
+}
+
+// NewQueryLog returns a query logger writing JSONL records to w; set
+// it on Config.QueryLog before creating the peer. The kadop-query
+// -log flag is a thin wrapper around this.
+func NewQueryLog(w io.Writer, o QueryLogOptions) *QueryLogger {
+	return querylog.New(w, o)
 }
 
 // SimCluster is an in-process deployment: every peer runs over the
