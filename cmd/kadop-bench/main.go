@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|cache|load|all")
+		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|cache|load|durability|all")
 		records   = flag.String("records", "", "comma-separated corpus sizes in records (experiment-specific default)")
 		peers     = flag.Int("peers", 0, "network size (experiment-specific default)")
 		seed      = flag.Int64("seed", 1, "workload seed")
@@ -130,10 +130,20 @@ func main() {
 			}
 			return experiments.RunLoad(o)
 		},
+		"durability": func() (interface{ Format() string }, error) {
+			o := experiments.DurabilityOptions{Peers: *peers, Seed: *seed}
+			if len(sizes) > 0 {
+				o.Records = sizes[len(sizes)-1]
+			}
+			if *short {
+				o.Records, o.Peers = 100, 4
+			}
+			return experiments.RunDurability(o)
+		},
 	}
 
 	order := []string{"fig2", "fig3", "traffic", "table1", "sensitivity",
-		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust", "cache", "load"}
+		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust", "cache", "load", "durability"}
 
 	var selected []string
 	if *exp == "all" {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +28,9 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		bootstrap = flag.String("bootstrap", "", "address of any running peer (empty for the first peer)")
 		id        = flag.Uint("id", 0, "internal peer id (unique across the deployment, > 0)")
-		storePath = flag.String("store", "", "B+-tree index file (empty = in-memory)")
+		storePath = flag.String("store", "", "B+-tree index file (empty = in-memory; superseded by -data)")
+		dataDir   = flag.String("data", "", "durable data directory: index WAL, published documents and directory entries survive restarts from it")
+		fsyncMode = flag.String("fsync", "always", "index WAL fsync policy with -data: always|interval|off")
 		useDPP    = flag.Bool("dpp", false, "enable distributed posting partitioning")
 		cache     = flag.Int64("cache", 0, "posting-block cache capacity in bytes (0 = off; effective with -dpp)")
 		repl      = flag.Int("replication", 1, "index replication factor (all peers of a deployment must agree)")
@@ -40,8 +43,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kadop-peer: -id is required and must be > 0")
 		os.Exit(2)
 	}
+	fsync, err := kadop.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kadop-peer:", err)
+		os.Exit(2)
+	}
 
-	cfg := kadop.Config{UseDPP: *useDPP, CacheBytes: *cache, DHT: deployDHT(*repl, *repair)}
+	cfg := kadop.Config{
+		UseDPP: *useDPP, CacheBytes: *cache, DHT: deployDHT(*repl, *repair),
+		DataDir: *dataDir, Fsync: fsync,
+	}
+	// A restart is a start whose data directory already has an index.
+	restarting := false
+	if *dataDir != "" {
+		if _, err := os.Stat(*dataDir); err == nil {
+			restarting = true
+		}
+	}
 	peer, err := kadop.NewTCPPeer(*listen, kadop.PeerID(*id), *storePath, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kadop-peer:", err)
@@ -61,13 +79,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kadop-peer: join:", err)
 		os.Exit(1)
 	}
+	if restarting {
+		// Rejoining from durable state: re-register the documents this
+		// peer serves and pull index appends made while it was down.
+		if err := peer.Reannounce(); err != nil {
+			fmt.Fprintln(os.Stderr, "kadop-peer: reannounce:", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		healed, err := peer.Resync(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kadop-peer: resync:", err)
+		}
+		fmt.Fprintf(os.Stderr, "kadop-peer: restarted from %s: %d documents, %d terms resynced\n",
+			*dataDir, peer.DocumentCount(), healed)
+	}
 	fmt.Printf("kadop-peer %d listening on %s\n", *id, peer.Node().Self().Addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("kadop-peer: shutting down")
-	peer.Node().Close()
+	if err := peer.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "kadop-peer: close:", err)
+		os.Exit(1)
+	}
 }
 
 // deployDHT is the overlay configuration of a real deployment: retries

@@ -980,6 +980,77 @@ func (n *Node) RepairOnce(ctx context.Context) (int, error) {
 	return pushed, firstErr
 }
 
+// ResyncOnce is the pull direction of replica repair: for every key
+// held locally, ask the key's other owners for their digests and, when
+// a remote copy has more postings, fetch it and merge it into the local
+// store. A peer restarting from its data directory runs it after
+// rejoining to pick up appends made to its keys while it was down; the
+// push loop (RepairOnce, run by the peers that stayed up) covers keys
+// the restarted peer has no local copy of at all. Returns the number of
+// keys healed. Merging is idempotent (postings are set members), so a
+// concurrent push of the same list is harmless.
+func (n *Node) ResyncOnce(ctx context.Context) (int, error) {
+	if n.cfg.Client {
+		return 0, nil
+	}
+	terms, err := n.store.Terms()
+	if err != nil {
+		return 0, err
+	}
+	healed := 0
+	var firstErr error
+	for _, term := range terms {
+		if err := ctx.Err(); err != nil {
+			return healed, err
+		}
+		local, err := n.store.Count(term)
+		if err != nil {
+			continue
+		}
+		owners, err := n.OwnersContext(ctx, term)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		grew := false
+		for _, o := range owners {
+			if o.ID == n.self.ID {
+				continue
+			}
+			remote, err := n.digestOf(ctx, o, term)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if remote <= local {
+				continue
+			}
+			resp, err := n.call(ctx, o, Message{Type: MsgGet, From: n.from(), Key: term})
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if err := n.store.Append(term, resp.Postings); err != nil {
+				return healed, err
+			}
+			grew = true
+			if c, err := n.store.Count(term); err == nil {
+				local = c
+			}
+		}
+		if grew {
+			healed++
+		}
+	}
+	return healed, firstErr
+}
+
 // StartRepair launches the periodic repair loop and returns its stop
 // function. Each pass runs under a deadline of one interval, so a
 // stuck pass cannot pile up behind the next.

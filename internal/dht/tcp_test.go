@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"bufio"
 	"context"
 	"math/rand"
 	"net"
@@ -85,6 +86,76 @@ func TestTCPCallTimeout(t *testing.T) {
 	}
 	if time.Since(start) > 3*time.Second {
 		t.Fatalf("timeout took %v", time.Since(start))
+	}
+}
+
+// TestTCPPoisonedConnNotPooled pins the putConn contract: a connection
+// whose exchange failed mid-read (server wrote a partial frame and
+// stalled until the client's deadline expired) must be closed, never
+// returned to the pool. If it were pooled, the next call would reuse it
+// and read the stale half-frame — a desynchronised connection poisoning
+// every later exchange.
+func TestTCPPoisonedConnNotPooled(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	serverMetrics := metrics.NewCollector()
+	conns := make(chan net.Conn, 4)
+	go func() {
+		first := true
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns <- conn
+			go func(conn net.Conn, poison bool) {
+				br := bufio.NewReader(conn)
+				req, err := readFrame(br, serverMetrics)
+				if err != nil {
+					return
+				}
+				if poison {
+					// Half a frame, then stall: the length prefix promises
+					// more bytes than ever arrive.
+					conn.Write([]byte{0, 0, 1, 0, 42, 42})
+					return // keep the conn open; the client must time out
+				}
+				writeFrame(conn, Message{Type: MsgPong, Key: req.Key}, serverMetrics)
+			}(conn, first)
+			first = false
+		}
+	}()
+
+	tr, err := NewTCPTransport("127.0.0.1:0", metrics.NewCollector(), 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	to := Contact{ID: PeerIDFromSeed("srv"), Addr: ln.Addr().String()}
+
+	if _, err := tr.Call(context.Background(), to, Message{Type: MsgPing, Key: "first"}); err == nil {
+		t.Fatal("call against the stalling server should fail")
+	}
+	tr.mu.Lock()
+	pooled := len(tr.idle[to.Addr])
+	tr.mu.Unlock()
+	if pooled != 0 {
+		t.Fatalf("poisoned connection was pooled (%d idle)", pooled)
+	}
+
+	// The next call must dial a fresh connection and complete cleanly.
+	resp, err := tr.Call(context.Background(), to, Message{Type: MsgPing, Key: "second"})
+	if err != nil {
+		t.Fatalf("call after poisoned exchange: %v", err)
+	}
+	if resp.Type != MsgPong || resp.Key != "second" {
+		t.Fatalf("resp = %v %q, want pong for %q", resp.Type, resp.Key, "second")
+	}
+	if got := len(conns); got != 2 {
+		t.Fatalf("server saw %d connections, want 2 (poisoned conn must not be reused)", got)
 	}
 }
 

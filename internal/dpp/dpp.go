@@ -135,6 +135,8 @@ type Manager struct {
 	ordered   bool
 	cache     *blockcache.Cache
 
+	persistPath string // "" = memory-only
+
 	mu          sync.Mutex
 	roots       map[string]*Root
 	inlineTypes map[string][]string // term -> types of its inline list
@@ -156,24 +158,36 @@ type Options struct {
 	// clipped client-side so cached copies are reusable across queries
 	// with different document intervals.
 	Cache *blockcache.Cache
+	// PersistPath, when set, makes the home-side DPP state durable: the
+	// root blocks, inline-list metadata and the pseudo-key counter are
+	// rewritten (atomically) to this file after every mutation and
+	// reloaded on construction, so a restarted peer still knows where
+	// its terms' overflow blocks live. The blocks themselves are index
+	// postings and persist through the node's store.
+	PersistPath string
 }
 
 // NewManager creates the DPP manager for a node and registers its
-// procedures on the node.
-func NewManager(node *dht.Node, opts Options) *Manager {
+// procedures on the node. With Options.PersistPath set it reloads the
+// previously persisted root state; a corrupt or unreadable state file
+// fails construction rather than silently forgetting block placements.
+func NewManager(node *dht.Node, opts Options) (*Manager, error) {
 	bs := opts.BlockSize
 	if bs <= 0 {
 		bs = DefaultBlockSize
 	}
 	m := &Manager{node: node, blockSize: bs, ordered: !opts.RandomSplit,
-		cache: opts.Cache,
+		cache: opts.Cache, persistPath: opts.PersistPath,
 		roots: map[string]*Root{}, inlineTypes: map[string][]string{},
 		inlineGen: map[string]uint64{}}
+	if err := m.load(); err != nil {
+		return nil, err
+	}
 	node.Handle(ProcAppend, m.handleAppend)
 	node.Handle(ProcDelete, m.handleDelete)
 	node.Handle(ProcRoot, m.handleRoot)
 	node.HandleStreamProc(ProcBlock, m.handleBlock)
-	return m
+	return m, nil
 }
 
 // Cache returns the manager's block cache (nil when caching is off),
@@ -217,11 +231,19 @@ func (m *Manager) handleAppend(_ context.Context, _ dht.Contact, term string, bl
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.appendLocked(term, ps, dtype); err != nil {
+		return nil, err
+	}
+	return nil, m.save()
+}
+
+// appendLocked applies one append under m.mu.
+func (m *Manager) appendLocked(term string, ps postings.List, dtype string) error {
 	root := m.roots[term]
 	if root == nil {
 		// Still inline: append locally, then split on overflow.
 		if err := m.node.Store().Append(term, ps); err != nil {
-			return nil, err
+			return err
 		}
 		m.inlineGen[term]++
 		set, ok := addType(m.inlineTypes[term], dtype)
@@ -231,14 +253,14 @@ func (m *Manager) handleAppend(_ context.Context, _ dht.Contact, term string, bl
 		m.inlineTypes[term] = set
 		n, err := m.node.Store().Count(term)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if n <= m.blockSize {
-			return nil, nil
+			return nil
 		}
-		return nil, m.overflow(term)
+		return m.overflow(term)
 	}
-	return nil, m.routeToBlocks(root, ps, dtype)
+	return m.routeToBlocks(root, ps, dtype)
 }
 
 // overflow converts an inline list into a DPP of bound-respecting
@@ -746,7 +768,7 @@ func (m *Manager) handleDelete(_ context.Context, _ dht.Contact, term string, bl
 			}
 		}
 		m.inlineGen[term]++
-		return nil, nil
+		return nil, m.save()
 	}
 	for _, p := range ps {
 		for bi := range root.Blocks {
@@ -773,5 +795,5 @@ func (m *Manager) handleDelete(_ context.Context, _ dht.Contact, term string, bl
 		}
 	}
 	root.Blocks = kept
-	return nil, nil
+	return nil, m.save()
 }

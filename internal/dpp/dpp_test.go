@@ -28,7 +28,11 @@ func newCluster(t testing.TB, peers int, opts Options) *cluster {
 			t.Fatal(err)
 		}
 		c.nodes = append(c.nodes, node)
-		c.managers = append(c.managers, NewManager(node, opts))
+		mgr, err := NewManager(node, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.managers = append(c.managers, mgr)
 	}
 	for i := 1; i < peers; i++ {
 		if err := c.nodes[i].Bootstrap(c.nodes[0].Self()); err != nil {

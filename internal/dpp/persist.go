@@ -1,0 +1,91 @@
+package dpp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Durable DPP root state. The root blocks are the ϕ function of the
+// paper — without them a restarted home peer has no idea which
+// pseudo-keys its overflowed terms scattered to, even though the block
+// postings themselves sit safely in the peers' durable stores. The
+// state is tiny (a few references per overflowed term), so it is
+// rewritten whole on every mutation: marshal, write to a temp file,
+// fsync, rename. The rename is atomic, so a crash leaves either the old
+// or the new state, never a torn one.
+
+// persistedState is the JSON layout of the state file.
+type persistedState struct {
+	Roots       map[string]*Root    `json:"roots"`
+	InlineTypes map[string][]string `json:"inline_types,omitempty"`
+	InlineGen   map[string]uint64   `json:"inline_gen,omitempty"`
+	Next        int                 `json:"next"`
+}
+
+// load reads the state file into the manager (no-op without a path or
+// file). Called once from NewManager, before the mutex matters.
+func (m *Manager) load() error {
+	if m.persistPath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(m.persistPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dpp: load state %s: %w", m.persistPath, err)
+	}
+	var st persistedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("dpp: load state %s: %w", m.persistPath, err)
+	}
+	if st.Roots != nil {
+		m.roots = st.Roots
+	}
+	if st.InlineTypes != nil {
+		m.inlineTypes = st.InlineTypes
+	}
+	if st.InlineGen != nil {
+		m.inlineGen = st.InlineGen
+	}
+	m.next = st.Next
+	return nil
+}
+
+// save rewrites the state file atomically. Callers hold m.mu. Without a
+// path it is free, so the mutation handlers call it unconditionally.
+func (m *Manager) save() error {
+	if m.persistPath == "" {
+		return nil
+	}
+	data, err := json.Marshal(persistedState{
+		Roots:       m.roots,
+		InlineTypes: m.inlineTypes,
+		InlineGen:   m.inlineGen,
+		Next:        m.next,
+	})
+	if err != nil {
+		return err
+	}
+	tmp := m.persistPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("dpp: save state: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("dpp: save state: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("dpp: save state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dpp: save state: %w", err)
+	}
+	if err := os.Rename(tmp, m.persistPath); err != nil {
+		return fmt.Errorf("dpp: save state: %w", err)
+	}
+	return nil
+}

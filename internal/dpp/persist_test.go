@@ -1,0 +1,70 @@
+package dpp
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kadop/internal/sid"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dpp.json")
+	m := &Manager{persistPath: path,
+		roots: map[string]*Root{}, inlineTypes: map[string][]string{},
+		inlineGen: map[string]uint64{}, next: 7}
+	m.roots["l:a"] = &Root{
+		Term: "l:a", Ordered: true,
+		Blocks: []BlockRef{{
+			Lo:  sid.Posting{Peer: 1, Doc: 2, SID: sid.SID{Start: 1, End: 2, Level: 1}},
+			Hi:  sid.Posting{Peer: 1, Doc: 9, SID: sid.SID{Start: 5, End: 6, Level: 1}},
+			Key: "overflow:1:l:a", Owner: "127.0.0.1:9999", Count: 42, Gen: 3,
+			Types: []string{"dblp"},
+		}},
+	}
+	m.inlineTypes["w:x"] = []string{"dblp"}
+	m.inlineGen["w:x"] = 5
+	if err := m.save(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := &Manager{persistPath: path,
+		roots: map[string]*Root{}, inlineTypes: map[string][]string{},
+		inlineGen: map[string]uint64{}}
+	if err := m2.load(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m2.roots, m.roots) {
+		t.Fatalf("roots did not round-trip: %+v vs %+v", m2.roots, m.roots)
+	}
+	if !reflect.DeepEqual(m2.inlineTypes, m.inlineTypes) || !reflect.DeepEqual(m2.inlineGen, m.inlineGen) {
+		t.Fatal("inline metadata did not round-trip")
+	}
+	if m2.next != 7 {
+		t.Fatalf("next = %d, want 7", m2.next)
+	}
+}
+
+func TestPersistMissingFileIsEmpty(t *testing.T) {
+	m := &Manager{persistPath: filepath.Join(t.TempDir(), "absent.json"),
+		roots: map[string]*Root{}, inlineTypes: map[string][]string{},
+		inlineGen: map[string]uint64{}}
+	if err := m.load(); err != nil {
+		t.Fatalf("load of missing file: %v", err)
+	}
+	if len(m.roots) != 0 || m.next != 0 {
+		t.Fatal("missing file should load as empty state")
+	}
+}
+
+func TestPersistCorruptFileFailsLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := &Manager{persistPath: path, roots: map[string]*Root{}}
+	if err := m.load(); err == nil {
+		t.Fatal("corrupt state file should fail load")
+	}
+}

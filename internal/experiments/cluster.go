@@ -59,6 +59,9 @@ type ClusterOptions struct {
 	DHT   dht.Config
 	Link  dht.LinkModel
 	Store StoreKind
+	// Fsync is the WAL sync policy of BTreeStore peers (default
+	// FsyncAlways, the durable setting).
+	Fsync store.FsyncPolicy
 	// TempDir receives disk stores; empty means os.MkdirTemp.
 	TempDir string
 }
@@ -121,7 +124,7 @@ func (c *Cluster) newStore(o ClusterOptions, i int) (store.Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		return store.OpenBTree(fmt.Sprintf("%s/peer%d.bt", dir, i))
+		return store.OpenBTreeOptions(fmt.Sprintf("%s/peer%d.bt", dir, i), store.Options{Fsync: o.Fsync})
 	case NaiveStore:
 		dir, err := c.tempDir(o)
 		if err != nil {

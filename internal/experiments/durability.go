@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"kadop/internal/store"
+	"kadop/internal/workload"
+)
+
+// DurabilityOptions scale the durability experiment: a deployment of
+// disk-backed peers publishes a DBLP corpus once per WAL fsync policy,
+// pricing the durability window in publish throughput. After each run
+// every peer store is reopened (the restart path: checksum sweep plus
+// WAL recovery) to measure what coming back costs.
+type DurabilityOptions struct {
+	Records  int
+	Peers    int
+	Seed     int64
+	Policies []store.FsyncPolicy
+}
+
+func (o DurabilityOptions) defaults() DurabilityOptions {
+	if o.Records <= 0 {
+		o.Records = 300
+	}
+	if o.Peers <= 0 {
+		o.Peers = 8
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = []store.FsyncPolicy{store.FsyncOff, store.FsyncInterval, store.FsyncAlways}
+	}
+	return o
+}
+
+// DurabilityRow is one measurement at one fsync policy.
+type DurabilityRow struct {
+	Policy  store.FsyncPolicy
+	Docs    int
+	Publish time.Duration // wall clock of the whole publish run
+	DocsSec float64
+	Reopen  time.Duration // sum over peers of post-close reopen time
+}
+
+// DurabilityResult is the fsync-policy sweep.
+type DurabilityResult struct {
+	Rows []DurabilityRow
+}
+
+// RunDurability prices durability the way fig2 prices the store: the
+// same publish workload at each fsync policy. FsyncAlways pays one WAL
+// fsync per committed operation; FsyncInterval group-commits on a
+// timer; FsyncOff leaves syncing to the page cache and bounds nothing.
+// The spread between rows is what surviving a crash costs at publish
+// time.
+func RunDurability(o DurabilityOptions) (*DurabilityResult, error) {
+	o = o.defaults()
+	res := &DurabilityResult{}
+	for _, policy := range o.Policies {
+		docs := workload.DBLP{Seed: o.Seed, Records: o.Records}.Documents()
+		dir, err := os.MkdirTemp("", "kadop-dur-")
+		if err != nil {
+			return nil, err
+		}
+		cl, err := NewCluster(ClusterOptions{
+			Peers:   o.Peers,
+			Store:   BTreeStore,
+			Fsync:   policy,
+			TempDir: dir,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		elapsed, err := cl.PublishAll(docs, 4)
+		if err != nil {
+			cl.Close()
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("experiments: durability publish under %v: %w", policy, err)
+		}
+		cl.Close()
+
+		// The restart path: reopen every peer store from its files. A
+		// clean Close checkpoints, so this times the checksum sweep and
+		// an (empty) WAL scan — the fixed cost every restart pays.
+		var reopen time.Duration
+		for i := 0; i < o.Peers; i++ {
+			start := time.Now()
+			st, err := store.OpenBTree(fmt.Sprintf("%s/peer%d.bt", dir, i))
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("experiments: durability reopen peer %d under %v: %w", i, policy, err)
+			}
+			reopen += time.Since(start)
+			st.Close()
+		}
+		os.RemoveAll(dir)
+
+		res.Rows = append(res.Rows, DurabilityRow{
+			Policy:  policy,
+			Docs:    len(docs),
+			Publish: elapsed,
+			DocsSec: float64(len(docs)) / elapsed.Seconds(),
+			Reopen:  reopen,
+		})
+	}
+	return res, nil
+}
+
+// Format renders the durability table.
+func (r *DurabilityResult) Format() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Policy.String(),
+			fmt.Sprintf("%d", row.Docs),
+			ms(row.Publish),
+			fmt.Sprintf("%.1f", row.DocsSec),
+			ms(row.Reopen),
+		})
+	}
+	return "Durability — publish throughput per WAL fsync policy (disk B+-tree peers)\n" +
+		table([]string{"fsync", "docs", "publish(ms)", "docs/s", "reopen(ms)"}, rows)
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"kadop/internal/store"
+)
+
+func TestDurabilityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("publishes a corpus three times against disk stores")
+	}
+	res, err := RunDurability(DurabilityOptions{Records: 100, Peers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per policy", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Docs == 0 || row.Publish <= 0 || row.DocsSec <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+	}
+	// Same workload at every policy.
+	if res.Rows[0].Docs != res.Rows[2].Docs {
+		t.Fatalf("doc counts differ across policies: %d vs %d", res.Rows[0].Docs, res.Rows[2].Docs)
+	}
+	if res.Rows[2].Policy != store.FsyncAlways {
+		t.Fatalf("last row policy = %v, want always", res.Rows[2].Policy)
+	}
+	out := res.Format()
+	for _, want := range []string{"fsync", "always", "interval", "off", "docs/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -16,6 +16,9 @@ package kadop
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"kadop/internal/blockcache"
@@ -25,6 +28,7 @@ import (
 	"kadop/internal/pattern"
 	"kadop/internal/postings"
 	"kadop/internal/sid"
+	"kadop/internal/store"
 	"kadop/internal/twigjoin"
 	"kadop/internal/xmltree"
 )
@@ -77,6 +81,18 @@ type Config struct {
 	// (sampled) query: pattern, phase latencies, bytes moved, cache
 	// hits, hops and retries. kadop-query -log wires this up.
 	QueryLog *querylog.Logger
+	// DataDir, when set, makes the peer durable: the index B+-tree, the
+	// DPP root blocks and the peer-state journal (published raw XML,
+	// directory entries) all live under this directory, and a peer
+	// restarted from the same directory serves its documents and index
+	// slice again without republishing. NewTCPPeer and the CLIs honour
+	// it; constructors taking an existing *dht.Node persist the peer
+	// state and DPP roots but leave the index store to the caller.
+	DataDir string
+	// Fsync selects the index WAL's fsync policy when DataDir is set
+	// (default store.FsyncAlways; see store.FsyncPolicy for the
+	// throughput/durability-window trade).
+	Fsync store.FsyncPolicy
 }
 
 func (c Config) pipelined() bool { return c.Pipelined == nil || *c.Pipelined }
@@ -112,10 +128,16 @@ type Peer struct {
 	sessMu sync.Mutex
 	sess   map[string]chan pushMsg  // open query sessions at this peer
 	hybrid map[string]postings.List // Bloom Reducer intermediate lists
+
+	persist    *statePersist // nil unless Config.DataDir is set
+	ownedStore io.Closer     // index store closed by Close (NewTCPPeer)
 }
 
 // NewPeer creates a KadoP peer with internal identifier id on an
-// existing DHT node, registering all its procedures.
+// existing DHT node, registering all its procedures. With
+// Config.DataDir set, the peer-state journal and the DPP root state are
+// reloaded from (and persisted under) that directory, so documents
+// published through PublishXML and directory entries survive a restart.
 func NewPeer(node *dht.Node, id sid.PeerID, cfg Config) (*Peer, error) {
 	p := &Peer{
 		node:     node,
@@ -128,12 +150,34 @@ func NewPeer(node *dht.Node, id sid.PeerID, cfg Config) (*Peer, error) {
 		sess:     map[string]chan pushMsg{},
 		hybrid:   map[string]postings.List{},
 	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("kadop: data dir: %w", err)
+		}
+		sp, recs, err := openStatePersist(filepath.Join(cfg.DataDir, "state.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		p.persist = sp
+		if err := p.replayState(recs); err != nil {
+			sp.close()
+			return nil, err
+		}
+	}
 	if cfg.UseDPP {
 		if cfg.CacheBytes > 0 && cfg.DPP.Cache == nil {
 			cfg.DPP.Cache = blockcache.New(blockcache.Options{MaxBytes: cfg.CacheBytes})
 			cfg.DPP.Cache.SetCollector(node.Metrics())
 		}
-		p.dpp = dpp.NewManager(node, cfg.DPP)
+		if cfg.DataDir != "" && cfg.DPP.PersistPath == "" {
+			cfg.DPP.PersistPath = filepath.Join(cfg.DataDir, "dpp.json")
+		}
+		mgr, err := dpp.NewManager(node, cfg.DPP)
+		if err != nil {
+			p.persist.close()
+			return nil, err
+		}
+		p.dpp = mgr
 	}
 	node.Handle(procDirPut, p.handleDirPut)
 	node.Handle(procDirGet, p.handleDirGet)
@@ -145,6 +189,95 @@ func NewPeer(node *dht.Node, id sid.PeerID, cfg Config) (*Peer, error) {
 	node.Handle(procHybridAB, p.handleHybridAB)
 	node.Handle(procHybridDB, p.handleHybridDB)
 	return p, nil
+}
+
+// replayState rebuilds the in-memory maps from the journal. Records
+// replay in order, so a later record for the same document id or
+// directory key wins — the same last-writer-wins the maps had live.
+func (p *Peer) replayState(recs []stateRecord) error {
+	for _, rec := range recs {
+		switch rec.Kind {
+		case "doc":
+			doc, err := xmltree.ParseBytes(rec.XML)
+			if err != nil {
+				return fmt.Errorf("kadop: replay doc %d (%s): %w", rec.ID, rec.URI, err)
+			}
+			id := sid.DocID(rec.ID)
+			p.docs[id] = doc
+			p.uris[id] = rec.URI
+			if rec.Dtype != "" {
+				p.docTypes[id] = rec.Dtype
+			}
+			if id >= p.nextDoc {
+				p.nextDoc = id + 1
+			}
+		case "undoc":
+			id := sid.DocID(rec.ID)
+			delete(p.docs, id)
+			delete(p.uris, id)
+			delete(p.docTypes, id)
+		case "dir":
+			p.dir[rec.Key] = append([]byte(nil), rec.Blob...)
+		default:
+			return fmt.Errorf("kadop: replay: unknown record kind %q", rec.Kind)
+		}
+	}
+	return nil
+}
+
+// AttachStore hands the peer ownership of the index store backing its
+// node; Close will close it after the node stops serving. The facade
+// constructors that build the store themselves (NewTCPPeer) use this.
+func (p *Peer) AttachStore(c io.Closer) { p.ownedStore = c }
+
+// Close shuts the peer down: the DHT node stops serving, then the
+// index store flushes and closes (checkpointing its WAL), then the
+// peer-state journal closes. A durable peer can be restarted from its
+// DataDir afterwards.
+func (p *Peer) Close() error {
+	err := p.node.Close()
+	if p.ownedStore != nil {
+		if cerr := p.ownedStore.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := p.persist.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Resync pulls appends this peer's index slice missed while it was
+// down: for every term held locally, replicas with more postings are
+// fetched and merged (see dht.Node.ResyncOnce). Call it after Join when
+// restarting from a data directory. The returned count is the number of
+// terms that grew.
+func (p *Peer) Resync(ctx context.Context) (int, error) {
+	return p.node.ResyncOnce(ctx)
+}
+
+// Reannounce re-registers everything other peers resolve through the
+// directory: the peer's own address and the Doc entries of its
+// published documents. A restarted peer calls it (after Join) because
+// its address entry may be stale and the home peers of its document
+// keys may themselves have restarted without durable state.
+func (p *Peer) Reannounce() error {
+	if err := p.Announce(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	uris := make(map[sid.DocID]string, len(p.uris))
+	for id, uri := range p.uris {
+		uris[id] = uri
+	}
+	p.mu.Unlock()
+	for id, uri := range uris {
+		key := sid.DocKey{Peer: p.id, Doc: id}
+		if err := p.dirPut(docKey(key), []byte(uri)); err != nil {
+			return fmt.Errorf("kadop: reannounce doc %d: %w", id, err)
+		}
+	}
+	return nil
 }
 
 // Announce registers the peer in the distributed Peer relation so
@@ -198,9 +331,11 @@ func (p *Peer) dirGet(ctx context.Context, key string) ([]byte, error) {
 
 func (p *Peer) handleDirPut(_ context.Context, _ dht.Contact, key string, blob []byte) ([]byte, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.dir[key] = append([]byte(nil), blob...)
-	return nil, nil
+	p.mu.Unlock()
+	// Journal before acknowledging: a directory entry this peer is home
+	// for must survive its restart.
+	return nil, p.persist.append(stateRecord{Kind: "dir", Key: key, Blob: blob})
 }
 
 func (p *Peer) handleDirGet(_ context.Context, _ dht.Contact, key string, _ []byte) ([]byte, error) {
@@ -250,8 +385,13 @@ func (p *Peer) PublishTyped(doc *xmltree.Document, uri, dtype string) (sid.DocKe
 		p.docTypes[id] = dtype
 	}
 	p.mu.Unlock()
-	key := sid.DocKey{Peer: p.id, Doc: id}
+	return p.indexDoc(id, doc, uri, dtype)
+}
 
+// indexDoc routes a registered document's postings into the
+// distributed index and records its URI in the Doc relation.
+func (p *Peer) indexDoc(id sid.DocID, doc *xmltree.Document, uri, dtype string) (sid.DocKey, error) {
+	key := sid.DocKey{Peer: p.id, Doc: id}
 	tps := xmltree.Extract(doc, p.id, id, p.cfg.Extract)
 	// Batch postings per term (Section 3: buffering postings of the same
 	// term cuts per-posting routing costs).
@@ -314,13 +454,37 @@ func (p *Peer) PublishAt(id sid.DocID, doc *xmltree.Document, uri string) (sid.D
 	return key, nil
 }
 
-// PublishXML parses and publishes an XML document held as bytes.
+// PublishXML parses and publishes an XML document held as bytes. On a
+// durable peer (Config.DataDir) the raw bytes are journaled before
+// indexing, so a restarted peer serves the document again without a
+// republish.
 func (p *Peer) PublishXML(raw []byte, uri string) (sid.DocKey, error) {
+	return p.PublishXMLTyped(raw, uri, "")
+}
+
+// PublishXMLTyped is PublishXML with a document type (Section 4.1).
+func (p *Peer) PublishXMLTyped(raw []byte, uri, dtype string) (sid.DocKey, error) {
 	doc, err := xmltree.ParseBytes(raw)
 	if err != nil {
 		return sid.DocKey{}, fmt.Errorf("kadop: publish %q: %w", uri, err)
 	}
-	return p.Publish(doc, uri)
+	p.mu.Lock()
+	id := p.nextDoc
+	p.nextDoc++
+	p.docs[id] = doc
+	p.uris[id] = uri
+	if dtype != "" {
+		p.docTypes[id] = dtype
+	}
+	p.mu.Unlock()
+	// Journal before indexing: if the crash lands mid-index, the
+	// restarted peer still holds the document and Reannounce + replica
+	// repair re-derive the rest; the reverse order would leave index
+	// postings pointing at a document nobody can serve.
+	if err := p.persist.append(stateRecord{Kind: "doc", ID: uint32(id), URI: uri, Dtype: dtype, XML: raw}); err != nil {
+		return sid.DocKey{Peer: p.id, Doc: id}, err
+	}
+	return p.indexDoc(id, doc, uri, dtype)
 }
 
 // Unpublish removes a document from the collection: its postings are
@@ -331,9 +495,13 @@ func (p *Peer) Unpublish(id sid.DocID) error {
 	doc := p.docs[id]
 	delete(p.docs, id)
 	delete(p.uris, id)
+	delete(p.docTypes, id)
 	p.mu.Unlock()
 	if doc == nil {
 		return fmt.Errorf("kadop: no local document %d", id)
+	}
+	if err := p.persist.append(stateRecord{Kind: "undoc", ID: uint32(id)}); err != nil {
+		return err
 	}
 	tps := xmltree.Extract(doc, p.id, id, p.cfg.Extract)
 	byTerm := map[string]postings.List{}

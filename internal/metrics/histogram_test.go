@@ -100,6 +100,55 @@ func TestQuantileSplitBuckets(t *testing.T) {
 	}
 }
 
+func TestQuantileMaxReturnsTopBucketBound(t *testing.T) {
+	// q=1.0 must land in the highest occupied bucket and, because the
+	// full bucket population is below the rank, interpolate all the way
+	// to that bucket's upper bound — never the histogram-wide maximum.
+	h := &Histogram{}
+	for i := 0; i < 50; i++ {
+		h.Record(3 * time.Microsecond) // bucket 2 (2µs, 4µs]
+	}
+	for i := 0; i < 5; i++ {
+		h.Record(100 * time.Microsecond) // bucket 7 (64µs, 128µs]
+	}
+	if got, want := h.Quantile(1.0), bucketBound(7); got != want {
+		t.Errorf("q=1.0 = %v, want top occupied bucket bound %v", got, want)
+	}
+	// q just below 1 still sits inside the top bucket, not past it.
+	if p := h.Quantile(0.999); p <= bucketBound(6) || p > bucketBound(7) {
+		t.Errorf("q=0.999 = %v outside top bucket (%v, %v]", p, bucketBound(6), bucketBound(7))
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	// With one observation, total-1 = 0 so every q maps to rank 1 with
+	// frac = 1/1: all quantiles return the observation's bucket upper
+	// bound, not 0 and not an interpolated interior point.
+	h := &Histogram{}
+	h.Record(10 * time.Microsecond) // bucket 4 (8µs, 16µs]
+	want := bucketBound(4)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("single observation: Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	// Same invariant at the extremes of the bucket range.
+	h0 := &Histogram{}
+	h0.Record(0) // bucket 0
+	if got := h0.Quantile(1.0); got != bucketBound(0) {
+		t.Errorf("single zero observation: q=1.0 = %v, want %v", got, bucketBound(0))
+	}
+	hTop := &Histogram{}
+	hTop.Record(365 * 24 * time.Hour) // clamps into the last bucket
+	if got := hTop.Quantile(1.0); got != bucketBound(histBuckets-1) {
+		t.Errorf("single huge observation: q=1.0 = %v, want %v", got, bucketBound(histBuckets-1))
+	}
+	// Out-of-range q values clamp rather than panic or skew.
+	if h.Quantile(-0.5) != want || h.Quantile(2.0) != want {
+		t.Error("out-of-range q should clamp to [0, 1]")
+	}
+}
+
 func TestHistogramEmptyAndNil(t *testing.T) {
 	var h *Histogram
 	h.Record(time.Second)

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -21,9 +22,10 @@ import (
 // KadoP peer treats document modification as delete + insert, and
 // reclaims space by periodic rebuild if ever needed.
 type BTree struct {
-	mu    sync.Mutex
-	pager *pager
-	root  uint32
+	mu     sync.Mutex
+	pager  *pager
+	root   uint32
+	closed bool
 }
 
 const (
@@ -32,9 +34,23 @@ const (
 	maxKeyLen  = 1024
 )
 
-// OpenBTree opens (or creates) a B+-tree file at path.
+// ErrClosed is returned by every Store method called after Close (and
+// by a second Close). Before this guard existed, operations on a
+// closed tree leaked raw OS errors from the closed file descriptor.
+var ErrClosed = errors.New("store: btree is closed")
+
+// OpenBTree opens (or creates) a B+-tree file at path with default
+// durability options (WAL fsynced on every operation).
 func OpenBTree(path string) (*BTree, error) {
-	pg, root, err := openPager(path)
+	return OpenBTreeOptions(path, Options{})
+}
+
+// OpenBTreeOptions is OpenBTree with explicit durability tuning. Open
+// runs crash recovery first: the committed prefix of the write-ahead
+// log is replayed onto the page file and any torn tail is discarded, so
+// a tree that crashed mid-write reopens to its last committed state.
+func OpenBTreeOptions(path string, opts Options) (*BTree, error) {
+	pg, root, err := openPager(path, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +60,8 @@ func OpenBTree(path string) (*BTree, error) {
 		leaf := pg.alloc(pageLeaf)
 		t.root = leaf.id
 		pg.setRoot(leaf.id)
-		if err := pg.sync(); err != nil {
+		if err := pg.commit(); err != nil {
+			pg.close()
 			return nil, err
 		}
 	}
@@ -111,6 +128,9 @@ func (t *BTree) Append(term string, ps postings.List) error {
 	add.Sort()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
 	for _, p := range add {
 		k, err := encodeKey(term, p)
 		if err != nil {
@@ -120,7 +140,7 @@ func (t *BTree) Append(term string, ps postings.List) error {
 			return err
 		}
 	}
-	return t.pager.sync()
+	return t.pager.commit()
 }
 
 // insert adds key to the tree, splitting pages as needed.
@@ -234,6 +254,9 @@ func (t *BTree) Scan(term string, from sid.Posting, fn func(sid.Posting) bool) e
 	prefix := termPrefix(term)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
 	leaf, i, err := t.seek(start)
 	if err != nil {
 		return err
@@ -288,6 +311,9 @@ func (t *BTree) Delete(term string, p sid.Posting) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
 	leaf, i, err := t.seek(key)
 	if err != nil {
 		return err
@@ -295,30 +321,63 @@ func (t *BTree) Delete(term string, p sid.Posting) error {
 	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], key) {
 		leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
 		t.pager.markDirty(leaf)
-		return t.pager.sync()
+		return t.pager.commit()
 	}
 	return nil
 }
 
-// DeleteTerm implements Store by deleting the term's key range.
+// DeleteTerm implements Store by deleting the term's key range as ONE
+// transaction: every matching key is removed under a single lock hold
+// and a single pager commit, so a crash mid-way leaves either the whole
+// term or none of it — never a partially deleted posting list. (The
+// previous implementation issued one commit per posting; the
+// crash-injection property test caught the partial states it left
+// behind.)
 func (t *BTree) DeleteTerm(term string) error {
-	// Collect first (Scan holds the lock), then delete one by one.
-	list, err := t.Get(term)
+	prefix := termPrefix(term)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	leaf, i, err := t.seek(prefix)
 	if err != nil {
 		return err
 	}
-	for _, p := range list {
-		if err := t.Delete(term, p); err != nil {
+	deleted := false
+	for {
+		j := i
+		for j < len(leaf.keys) && bytes.HasPrefix(leaf.keys[j], prefix) {
+			j++
+		}
+		if j > i {
+			leaf.keys = append(leaf.keys[:i], leaf.keys[j:]...)
+			t.pager.markDirty(leaf)
+			deleted = true
+		}
+		if i < len(leaf.keys) || leaf.next == 0 {
+			// Hit a key past the prefix range, or ran out of leaves.
+			break
+		}
+		leaf, err = t.pager.get(leaf.next)
+		if err != nil {
 			return err
 		}
+		i = 0
 	}
-	return nil
+	if !deleted {
+		return nil
+	}
+	return t.pager.commit()
 }
 
 // Terms implements Store.
 func (t *BTree) Terms() ([]string, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
 	var out []string
 	leaf, i, err := t.seek([]byte{1})
 	if err != nil {
@@ -347,17 +406,39 @@ func (t *BTree) Terms() ([]string, error) {
 	}
 }
 
-// Close implements Store.
+// Close implements Store: it commits and checkpoints pending state,
+// then releases the files. A second Close (and any operation after the
+// first) returns ErrClosed. Close marks the tree closed even when the
+// final flush fails, so a failed close cannot leave the store issuing
+// raw OS errors from a dead file descriptor.
 func (t *BTree) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	t.closed = true
 	return t.pager.close()
+}
+
+// Checkpoint forces dirty pages into the page file and truncates the
+// WAL, regardless of the CheckpointBytes threshold.
+func (t *BTree) Checkpoint() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	return t.pager.checkpoint()
 }
 
 // Stats reports page usage for diagnostics and benchmarks.
 func (t *BTree) Stats() (pages int, height int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return 0, 0
+	}
 	pages = t.pager.pageCount()
 	h := 1
 	cur, err := t.pager.get(t.root)

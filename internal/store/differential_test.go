@@ -16,11 +16,12 @@ import (
 // checks they agree after every step — a differential test of the
 // B+-tree's split, delete and scan logic.
 func TestBTreeMatchesMemUnderRandomOps(t *testing.T) {
-	bt, err := OpenBTree(filepath.Join(t.TempDir(), "diff.bt"))
+	path := filepath.Join(t.TempDir(), "diff.bt")
+	bt, err := OpenBTree(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer bt.Close()
+	defer func() { bt.Close() }()
 	mem := NewMem()
 
 	rng := rand.New(rand.NewSource(99))
@@ -78,6 +79,21 @@ func TestBTreeMatchesMemUnderRandomOps(t *testing.T) {
 			mem.Scan(term, from, func(p sid.Posting) bool { b = append(b, p); return len(b) < 50 })
 			if !reflect.DeepEqual(a, b) {
 				t.Fatalf("step %d: partial scans diverge on %q: %d vs %d", step, term, len(a), len(b))
+			}
+		}
+		// Periodically cycle the disk tree: a clean Close/re-Open, or an
+		// abandon-without-Close — the latter models a process kill at an
+		// operation boundary, so WAL recovery must reconstruct every
+		// committed op before the differential comparison resumes.
+		if step%60 == 59 {
+			if rng.Intn(2) == 0 {
+				if err := bt.Close(); err != nil {
+					t.Fatalf("step %d: close: %v", step, err)
+				}
+			} // else: abandon the handle, leaving the WAL to recovery
+			bt, err = OpenBTree(path)
+			if err != nil {
+				t.Fatalf("step %d: reopen: %v", step, err)
 			}
 		}
 		// Full-state check every few steps (Get is O(list)).

@@ -4,20 +4,27 @@ import (
 	"container/list"
 	"encoding/binary"
 	"fmt"
-	"os"
+	"hash/crc32"
 )
 
 // pageSize is the on-disk page size of the B+-tree.
 const pageSize = 4096
 
+// pageCRCOff is where a page's CRC32-C footer lives; the checksum
+// covers everything before it. A checksum mismatch on read means a torn
+// or corrupted write — recovery rewrites such pages from the WAL.
+const pageCRCOff = pageSize - 4
+
 // softPageFill triggers a split when a page's serialised size exceeds
 // this fraction of pageSize; keys are bounded by maxKeyLen so one more
-// insertion always still fits in the page.
+// insertion always still fits in the page (payloads are capped at
+// pageCRCOff to leave room for the checksum footer).
 const softPageFill = pageSize - maxKeyLen - 64
 
 // cacheLimit caps the number of pages kept in memory; beyond it, the
-// least-recently-used clean or dirty page is evicted (dirty pages are
-// written back first).
+// least-recently-used committed page is evicted (committed dirty pages
+// are written back first — their redo images are already in the WAL, so
+// an in-place write cannot lose committed state).
 const cacheLimit = 2048
 
 // page is the in-memory form of one on-disk page.
@@ -27,7 +34,7 @@ type page struct {
 	keys     [][]byte // sorted
 	children []uint32 // branch only: len(keys)+1 entries
 	next     uint32   // leaf only: right sibling (0 = none)
-	dirty    bool
+	dirty    bool     // modified since the last checkpoint
 	lru      *list.Element
 }
 
@@ -78,9 +85,9 @@ func (p *page) serializedSize() int {
 	return n
 }
 
-// serialize renders the page into a pageSize buffer.
+// serialize renders the page into a pageSize buffer, checksum included.
 func (p *page) serialize() ([]byte, error) {
-	if sz := p.serializedSize(); sz > pageSize {
+	if sz := p.serializedSize(); sz > pageCRCOff {
 		return nil, fmt.Errorf("store: pager: page %d overflows page size (%d bytes)", p.id, sz)
 	}
 	buf := make([]byte, pageSize)
@@ -100,13 +107,17 @@ func (p *page) serialize() ([]byte, error) {
 			off += 4
 		}
 	}
+	binary.LittleEndian.PutUint32(buf[pageCRCOff:], crc32.Checksum(buf[:pageCRCOff], castagnoli))
 	return buf, nil
 }
 
-// deserialize parses a pageSize buffer into p.
+// deserialize parses a pageSize buffer into p, verifying the checksum.
 func (p *page) deserialize(buf []byte) error {
 	if len(buf) != pageSize {
 		return fmt.Errorf("store: pager: short page read (%d bytes)", len(buf))
+	}
+	if want := binary.LittleEndian.Uint32(buf[pageCRCOff:]); crc32.Checksum(buf[:pageCRCOff], castagnoli) != want {
+		return fmt.Errorf("store: pager: page %d checksum mismatch (torn write?)", p.id)
 	}
 	p.typ = buf[0]
 	if p.typ != pageLeaf && p.typ != pageBranch {
@@ -117,12 +128,12 @@ func (p *page) deserialize(buf []byte) error {
 	off := 7
 	p.keys = make([][]byte, 0, n)
 	for i := 0; i < n; i++ {
-		if off+2 > pageSize {
+		if off+2 > pageCRCOff {
 			return fmt.Errorf("store: pager: page %d truncated", p.id)
 		}
 		kl := int(binary.LittleEndian.Uint16(buf[off:]))
 		off += 2
-		if off+kl > pageSize {
+		if off+kl > pageCRCOff {
 			return fmt.Errorf("store: pager: page %d key overruns page", p.id)
 		}
 		p.keys = append(p.keys, append([]byte(nil), buf[off:off+kl]...))
@@ -131,7 +142,7 @@ func (p *page) deserialize(buf []byte) error {
 	if p.typ == pageBranch {
 		p.children = make([]uint32, 0, n+1)
 		for i := 0; i <= n; i++ {
-			if off+4 > pageSize {
+			if off+4 > pageCRCOff {
 				return fmt.Errorf("store: pager: page %d children overrun page", p.id)
 			}
 			p.children = append(p.children, binary.LittleEndian.Uint32(buf[off:]))
@@ -141,63 +152,117 @@ func (p *page) deserialize(buf []byte) error {
 	return nil
 }
 
-// pager manages the page file: page 0 is the metadata page (magic,
-// root id, page count); data pages start at id 1.
+// pager manages the page file and its write-ahead log. Page 0 is the
+// metadata page (magic, root id, page count, checkpoint LSN, checksum);
+// data pages start at id 1.
+//
+// Durability protocol (redo-only, no-steal for uncommitted pages):
+//
+//   - Every Store operation is one transaction. markDirty collects the
+//     pages it touches; commit appends their images plus an LSN-stamped
+//     commit record to the WAL in a single write, then fsyncs per the
+//     policy. The page file is NOT written on the commit path.
+//   - Pages modified by an in-flight (uncommitted) transaction are
+//     pinned in the cache; eviction may write back committed dirty
+//     pages (their redo images are in the WAL) but never uncommitted
+//     ones, so the page file never holds uncommitted state.
+//   - checkpoint fences the meta page behind the data pages: flush all
+//     dirty pages, fsync, write meta (root/npages/LSN), fsync, then
+//     truncate the WAL. A crash at any point replays cleanly: before
+//     the meta write the old meta plus the WAL reproduce the state;
+//     after it the WAL replay is a no-op by LSN comparison.
+//   - Open-time recovery (recovery.go) replays the committed WAL
+//     prefix and discards the torn tail.
 type pager struct {
-	f      *os.File
+	f    file
+	wal  *wal
+	opts Options
+
 	npages uint32 // data pages allocated (excluding meta)
 	root   uint32
+	lsn    uint64 // last committed LSN
 	cache  map[uint32]*page
-	order  *list.List // LRU: front = most recent
-	metaD  bool       // meta page dirty
+	order  *list.List       // LRU: front = most recent
+	tx     map[uint32]*page // pages dirtied by the in-flight transaction
+	ioErr  error            // sticky commit/checkpoint failure
 }
 
-var pagerMagic = [8]byte{'K', 'A', 'D', 'O', 'P', 'B', 'T', '1'}
+var (
+	pagerMagic   = [8]byte{'K', 'A', 'D', 'O', 'P', 'B', 'T', '2'}
+	pagerMagicV1 = [8]byte{'K', 'A', 'D', 'O', 'P', 'B', 'T', '1'}
+)
 
-func openPager(path string) (*pager, uint32, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// walPath names the log that pairs with a page file.
+func walPath(path string) string { return path + ".wal" }
+
+func openPager(path string, opts Options) (*pager, uint32, error) {
+	opts = opts.withDefaults()
+	f, err := opts.open(path)
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: pager: %w", err)
 	}
-	pg := &pager{f: f, cache: map[uint32]*page{}, order: list.New()}
-	st, err := f.Stat()
+	pg := &pager{
+		f: f, opts: opts,
+		cache: map[uint32]*page{}, order: list.New(), tx: map[uint32]*page{},
+	}
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, 0, fmt.Errorf("store: pager: %w", err)
 	}
-	if st.Size() == 0 {
-		pg.metaD = true
-		return pg, 0, nil
+	metaValid := false
+	if size > 0 {
+		meta := make([]byte, pageSize)
+		if _, err := f.ReadAt(meta, 0); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("store: pager: read meta: %w", err)
+		}
+		var magic [8]byte
+		copy(magic[:], meta)
+		if magic == pagerMagicV1 {
+			f.Close()
+			return nil, 0, fmt.Errorf("store: pager: %s is a v1 (pre-WAL) kadop btree file; rebuild it by republishing", path)
+		}
+		if magic == pagerMagic &&
+			binary.LittleEndian.Uint32(meta[pageCRCOff:]) == crc32.Checksum(meta[:pageCRCOff], castagnoli) {
+			pg.root = binary.LittleEndian.Uint32(meta[8:])
+			pg.npages = binary.LittleEndian.Uint32(meta[12:])
+			pg.lsn = binary.LittleEndian.Uint64(meta[16:])
+			metaValid = true
+		}
+		// An invalid meta page is not yet fatal: a crash in the middle
+		// of a checkpoint's meta write leaves the WAL intact, and the
+		// replay below rebuilds both the pages and the meta.
 	}
-	meta := make([]byte, pageSize)
-	if _, err := f.ReadAt(meta, 0); err != nil {
+	pg.wal, err = openWAL(walPath(path), opts)
+	if err != nil {
 		f.Close()
-		return nil, 0, fmt.Errorf("store: pager: read meta: %w", err)
+		return nil, 0, err
 	}
-	var magic [8]byte
-	copy(magic[:], meta)
-	if magic != pagerMagic {
+	recovered, err := pg.recover(metaValid)
+	if err != nil {
+		pg.wal.close()
 		f.Close()
-		return nil, 0, fmt.Errorf("store: pager: %s is not a kadop btree file", path)
+		return nil, 0, err
 	}
-	pg.root = binary.LittleEndian.Uint32(meta[8:])
-	pg.npages = binary.LittleEndian.Uint32(meta[12:])
+	if size > 0 && !metaValid && !recovered {
+		pg.wal.close()
+		f.Close()
+		return nil, 0, fmt.Errorf("store: pager: %s has a corrupt meta page and no replayable WAL", path)
+	}
 	return pg, pg.root, nil
 }
 
 // alloc creates a new empty page of the given type.
 func (pg *pager) alloc(typ byte) *page {
 	pg.npages++
-	p := &page{id: pg.npages, typ: typ, dirty: true}
+	p := &page{id: pg.npages, typ: typ}
 	pg.insertCache(p)
-	pg.metaD = true
+	pg.markDirty(p)
 	return p
 }
 
-func (pg *pager) setRoot(id uint32) {
-	pg.root = id
-	pg.metaD = true
-}
+func (pg *pager) setRoot(id uint32) { pg.root = id }
 
 // insertCache adds p to the cache, evicting LRU pages beyond the
 // limit. Callers that hold page pointers across allocations (the insert
@@ -209,28 +274,34 @@ func (pg *pager) insertCache(p *page) {
 	p.lru = pg.order.PushFront(p)
 	pg.cache[p.id] = p
 	for len(pg.cache) > cacheLimit {
-		if err := pg.evictOne(); err != nil {
-			// Eviction failure leaves the page cached; surface the error
-			// at the next sync instead of losing data here.
+		if !pg.evictOne() {
+			// No evictable victim (or write-back failed): let the cache
+			// grow past the limit; the next checkpoint drains it.
 			break
 		}
 	}
 }
 
-func (pg *pager) evictOne() error {
-	e := pg.order.Back()
-	if e == nil {
-		return nil
-	}
-	victim := e.Value.(*page)
-	if victim.dirty {
-		if err := pg.writePage(victim); err != nil {
-			return err
+// evictOne drops the least-recently-used evictable page. Pages touched
+// by the in-flight transaction are pinned (the page file must never see
+// uncommitted state); committed dirty pages are written back first —
+// safe, because their redo images are already in the WAL.
+func (pg *pager) evictOne() bool {
+	for e := pg.order.Back(); e != nil; e = e.Prev() {
+		victim := e.Value.(*page)
+		if _, pinned := pg.tx[victim.id]; pinned {
+			continue
 		}
+		if victim.dirty {
+			if err := pg.writePage(victim); err != nil {
+				return false
+			}
+		}
+		pg.order.Remove(e)
+		delete(pg.cache, victim.id)
+		return true
 	}
-	pg.order.Remove(e)
-	delete(pg.cache, victim.id)
-	return nil
+	return false
 }
 
 // get returns the page with the given id, reading it from disk on a
@@ -255,8 +326,13 @@ func (pg *pager) get(id uint32) (*page, error) {
 	return p, nil
 }
 
-func (pg *pager) markDirty(p *page) { p.dirty = true }
+// markDirty records p as modified by the in-flight transaction.
+func (pg *pager) markDirty(p *page) {
+	p.dirty = true
+	pg.tx[p.id] = p
+}
 
+// writePage writes one page in place (eviction, checkpoint, recovery).
 func (pg *pager) writePage(p *page) error {
 	buf, err := p.serialize()
 	if err != nil {
@@ -269,8 +345,69 @@ func (pg *pager) writePage(p *page) error {
 	return nil
 }
 
-// sync writes all dirty pages and the metadata page.
-func (pg *pager) sync() error {
+// commit makes the in-flight transaction durable: the images of every
+// page it touched, fenced by an LSN-stamped commit record, go to the
+// WAL in one append. Pages stay dirty in the cache until a checkpoint
+// copies them into the page file. A transaction that touched nothing
+// commits for free.
+func (pg *pager) commit() error {
+	if pg.ioErr != nil {
+		return pg.ioErr
+	}
+	if len(pg.tx) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, p := range pg.tx {
+		img, err := p.serialize()
+		if err != nil {
+			return err // nothing appended yet: state stays uncommitted
+		}
+		var rec [4 + pageSize]byte
+		binary.LittleEndian.PutUint32(rec[:], p.id)
+		copy(rec[4:], img)
+		buf = walAppendRecord(buf, walRecPage, rec[:])
+	}
+	var cr [walCommitPayload]byte
+	binary.LittleEndian.PutUint64(cr[:], pg.lsn+1)
+	binary.LittleEndian.PutUint32(cr[8:], pg.root)
+	binary.LittleEndian.PutUint32(cr[12:], pg.npages)
+	buf = walAppendRecord(buf, walRecCommit, cr[:])
+	if err := pg.wal.appendTx(buf); err != nil {
+		pg.ioErr = err
+		return err
+	}
+	pg.lsn++
+	pg.tx = map[uint32]*page{}
+	if pg.wal.bytes() >= pg.opts.CheckpointBytes {
+		return pg.checkpoint()
+	}
+	return nil
+}
+
+// checkpoint copies all committed dirty pages into the page file,
+// fences the meta page behind them, and truncates the WAL. Must only
+// run at a transaction boundary (pg.tx empty).
+func (pg *pager) checkpoint() error {
+	if pg.ioErr != nil {
+		return pg.ioErr
+	}
+	if err := pg.checkpointNoTruncate(); err != nil {
+		pg.ioErr = err
+		return err
+	}
+	if err := pg.wal.reset(); err != nil {
+		pg.ioErr = err
+		return err
+	}
+	return nil
+}
+
+// checkpointNoTruncate is the page-file half of a checkpoint: flush
+// dirty pages, fsync, write meta, fsync. The ordering is the crash
+// barrier — the meta page (root/npages) becomes visible only after
+// every page it points at is durably in place.
+func (pg *pager) checkpointNoTruncate() error {
 	for _, p := range pg.cache {
 		if p.dirty {
 			if err := pg.writePage(p); err != nil {
@@ -278,15 +415,32 @@ func (pg *pager) sync() error {
 			}
 		}
 	}
-	if pg.metaD {
-		meta := make([]byte, pageSize)
-		copy(meta, pagerMagic[:])
-		binary.LittleEndian.PutUint32(meta[8:], pg.root)
-		binary.LittleEndian.PutUint32(meta[12:], pg.npages)
-		if _, err := pg.f.WriteAt(meta, 0); err != nil {
-			return fmt.Errorf("store: pager: write meta: %w", err)
+	if pg.opts.Fsync != FsyncOff {
+		if err := pg.f.Sync(); err != nil {
+			return fmt.Errorf("store: pager: sync pages: %w", err)
 		}
-		pg.metaD = false
+	}
+	if err := pg.writeMeta(); err != nil {
+		return err
+	}
+	if pg.opts.Fsync != FsyncOff {
+		if err := pg.f.Sync(); err != nil {
+			return fmt.Errorf("store: pager: sync meta: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeMeta writes the checksummed metadata page.
+func (pg *pager) writeMeta() error {
+	meta := make([]byte, pageSize)
+	copy(meta, pagerMagic[:])
+	binary.LittleEndian.PutUint32(meta[8:], pg.root)
+	binary.LittleEndian.PutUint32(meta[12:], pg.npages)
+	binary.LittleEndian.PutUint64(meta[16:], pg.lsn)
+	binary.LittleEndian.PutUint32(meta[pageCRCOff:], crc32.Checksum(meta[:pageCRCOff], castagnoli))
+	if _, err := pg.f.WriteAt(meta, 0); err != nil {
+		return fmt.Errorf("store: pager: write meta: %w", err)
 	}
 	return nil
 }
@@ -294,9 +448,15 @@ func (pg *pager) sync() error {
 func (pg *pager) pageCount() int { return int(pg.npages) }
 
 func (pg *pager) close() error {
-	if err := pg.sync(); err != nil {
-		pg.f.Close()
-		return err
+	err := pg.commit()
+	if err == nil {
+		err = pg.checkpoint()
 	}
-	return pg.f.Close()
+	if werr := pg.wal.close(); err == nil {
+		err = werr
+	}
+	if cerr := pg.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

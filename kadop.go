@@ -39,6 +39,8 @@ package kadop
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"kadop/internal/admin"
@@ -99,7 +101,28 @@ type (
 	QueryLogger = querylog.Logger
 	// QueryLogOptions tune a QueryLogger (sampling rate).
 	QueryLogOptions = querylog.Options
+	// FsyncPolicy selects when the index WAL is fsynced (Config.Fsync):
+	// it trades publish throughput for the durability window, never
+	// consistency — a crash under any policy recovers to a committed
+	// prefix.
+	FsyncPolicy = store.FsyncPolicy
 )
+
+// Index WAL fsync policies (Config.Fsync, effective with
+// Config.DataDir).
+const (
+	// FsyncAlways makes every acknowledged publish durable (default).
+	FsyncAlways = store.FsyncAlways
+	// FsyncInterval group-commits: a crash loses at most ~50ms of
+	// acknowledged operations.
+	FsyncInterval = store.FsyncInterval
+	// FsyncOff leaves flushing to the OS page cache.
+	FsyncOff = store.FsyncOff
+)
+
+// ParseFsyncPolicy parses "always", "interval" or "off" (the -fsync
+// flag of kadop-peer).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return store.ParseFsyncPolicy(s) }
 
 // Query strategies (Section 5.3).
 const (
@@ -289,30 +312,54 @@ func (c *SimCluster) Close() {
 }
 
 // NewTCPPeer starts a peer listening on addr (e.g. "127.0.0.1:0") with
-// the given internal id, backed by a disk B+-tree index at storePath
-// (empty = in-memory store). Join it to an existing deployment with
-// Join, then call Announce.
+// the given internal id. The index store is, in order of precedence:
+// Config.DataDir (a durable peer — B+-tree with WAL at
+// DataDir/index.bt under Config.Fsync, plus the peer-state journal and
+// DPP roots, all surviving restarts), storePath (a bare disk B+-tree,
+// as before), or in-memory. Join it to an existing deployment with
+// Join; restart a durable peer from the same DataDir and call Resync
+// after rejoining. Shut it down with Peer.Close, which flushes and
+// closes the store.
 func NewTCPPeer(addr string, id PeerID, storePath string, cfg Config) (*Peer, error) {
 	tr, err := dht.NewTCPTransport(addr, metrics.NewCollector(), 30*time.Second)
 	if err != nil {
 		return nil, err
 	}
 	var st store.Store
-	if storePath == "" {
-		st = store.NewMem()
-	} else {
+	switch {
+	case cfg.DataDir != "":
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			tr.Close()
+			return nil, err
+		}
+		st, err = store.OpenBTreeOptions(filepath.Join(cfg.DataDir, "index.bt"), store.Options{Fsync: cfg.Fsync})
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+	case storePath != "":
 		st, err = store.OpenBTree(storePath)
 		if err != nil {
 			tr.Close()
 			return nil, err
 		}
+	default:
+		st = store.NewMem()
 	}
 	nd, err := dht.NewNode(tr, st, cfg.DHT)
 	if err != nil {
 		tr.Close()
+		st.Close()
 		return nil, err
 	}
-	return ikadop.NewPeer(nd, id, cfg)
+	p, err := ikadop.NewPeer(nd, id, cfg)
+	if err != nil {
+		nd.Close()
+		st.Close()
+		return nil, err
+	}
+	p.AttachStore(st)
+	return p, nil
 }
 
 // NewTCPClientPeer starts a query-only peer over TCP: it never enters
