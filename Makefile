@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-smoke fuzz-smoke crash-smoke
+.PHONY: build test check bench bench-smoke fuzz-smoke crash-smoke churn-smoke
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,21 @@ test:
 
 # check is the tier-1 verification gate: vet plus the full test suite
 # under the race detector (the chaos tests exercise concurrent retries,
-# repair and fault injection), then the seeded crash-recovery sweep.
+# repair and fault injection), then the seeded crash-recovery sweep and
+# the churn emulation at smoke scale.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) crash-smoke
+	$(MAKE) churn-smoke
+
+# churn-smoke runs the churn emulation harness at its smallest scale: a
+# seeded join/leave/crash schedule over a replicated overlay, asserting
+# (via the printed report) that queries keep succeeding and the index
+# converges back to the churn-free oracle. Deterministic: same seed,
+# same schedule.
+churn-smoke:
+	$(GO) run ./cmd/kadop-bench -exp churn -short
 
 # crash-smoke is the durability gate: the crash-injection property and
 # sweep tests at a fixed, deeper trial budget than the default `go

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|cache|load|durability|all")
+		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|churn|cache|load|durability|all")
 		records   = flag.String("records", "", "comma-separated corpus sizes in records (experiment-specific default)")
 		peers     = flag.Int("peers", 0, "network size (experiment-specific default)")
 		seed      = flag.Int64("seed", 1, "workload seed")
@@ -110,6 +110,16 @@ func main() {
 			}
 			return experiments.RunRobustness(o)
 		},
+		"churn": func() (interface{ Format() string }, error) {
+			o := experiments.ChurnOptions{Peers: *peers, Seed: *seed}
+			if len(sizes) > 0 {
+				o.Records = sizes[len(sizes)-1]
+			}
+			if *short {
+				o.Peers, o.Records, o.Events, o.Stable = 40, 100, 16, 6
+			}
+			return experiments.RunChurn(o)
+		},
 		"cache": func() (interface{ Format() string }, error) {
 			o := experiments.CacheOptions{Peers: *peers, Seed: *seed}
 			if len(sizes) > 0 {
@@ -143,7 +153,7 @@ func main() {
 	}
 
 	order := []string{"fig2", "fig3", "traffic", "table1", "sensitivity",
-		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust", "cache", "load", "durability"}
+		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust", "churn", "cache", "load", "durability"}
 
 	var selected []string
 	if *exp == "all" {

@@ -35,6 +35,10 @@ func main() {
 		cache     = flag.Int64("cache", 0, "posting-block cache capacity in bytes (0 = off; effective with -dpp)")
 		repl      = flag.Int("replication", 1, "index replication factor (all peers of a deployment must agree)")
 		repair    = flag.Duration("repair", 0, "replica repair cadence, e.g. 30s (0 = off; needs -replication > 1)")
+		refresh   = flag.Duration("refresh", 5*time.Minute, "stale routing-bucket refresh cadence (0 = off)")
+		republish = flag.Duration("republish", 0, "directory re-registration cadence, e.g. 5m (0 = off)")
+		probeTO   = flag.Duration("probe-timeout", 2*time.Second, "liveness probe timeout before evicting a failed contact (0 = evict immediately)")
+		leaveTO   = flag.Duration("leave-timeout", 30*time.Second, "budget for handing keys off on SIGTERM/SIGINT before closing")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/{metrics,load,traces,peer} on this address (off by default)")
 		pprofOn   = flag.Bool("pprof", false, "also serve /debug/pprof profiling handlers on the debug address")
 	)
@@ -50,8 +54,8 @@ func main() {
 	}
 
 	cfg := kadop.Config{
-		UseDPP: *useDPP, CacheBytes: *cache, DHT: deployDHT(*repl, *repair),
-		DataDir: *dataDir, Fsync: fsync,
+		UseDPP: *useDPP, CacheBytes: *cache, DHT: deployDHT(*repl, *repair, *refresh, *probeTO),
+		DataDir: *dataDir, Fsync: fsync, RepublishInterval: *republish,
 	}
 	// A restart is a start whose data directory already has an index.
 	restarting := false
@@ -99,17 +103,27 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("kadop-peer: shutting down")
-	if err := peer.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "kadop-peer: close:", err)
+	// A terminating peer leaves gracefully: every key it holds is
+	// confirmed (or re-pushed) on the remaining owner set before the
+	// listener goes down, so the departure loses no index data.
+	fmt.Println("kadop-peer: leaving (handing keys off)")
+	ctx, cancel := context.WithTimeout(context.Background(), *leaveTO)
+	moved, err := peer.Leave(ctx)
+	cancel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kadop-peer: leave:", err)
 		os.Exit(1)
 	}
+	fmt.Printf("kadop-peer: left cleanly, %d keys handed off\n", moved)
 }
 
 // deployDHT is the overlay configuration of a real deployment: retries
-// absorb transient network failures, and replication > 1 keeps the
-// index alive across peer crashes (with repair re-filling lost copies).
-func deployDHT(replication int, repair time.Duration) kadop.DHTConfig {
+// absorb transient network failures, replication > 1 keeps the index
+// alive across peer crashes (with repair re-filling lost copies),
+// probation pings keep one dropped message from costing a live peer
+// its table slot, and the refresher keeps idle routing buckets honest
+// under churn.
+func deployDHT(replication int, repair, refresh, probe time.Duration) kadop.DHTConfig {
 	return kadop.DHTConfig{
 		Replication: replication,
 		Retry: kadop.RetryPolicy{
@@ -117,6 +131,8 @@ func deployDHT(replication int, repair time.Duration) kadop.DHTConfig {
 			BaseBackoff: 50 * time.Millisecond,
 			MaxBackoff:  time.Second,
 		},
-		RepairInterval: repair,
+		RepairInterval:  repair,
+		RefreshInterval: refresh,
+		ProbeTimeout:    probe,
 	}
 }

@@ -1,0 +1,297 @@
+package dht
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"kadop/internal/metrics"
+)
+
+// This file holds the churn-tolerance machinery: the probe-on-suspicion
+// failure detector, periodic bucket refresh, graceful leave with key
+// handoff, and the join-time pull that lets a newcomer fetch the keys
+// it just became responsible for. The periodic republisher is the
+// repair loop in node.go; both run on the jittered startLoop below.
+
+// robust counts one robustness occurrence in the node's labeled
+// registry, so failure handling shows up on /metrics next to the RPC
+// counters.
+func (n *Node) robust(event string) {
+	n.reg.Counter("kadop_robustness_total",
+		"Robustness events: repair pushes/pulls, handoff keys, probes, evictions, bucket refreshes.",
+		metrics.Label{Key: "event", Value: event}).Add(1)
+}
+
+// noteFailure reacts to a contact failing an RPC after retries. With no
+// probe timeout configured it evicts immediately (the seed behaviour).
+// Otherwise the contact is put on probation: a single background ping,
+// bounded by ProbeTimeout, decides between keeping it (the failure was
+// a dropped message or a slow link) and evicting it (the peer is gone).
+// Concurrent failures against one contact share a single probe.
+func (n *Node) noteFailure(to Contact) {
+	if n.cfg.ProbeTimeout <= 0 {
+		n.evict(to.ID)
+		return
+	}
+	n.probeMu.Lock()
+	if n.probing[to.ID] {
+		n.probeMu.Unlock()
+		return
+	}
+	n.probing[to.ID] = true
+	n.probeMu.Unlock()
+	go func() {
+		defer func() {
+			n.probeMu.Lock()
+			delete(n.probing, to.ID)
+			n.probeMu.Unlock()
+		}()
+		n.collector.CountEvent(metrics.EventProbe)
+		n.robust("probe")
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
+		defer cancel()
+		// Probe through the transport directly: n.call would recurse into
+		// noteFailure, and a probe must not retry (one clean round trip
+		// answers the liveness question).
+		if _, err := n.tr.Call(ctx, to, Message{Type: MsgPing, From: n.from()}); err != nil {
+			n.collector.CountEvent(metrics.EventFailedProbe)
+			n.robust("probe-failed")
+			n.evict(to.ID)
+		}
+	}()
+}
+
+// evict drops a contact from the routing table (the replacement cache
+// refills the bucket) and accounts the eviction.
+func (n *Node) evict(id ID) {
+	if n.table.Remove(id) {
+		n.collector.CountEvent(metrics.EventEviction)
+		n.robust("eviction")
+	}
+}
+
+// RefreshOnce probes every stale bucket with a lookup for a random
+// identifier in the bucket's range, verifying the bucket's contacts
+// and discovering replacements for dead ones. It returns the number of
+// buckets refreshed. Buckets touched by ordinary lookup traffic within
+// maxAge are skipped — only genuinely idle corners of the table pay
+// refresh traffic.
+func (n *Node) RefreshOnce(ctx context.Context, maxAge time.Duration) (int, error) {
+	refreshed := 0
+	var firstErr error
+	for _, bucket := range n.table.StaleBuckets(maxAge) {
+		if err := ctx.Err(); err != nil {
+			return refreshed, err
+		}
+		n.maintMu.Lock()
+		target := n.table.RandomIDInBucket(bucket, n.maintRand)
+		n.maintMu.Unlock()
+		if _, err := n.LookupContext(ctx, target); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		refreshed++
+		n.collector.CountEvent(metrics.EventRefresh)
+		n.robust("bucket-refresh")
+	}
+	return refreshed, firstErr
+}
+
+// StartRefresh launches the periodic bucket refresher and returns its
+// stop function. A bucket counts as stale when no lookup has targeted
+// its range for a full interval.
+func (n *Node) StartRefresh(interval time.Duration) (stop func()) {
+	return n.startLoop(interval, func(ctx context.Context) {
+		n.RefreshOnce(ctx, interval)
+	})
+}
+
+// Leave hands every locally-held key to the key's current owner set
+// before the node departs: for each key, the remaining K-closest peers
+// are looked up and any of them holding fewer postings than this node
+// receives the full local copy. It returns the number of keys for
+// which at least one remote replica holds the complete copy (keys
+// "moved" safely). The local store is left intact — a peer that later
+// restarts from its data directory resyncs rather than starting cold.
+// Leave stops the maintenance loops but does not close the transport;
+// callers follow up with Close.
+func (n *Node) Leave(ctx context.Context) (int, error) {
+	n.stopMaintenance()
+	if n.cfg.Client {
+		return 0, nil
+	}
+	terms, err := n.store.Terms()
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+	var firstErr error
+	for _, term := range terms {
+		if err := ctx.Err(); err != nil {
+			return moved, err
+		}
+		local, err := n.store.Count(term)
+		if err != nil || local == 0 {
+			continue
+		}
+		// The departing node must not count itself an owner: the key's
+		// new home is the K-closest among the peers staying behind.
+		cands, err := n.LookupContext(ctx, KeyID(term))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		heirs := cands[:0]
+		for _, c := range cands {
+			if c.ID != n.self.ID {
+				heirs = append(heirs, c)
+			}
+		}
+		if len(heirs) > n.cfg.Replication {
+			heirs = heirs[:n.cfg.Replication]
+		}
+		safe := false
+		for _, h := range heirs {
+			remote, err := n.digestOf(ctx, h, term)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if remote < local {
+				list, lerr := n.store.Get(term)
+				if lerr != nil {
+					if firstErr == nil {
+						firstErr = lerr
+					}
+					break
+				}
+				if _, err := n.call(ctx, h, Message{Type: MsgRepair, From: n.from(), Key: term, Postings: list}); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+			}
+			safe = true
+		}
+		if safe {
+			moved++
+			n.collector.CountEvent(metrics.EventHandoff)
+			n.robust("handoff-key")
+		}
+	}
+	return moved, firstErr
+}
+
+// PullOwnedOnce is the join-time direction of key handoff: the node
+// asks its nearest neighbours which keys they hold, and for every key
+// it is now among the owners of but holds less of than a neighbour, it
+// pulls the neighbour's copy and merges it. A fresh joiner runs this
+// once after bootstrap so queries hitting it do not return empty until
+// the owners' push loops come around. Returns the number of keys
+// pulled.
+func (n *Node) PullOwnedOnce(ctx context.Context) (int, error) {
+	if n.cfg.Client {
+		return 0, nil
+	}
+	// best remembers, per key, the neighbour holding the largest copy.
+	type source struct {
+		from  Contact
+		count int
+	}
+	best := map[string]source{}
+	for _, nb := range n.table.Closest(n.self.ID, n.cfg.K) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		resp, err := n.call(ctx, nb, Message{Type: MsgTerms, From: n.from()})
+		if err != nil {
+			continue
+		}
+		tcs, err := decodeTermCounts(resp.Blob)
+		if err != nil {
+			continue
+		}
+		for _, tc := range tcs {
+			if tc.Count > best[tc.Term].count {
+				best[tc.Term] = source{from: nb, count: tc.Count}
+			}
+		}
+	}
+	pulled := 0
+	var firstErr error
+	for term, src := range best {
+		if err := ctx.Err(); err != nil {
+			return pulled, err
+		}
+		local, err := n.store.Count(term)
+		if err != nil || local >= src.count {
+			continue
+		}
+		owners, err := n.OwnersContext(ctx, term)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		mine := false
+		for _, o := range owners {
+			if o.ID == n.self.ID {
+				mine = true
+				break
+			}
+		}
+		if !mine {
+			continue
+		}
+		resp, err := n.call(ctx, src.from, Message{Type: MsgGet, From: n.from(), Key: term})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := n.store.Append(term, resp.Postings); err != nil {
+			return pulled, err
+		}
+		pulled++
+		n.collector.CountEvent(metrics.EventResync)
+		n.robust("resync-pull")
+	}
+	return pulled, firstErr
+}
+
+// startLoop runs fn forever at roughly the given interval, each pass
+// bounded by one interval, with ±10% seeded jitter between passes so
+// nodes started together de-synchronise. It returns an idempotent stop
+// function.
+func (n *Node) startLoop(interval time.Duration, fn func(context.Context)) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		for {
+			n.maintMu.Lock()
+			jitter := time.Duration((n.maintRand.Float64()*0.2 - 0.1) * float64(interval))
+			n.maintMu.Unlock()
+			t := time.NewTimer(interval + jitter)
+			select {
+			case <-done:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			fn(ctx)
+			cancel()
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

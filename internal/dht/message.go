@@ -47,6 +47,13 @@ const (
 	// the response is a MsgChunk sequence where each chunk's Key names
 	// the block it belongs to.
 	MsgGetBatch
+	// MsgTerms asks a peer which keys it holds locally; a joiner uses
+	// it to discover the keys it just became responsible for (the pull
+	// direction of join-time handoff).
+	MsgTerms
+	// MsgTermsAck answers MsgTerms with the (term, posting count)
+	// pairs of the peer's local store, encoded in Blob.
+	MsgTermsAck
 )
 
 func (t MsgType) String() string {
@@ -57,7 +64,7 @@ func (t MsgType) String() string {
 		MsgChunk: "chunk", MsgEnd: "end", MsgAck: "ack", MsgError: "error",
 		MsgApp: "app", MsgAppReply: "app-reply",
 		MsgDigest: "digest", MsgDigestAck: "digest-ack", MsgRepair: "repair",
-		MsgGetBatch: "get-batch",
+		MsgGetBatch: "get-batch", MsgTerms: "terms", MsgTermsAck: "terms-ack",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -111,6 +118,8 @@ func rpcOp(t MsgType) string {
 		return metrics.OpRPCDigest
 	case MsgRepair:
 		return metrics.OpRPCRepair
+	case MsgTerms:
+		return metrics.OpRPCTerms
 	}
 	return metrics.OpRPCOther
 }
@@ -143,7 +152,7 @@ func (m Message) Class() metrics.Class {
 		return metrics.Control
 	case MsgDelete, MsgDeleteKey:
 		return metrics.Index
-	case MsgDigest, MsgDigestAck, MsgRepair:
+	case MsgDigest, MsgDigestAck, MsgRepair, MsgTerms, MsgTermsAck:
 		return metrics.Repair
 	case MsgAck:
 		// Acks answering a blocking get carry the full posting list;
@@ -224,6 +233,41 @@ func DecodeMessage(buf []byte) (Message, error) {
 		return m, fmt.Errorf("dht: decode message: %w", r.err)
 	}
 	return m, nil
+}
+
+// TermCount is one (key, local posting count) pair of a MsgTermsAck.
+type TermCount struct {
+	Term  string
+	Count int
+}
+
+// encodeTermCounts serialises the pairs into a MsgTermsAck Blob.
+func encodeTermCounts(tcs []TermCount) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(tcs)))
+	for _, tc := range tcs {
+		buf = appendString(buf, tc.Term)
+		buf = binary.AppendUvarint(buf, uint64(tc.Count))
+	}
+	return buf
+}
+
+// decodeTermCounts parses a MsgTermsAck Blob.
+func decodeTermCounts(buf []byte) ([]TermCount, error) {
+	r := reader{buf: buf}
+	n := int(r.uvarint())
+	if r.err == nil && n > len(buf) {
+		return nil, fmt.Errorf("dht: decode term counts: implausible count %d", n)
+	}
+	out := make([]TermCount, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		term := r.str()
+		count := int(r.uvarint())
+		out = append(out, TermCount{Term: term, Count: count})
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("dht: decode term counts: %w", r.err)
+	}
+	return out, nil
 }
 
 func appendString(buf []byte, s string) []byte {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -43,10 +44,23 @@ type Config struct {
 	// RPCTimeout bounds each RPC attempt (default 10s). The caller's
 	// context deadline still caps the total budget across attempts.
 	RPCTimeout time.Duration
-	// RepairInterval, when positive, starts the replica-repair loop:
-	// every interval the node re-checks that each key it holds is
-	// present on all Replication owners and re-pushes missing copies.
+	// RepairInterval, when positive, starts the replica-repair loop
+	// (the republisher): every interval, ±10% seeded jitter, the node
+	// re-checks that each key it holds is present on all Replication
+	// owners and re-pushes missing copies, keeping every replica set
+	// at full strength despite silent failures and ownership drift.
 	RepairInterval time.Duration
+	// RefreshInterval, when positive, starts the bucket-refresh loop:
+	// every interval, ±10% seeded jitter, buckets no lookup targeted
+	// for a full interval are refreshed with a random-identifier
+	// lookup, so routing state does not decay on quiet overlays.
+	RefreshInterval time.Duration
+	// ProbeTimeout, when positive, enables probe-on-suspicion failure
+	// detection: a contact that fails an RPC after retries is pinged
+	// once (bounded by this timeout) before being evicted, so one
+	// dropped message does not cost a live peer its table slot. Zero
+	// keeps the seed behaviour: evict immediately on failure.
+	ProbeTimeout time.Duration
 	// Seed drives the retry jitter RNG (default 1), so seeded chaos
 	// runs get reproducible backoff schedules.
 	Seed int64
@@ -105,8 +119,19 @@ type Node struct {
 	procs       map[string]ProcHandler
 	streamProcs map[string]StreamProcHandler
 
-	repairMu   sync.Mutex
-	stopRepair func()
+	repairMu    sync.Mutex
+	stopRepair  func()
+	stopRefresh func()
+
+	// probing tracks contacts with an outstanding liveness probe so a
+	// burst of failures against one peer spawns a single probe.
+	probeMu sync.Mutex
+	probing map[ID]bool
+
+	// maintRand drives maintenance randomness (loop jitter, refresh
+	// lookup targets); seeded so chaos runs stay reproducible.
+	maintMu   sync.Mutex
+	maintRand *rand.Rand
 }
 
 // NewNode creates a peer over the given transport and local store, and
@@ -133,12 +158,19 @@ func NewNode(tr Transport, st store.Store, cfg Config) (*Node, error) {
 	if m, ok := tr.(interface{ Metrics() *metrics.Collector }); ok {
 		n.collector = m.Metrics()
 	}
+	n.maintRand = rand.New(rand.NewSource(n.cfg.Seed + 0x5eed))
+	n.probing = map[ID]bool{}
 	n.table = NewTable(n.self.ID, n.cfg.K)
 	if err := tr.Serve(n); err != nil {
 		return nil, err
 	}
-	if n.cfg.RepairInterval > 0 && !n.cfg.Client {
-		n.stopRepair = n.StartRepair(n.cfg.RepairInterval)
+	if !n.cfg.Client {
+		if n.cfg.RepairInterval > 0 {
+			n.stopRepair = n.StartRepair(n.cfg.RepairInterval)
+		}
+		if n.cfg.RefreshInterval > 0 {
+			n.stopRefresh = n.StartRefresh(n.cfg.RefreshInterval)
+		}
 	}
 	return n, nil
 }
@@ -225,9 +257,7 @@ func (n *Node) call(ctx context.Context, to Contact, req Message) (Message, erro
 		return cerr
 	})
 	if err != nil && Retryable(err) && !to.ID.IsZero() {
-		if n.table.Remove(to.ID) {
-			n.collector.CountEvent(metrics.EventEviction)
-		}
+		n.noteFailure(to)
 	}
 	dur := time.Since(start)
 	n.collector.Observe(rpcOp(req.Type), dur)
@@ -292,9 +322,7 @@ func (n *Node) openStreamPolicy(ctx context.Context, to Contact, req Message, re
 		return cerr
 	})
 	if err != nil && Retryable(err) && !to.ID.IsZero() {
-		if n.table.Remove(to.ID) {
-			n.collector.CountEvent(metrics.EventEviction)
-		}
+		n.noteFailure(to)
 	}
 	dur := time.Since(start)
 	n.collector.Observe(rpcOp(req.Type), dur)
@@ -342,6 +370,7 @@ func (n *Node) Lookup(target ID) ([]Contact, error) {
 // fails only when the deadline expires or no peer is reachable.
 func (n *Node) LookupContext(ctx context.Context, target ID) ([]Contact, error) {
 	start := time.Now()
+	n.table.Touch(target)
 	ctx, sp := trace.StartSpan(ctx, "dht:lookup")
 	rounds := 0
 	cs, err := n.lookupRun(ctx, target, &rounds)
@@ -421,7 +450,8 @@ func (n *Node) lookupRun(ctx context.Context, target ID, rounds *int) ([]Contact
 		for range batch {
 			r := <-results
 			if r.err != nil {
-				// call already evicted the contact on transport failure.
+				// call handed the contact to the failure detector (or
+				// evicted it outright); the lookup drops it either way.
 				delete(shortlist, r.from.ID)
 				continue
 			}
@@ -975,6 +1005,7 @@ func (n *Node) RepairOnce(ctx context.Context) (int, error) {
 			}
 			pushed++
 			n.collector.CountEvent(metrics.EventRepair)
+			n.robust("repair-push")
 		}
 	}
 	return pushed, firstErr
@@ -1046,32 +1077,22 @@ func (n *Node) ResyncOnce(ctx context.Context) (int, error) {
 		}
 		if grew {
 			healed++
+			n.collector.CountEvent(metrics.EventResync)
+			n.robust("resync-pull")
 		}
 	}
 	return healed, firstErr
 }
 
-// StartRepair launches the periodic repair loop and returns its stop
-// function. Each pass runs under a deadline of one interval, so a
-// stuck pass cannot pile up behind the next.
+// StartRepair launches the periodic repair loop (the republisher) and
+// returns its stop function. Each pass runs under a deadline of one
+// interval, so a stuck pass cannot pile up behind the next; pass
+// spacing is jittered ±10% so a cluster started in lockstep does not
+// repair in lockstep forever.
 func (n *Node) StartRepair(interval time.Duration) (stop func()) {
-	done := make(chan struct{})
-	var once sync.Once
-	go func() {
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-t.C:
-				ctx, cancel := context.WithTimeout(context.Background(), interval)
-				n.RepairOnce(ctx)
-				cancel()
-			}
-		}
-	}()
-	return func() { once.Do(func() { close(done) }) }
+	return n.startLoop(interval, func(ctx context.Context) {
+		n.RepairOnce(ctx)
+	})
 }
 
 func (n *Node) lookupProc(proc string) ProcHandler {
@@ -1137,6 +1158,20 @@ func (n *Node) HandleCall(from Contact, req Message) Message {
 			return fail(err)
 		}
 		return Message{Type: MsgDigestAck, From: n.self, Blob: binary.AppendUvarint(nil, uint64(c))}
+	case MsgTerms:
+		terms, err := n.store.Terms()
+		if err != nil {
+			return fail(err)
+		}
+		tcs := make([]TermCount, 0, len(terms))
+		for _, term := range terms {
+			c, err := n.store.Count(term)
+			if err != nil || c == 0 {
+				continue
+			}
+			tcs = append(tcs, TermCount{Term: term, Count: c})
+		}
+		return Message{Type: MsgTermsAck, From: n.self, Blob: encodeTermCounts(tcs)}
 	case MsgDelete:
 		for _, p := range req.Postings {
 			if err := n.store.Delete(req.Key, p); err != nil {
@@ -1212,13 +1247,22 @@ func (n *Node) streamList(key string, send func(Message) error) error {
 	return nil
 }
 
-// Close stops the repair loop and shuts the node's transport down.
+// Close stops the maintenance loops and shuts the node's transport
+// down.
 func (n *Node) Close() error {
+	n.stopMaintenance()
+	return n.tr.Close()
+}
+
+func (n *Node) stopMaintenance() {
 	n.repairMu.Lock()
 	if n.stopRepair != nil {
 		n.stopRepair()
 		n.stopRepair = nil
 	}
+	if n.stopRefresh != nil {
+		n.stopRefresh()
+		n.stopRefresh = nil
+	}
 	n.repairMu.Unlock()
-	return n.tr.Close()
 }

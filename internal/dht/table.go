@@ -1,8 +1,10 @@
 package dht
 
 import (
+	"math/rand"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Table is a Kademlia routing table: one k-bucket per distance prefix.
@@ -20,6 +22,10 @@ type Table struct {
 	// spares are the per-bucket replacement caches: contacts seen while
 	// their bucket was full, most recently seen last, capacity k.
 	spares [IDBytes * 8][]Contact
+	// lastLookup records, per bucket, when a lookup last targeted an
+	// identifier in the bucket's range. The refresher probes only
+	// buckets this leaves stale; the zero time means "never".
+	lastLookup [IDBytes * 8]time.Time
 }
 
 // NewTable returns a routing table for the peer with the given id and
@@ -102,6 +108,58 @@ func dropContact(s []Contact, id ID) []Contact {
 		}
 	}
 	return s
+}
+
+// Touch records that a lookup targeted an identifier in target's
+// bucket, marking the bucket fresh for staleness accounting. Lookups
+// of the table's own identifier touch nothing (no bucket covers it).
+func (t *Table) Touch(target ID) {
+	i := t.self.BucketIndex(target)
+	if i < 0 {
+		return
+	}
+	t.mu.Lock()
+	t.lastLookup[i] = time.Now()
+	t.mu.Unlock()
+}
+
+// StaleBuckets returns the indexes of buckets that hold at least one
+// contact but have not been the target of a lookup within maxAge
+// (never-targeted buckets count as stale). Empty buckets are skipped:
+// a random lookup there has no contacts to verify and the iterative
+// lookup machinery fills them as a side effect of ordinary traffic.
+func (t *Table) StaleBuckets(maxAge time.Duration) []int {
+	cutoff := time.Now().Add(-maxAge)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []int
+	for i := range t.buckets {
+		if len(t.buckets[i]) == 0 {
+			continue
+		}
+		if ll := t.lastLookup[i]; ll.IsZero() || ll.Before(cutoff) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RandomIDInBucket returns an identifier whose bucket (relative to the
+// table's own id) is exactly bucket: the bits above the bucket's
+// position copy the table's id, the bucket bit is flipped, and the
+// lower bits are random. Refresh lookups target such identifiers.
+func (t *Table) RandomIDInBucket(bucket int, rng *rand.Rand) ID {
+	id := t.self
+	bi := IDBytes - 1 - bucket/8
+	bit := uint(bucket % 8)
+	random := byte(rng.Intn(256))
+	keepMask := byte(0xFF) << (bit + 1) // bits above the bucket bit
+	lowMask := byte(1<<bit) - 1         // bits below it
+	id[bi] = (t.self[bi] & keepMask) | ((t.self[bi] ^ (1 << bit)) & (1 << bit)) | (random & lowMask)
+	for j := bi + 1; j < IDBytes; j++ {
+		id[j] = byte(rng.Intn(256))
+	}
+	return id
 }
 
 // Closest returns up to n known contacts closest to target under XOR.

@@ -1,0 +1,95 @@
+package kadop
+
+// Pin for the directory half of graceful departure: directory entries
+// live in the peer-level side map, not the DHT store, so dht.Node.Leave
+// alone would drop them. Peer.Leave must hand hosted entries to the
+// keys' remaining owners — otherwise a pair of graceful leaves can
+// erase every replica of a peer-address entry and break phase-two
+// resolution even though all index keys survived.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestGracefulLeaveKeepsDirectory(t *testing.T) {
+	c := newChaosCluster(t, 8, Config{})
+
+	hostsOf := func(key string) []*Peer {
+		var hosts []*Peer
+		for _, p := range c.peers {
+			p.mu.Lock()
+			_, ok := p.dir[key]
+			p.mu.Unlock()
+			if ok {
+				hosts = append(hosts, p)
+			}
+		}
+		return hosts
+	}
+
+	// Pick a target peer that does not host its own address entry, so
+	// every host can depart while the target stays reachable.
+	var target *Peer
+	var hosts []*Peer
+	for _, p := range c.peers {
+		hs := hostsOf(peerKey(p.ID()))
+		selfHosted := false
+		for _, h := range hs {
+			if h == p {
+				selfHosted = true
+			}
+		}
+		if !selfHosted && len(hs) > 0 {
+			target, hosts = p, hs
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("bad fixture: every peer hosts its own directory entry")
+	}
+	if len(hosts) < 2 {
+		t.Fatalf("bad fixture: %d replica hosts for %s, want >= 2", len(hosts), peerKey(target.ID()))
+	}
+
+	// A querier that neither hosts the entry nor is the target.
+	var querier *Peer
+	for _, p := range c.peers {
+		inHosts := false
+		for _, h := range hosts {
+			if h == p {
+				inHosts = true
+			}
+		}
+		if !inHosts && p != target {
+			querier = p
+			break
+		}
+	}
+	if querier == nil {
+		t.Fatal("bad fixture: no peer left to act as querier")
+	}
+
+	// Every host of the entry departs gracefully, one after another.
+	for _, h := range hosts {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_, err := h.Leave(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("graceful leave: %v", err)
+		}
+	}
+
+	// The entry must have been handed to surviving owners: resolution
+	// still works and returns the target's real address.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, err := querier.contactOf(ctx, target.ID())
+	if err != nil {
+		t.Fatalf("resolve after all entry hosts left: %v", err)
+	}
+	if want := target.Node().Self().Addr; got.Addr != want {
+		t.Fatalf("resolved addr %q, want %q", got.Addr, want)
+	}
+}

@@ -17,9 +17,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"kadop/internal/blockcache"
 	"kadop/internal/dht"
@@ -93,6 +95,14 @@ type Config struct {
 	// (default store.FsyncAlways; see store.FsyncPolicy for the
 	// throughput/durability-window trade).
 	Fsync store.FsyncPolicy
+	// RepublishInterval, when positive, starts a background loop that
+	// re-registers the peer's directory entries (its address and the Doc
+	// entries of its published documents) roughly every interval, with
+	// ±10% jitter. Directory entries live in other peers' volatile
+	// stores, so under churn they need periodic republication the same
+	// way postings need the repair loop. Zero (the default) disables the
+	// loop.
+	RepublishInterval time.Duration
 }
 
 func (c Config) pipelined() bool { return c.Pipelined == nil || *c.Pipelined }
@@ -131,6 +141,8 @@ type Peer struct {
 
 	persist    *statePersist // nil unless Config.DataDir is set
 	ownedStore io.Closer     // index store closed by Close (NewTCPPeer)
+
+	stopRepub func() // stops the republish loop; nil when disabled
 }
 
 // NewPeer creates a KadoP peer with internal identifier id on an
@@ -188,7 +200,32 @@ func NewPeer(node *dht.Node, id sid.PeerID, cfg Config) (*Peer, error) {
 	node.Handle(procDBReduce, p.handleDBReduce)
 	node.Handle(procHybridAB, p.handleHybridAB)
 	node.Handle(procHybridDB, p.handleHybridDB)
+	if cfg.RepublishInterval > 0 {
+		p.stopRepub = p.startRepublish(cfg.RepublishInterval)
+	}
 	return p, nil
+}
+
+// startRepublish runs Reannounce roughly every interval (±10% seeded
+// jitter) until the returned stop function is called.
+func (p *Peer) startRepublish(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		rng := rand.New(rand.NewSource(p.cfg.DHT.Seed + int64(p.id) + 0x4e90))
+		for {
+			jitter := time.Duration((rng.Float64()*0.2 - 0.1) * float64(interval))
+			t := time.NewTimer(interval + jitter)
+			select {
+			case <-done:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			p.Reannounce()
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // replayState rebuilds the in-memory maps from the journal. Records
@@ -235,6 +272,9 @@ func (p *Peer) AttachStore(c io.Closer) { p.ownedStore = c }
 // peer-state journal closes. A durable peer can be restarted from its
 // DataDir afterwards.
 func (p *Peer) Close() error {
+	if p.stopRepub != nil {
+		p.stopRepub()
+	}
 	err := p.node.Close()
 	if p.ownedStore != nil {
 		if cerr := p.ownedStore.Close(); err == nil {
@@ -245,6 +285,70 @@ func (p *Peer) Close() error {
 		err = cerr
 	}
 	return err
+}
+
+// Leave departs the overlay gracefully: the peer's index slice is
+// handed to the keys' remaining owners (dht.Node.Leave), then the peer
+// shuts down as Close does. It returns the number of keys for which a
+// complete remote replica was confirmed before departure. A durable
+// peer keeps its local state and can rejoin later with Join + Resync;
+// the handoff only ensures the overlay does not lose data while it is
+// away.
+func (p *Peer) Leave(ctx context.Context) (int, error) {
+	if p.stopRepub != nil {
+		p.stopRepub()
+	}
+	p.handoffDir(ctx)
+	moved, err := p.node.Leave(ctx)
+	if cerr := p.Close(); err == nil {
+		err = cerr
+	}
+	return moved, err
+}
+
+// handoffDir pushes every directory entry this peer is home for to the
+// entry's remaining owners before departure. Directory entries live in
+// the peer-level side map (see dirPut), not the DHT store, so
+// dht.Node.Leave does not cover them — without this step a graceful
+// leave can drop the last replica of a peer-address or document entry
+// and break phase-two resolution even though every index key survived.
+// Best-effort per entry: an unreachable heir must not block departure.
+func (p *Peer) handoffDir(ctx context.Context) int {
+	p.mu.Lock()
+	dir := make(map[string][]byte, len(p.dir))
+	for k, v := range p.dir {
+		dir[k] = v
+	}
+	p.mu.Unlock()
+	self := p.node.Self().ID
+	moved := 0
+	for key, blob := range dir {
+		cands, err := p.node.LookupContext(ctx, dht.KeyID(key))
+		if err != nil {
+			continue
+		}
+		// As in dht.Node.Leave, the departing peer is not an owner: the
+		// entry's new home is the K-closest among the peers staying.
+		heirs := cands[:0]
+		for _, c := range cands {
+			if c.ID != self {
+				heirs = append(heirs, c)
+			}
+		}
+		if r := p.cfg.DHT.Replication; r > 0 && len(heirs) > r {
+			heirs = heirs[:r]
+		}
+		ok := false
+		for _, h := range heirs {
+			if _, err := p.node.CallProcOnContext(ctx, h, key, procDirPut, blob); err == nil {
+				ok = true
+			}
+		}
+		if ok {
+			moved++
+		}
+	}
+	return moved
 }
 
 // Resync pulls appends this peer's index slice missed while it was

@@ -50,6 +50,7 @@ const (
 	OpRPCApp       = "rpc:app"
 	OpRPCDigest    = "rpc:digest"
 	OpRPCRepair    = "rpc:repair"
+	OpRPCTerms     = "rpc:terms"
 	OpRPCOther     = "rpc:other"
 )
 
@@ -78,6 +79,7 @@ var declaredOps = map[string]bool{
 	OpRPCApp:           true,
 	OpRPCDigest:        true,
 	OpRPCRepair:        true,
+	OpRPCTerms:         true,
 	OpRPCOther:         true,
 }
 

@@ -49,6 +49,22 @@ const (
 	EventEviction Event = "evictions"
 	// EventRepair counts keys re-pushed by the replica repair loop.
 	EventRepair Event = "repairs"
+	// EventResync counts keys pulled and merged by the resync/join
+	// direction of replica repair (a peer catching up on appends it
+	// missed, or a joiner fetching keys it is now responsible for).
+	EventResync Event = "resync-pulls"
+	// EventHandoff counts keys a gracefully departing peer handed off
+	// to the remaining owner set before leaving.
+	EventHandoff Event = "handoff-keys"
+	// EventProbe counts liveness probes sent on suspicion (a contact
+	// failed an RPC and is pinged before eviction).
+	EventProbe Event = "probes"
+	// EventFailedProbe counts liveness probes that went unanswered,
+	// confirming the suspicion and triggering eviction.
+	EventFailedProbe Event = "failed-probes"
+	// EventRefresh counts stale routing buckets refreshed with a
+	// random-identifier lookup.
+	EventRefresh Event = "bucket-refreshes"
 	// EventCacheHit counts posting blocks served from the query-peer
 	// block cache instead of the network.
 	EventCacheHit Event = "cache-hits"
