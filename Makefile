@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-smoke fuzz-smoke crash-smoke churn-smoke
+.PHONY: build test check bench bench-smoke fuzz-smoke crash-smoke churn-smoke slo-smoke
 
 build:
 	$(GO) build ./...
@@ -10,13 +10,15 @@ test:
 
 # check is the tier-1 verification gate: vet plus the full test suite
 # under the race detector (the chaos tests exercise concurrent retries,
-# repair and fault injection), then the seeded crash-recovery sweep and
-# the churn emulation at smoke scale.
+# repair and fault injection), then the seeded crash-recovery sweep,
+# the churn emulation and the SLO/flight-recorder overload run at
+# smoke scale.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) crash-smoke
 	$(MAKE) churn-smoke
+	$(MAKE) slo-smoke
 
 # churn-smoke runs the churn emulation harness at its smallest scale: a
 # seeded join/leave/crash schedule over a replicated overlay, asserting
@@ -25,6 +27,14 @@ check:
 # same schedule.
 churn-smoke:
 	$(GO) run ./cmd/kadop-bench -exp churn -short
+
+# slo-smoke runs the observability-plane gate: a seeded overload run
+# that fails unless the burn-rate alert fires under injected jitter and
+# loss (and stays quiet when healthy), the flight watchdog writes a
+# non-empty dump, and the dump's query trace ids also appear as
+# histogram exemplars. Deterministic: same seed, same fault schedule.
+slo-smoke:
+	$(GO) run ./cmd/kadop-bench -exp slo -short
 
 # crash-smoke is the durability gate: the crash-injection property and
 # sweep tests at a fixed, deeper trial budget than the default `go

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -39,8 +40,15 @@ func main() {
 		republish = flag.Duration("republish", 0, "directory re-registration cadence, e.g. 5m (0 = off)")
 		probeTO   = flag.Duration("probe-timeout", 2*time.Second, "liveness probe timeout before evicting a failed contact (0 = evict immediately)")
 		leaveTO   = flag.Duration("leave-timeout", 30*time.Second, "budget for handing keys off on SIGTERM/SIGINT before closing")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/{metrics,load,traces,peer} on this address (off by default)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/{metrics,load,traces,peer,flight,slo} on this address (off by default)")
 		pprofOn   = flag.Bool("pprof", false, "also serve /debug/pprof profiling handlers on the debug address")
+		flightCap = flag.Int("flight", 4096, "flight-recorder capacity in events (0 = off); dump via /debug/flight")
+		flightDir = flag.String("flight-dir", "", "directory for watchdog flight dumps on SLO burn alerts (default <data>/flight with -data)")
+		slowQuery = flag.Duration("slow-query", time.Second, "slow-query capture threshold: queries at or over it are logged with their full trace, bypassing sampling (0 = off)")
+		sloOn     = flag.Bool("slo", false, "run the SLO engine (query availability + latency burn-rate alerting; /debug/slo, kadop_slo_* on /metrics)")
+		sloAvail  = flag.String("slo-availability", "99.9", "availability SLO target (percent or fraction)")
+		sloLatPct = flag.String("slo-latency", "99", "latency SLO target (percent or fraction)")
+		sloLatThr = flag.Duration("slo-threshold", 500*time.Millisecond, "latency SLO threshold (rounded up to the owning histogram bucket)")
 	)
 	flag.Parse()
 	if *id == 0 {
@@ -56,6 +64,7 @@ func main() {
 	cfg := kadop.Config{
 		UseDPP: *useDPP, CacheBytes: *cache, DHT: deployDHT(*repl, *repair, *refresh, *probeTO),
 		DataDir: *dataDir, Fsync: fsync, RepublishInterval: *republish,
+		SlowQuery: *slowQuery,
 	}
 	// A restart is a start whose data directory already has an index.
 	restarting := false
@@ -69,9 +78,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kadop-peer:", err)
 		os.Exit(1)
 	}
+	// The flight recorder is always-on forensics: it costs a bounded
+	// ring of structs and answers "what was this peer doing" after the
+	// fact, with or without the debug endpoint.
+	if *flightCap > 0 {
+		kadop.EnableFlight(peer, *flightCap)
+	}
+	// Slow-query capture and histogram exemplars need trace ids, so the
+	// tracer rides along whenever either consumer is on.
+	var tracer *kadop.Tracer
+	if *debugAddr != "" || *slowQuery > 0 {
+		tracer = kadop.EnableTracing(peer, 64)
+	}
+	var sloEngine *kadop.SLOEngine
+	if *sloOn {
+		avail, err := kadop.ParseSLOTarget(*sloAvail)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kadop-peer:", err)
+			os.Exit(2)
+		}
+		lat, err := kadop.ParseSLOTarget(*sloLatPct)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kadop-peer:", err)
+			os.Exit(2)
+		}
+		dir := *flightDir
+		if dir == "" && *dataDir != "" {
+			dir = filepath.Join(*dataDir, "flight")
+		}
+		eng, stop, err := kadop.EnableSLO(peer, kadop.SLOOptions{
+			AvailabilityTarget: avail,
+			LatencyTarget:      lat,
+			LatencyThreshold:   *sloLatThr,
+			FlightDir:          dir,
+			OnAlert: func(a kadop.SLOAlert) {
+				fmt.Fprintln(os.Stderr, "kadop-peer:", a)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kadop-peer: slo:", err)
+			os.Exit(2)
+		}
+		defer stop()
+		sloEngine = eng
+	}
 	if *debugAddr != "" {
-		tracer := kadop.EnableTracing(peer, 64)
-		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer, *pprofOn)
+		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, kadop.DebugOptions{
+			Tracer: tracer, SLO: sloEngine, Pprof: *pprofOn, BuildInfo: true,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kadop-peer: debug endpoint %s: %v\n", *debugAddr, err)
 			os.Exit(1)

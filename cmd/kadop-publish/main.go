@@ -49,7 +49,8 @@ func main() {
 	}
 	if *debugAddr != "" {
 		tracer := kadop.EnableTracing(peer, 16)
-		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer, false)
+		kadop.EnableFlight(peer, 0)
+		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, kadop.DebugOptions{Tracer: tracer, BuildInfo: true})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kadop-publish: debug endpoint %s: %v\n", *debugAddr, err)
 			os.Exit(1)

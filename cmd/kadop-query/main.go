@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +35,9 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/{metrics,load,traces,peer} on this address; keeps the process up after the query for inspection")
 		logPath   = flag.String("log", "", "append one structured JSONL record per query to this file (- = stderr)")
 		logSample = flag.Float64("log-sample", 1, "fraction of queries logged to -log (deterministic: every 1/rate-th)")
+		logMax    = flag.Int64("log-max-bytes", 0, "rotate -log when it would exceed this size (0 = 64MiB default)")
+		logKeep   = flag.Int("log-keep", 3, "rotated -log generations to retain (file.1 .. file.N)")
+		slowThr   = flag.Duration("slow", 0, "slow-query capture threshold: queries at or over it are logged with their full trace, bypassing -log-sample (0 = off)")
 	)
 	flag.Parse()
 	if *bootstrap == "" || *id == 0 || flag.NArg() != 1 {
@@ -62,10 +66,13 @@ func main() {
 			MaxBackoff:  time.Second,
 		},
 	}}
+	cfg.SlowQuery = *slowThr
 	if *logPath != "" {
-		w := os.Stderr
+		var w io.Writer = os.Stderr
 		if *logPath != "-" {
-			f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			// Size-capped rotation keeps a long-lived query log's disk
+			// footprint bounded: file, file.1 (newest rotated) … file.N.
+			f, err := kadop.OpenRotatingLog(*logPath, *logMax, *logKeep)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "kadop-query: query log:", err)
 				os.Exit(1)
@@ -82,12 +89,16 @@ func main() {
 	}
 	defer peer.Node().Close()
 
+	// Slow-query capture needs the tracer too: without it queries carry
+	// no trace id, so the captured record would have no span tree and
+	// the latency histogram no exemplar to link back to.
 	var tracer *kadop.Tracer
-	if *explain || *debugAddr != "" {
+	if *explain || *debugAddr != "" || *slowThr > 0 {
 		tracer = kadop.EnableTracing(peer, 16)
 	}
 	if *debugAddr != "" {
-		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, tracer, false)
+		kadop.EnableFlight(peer, 0)
+		addr, stop, err := kadop.ServeDebug(*debugAddr, peer, kadop.DebugOptions{Tracer: tracer, BuildInfo: true})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kadop-query: debug endpoint %s: %v\n", *debugAddr, err)
 			os.Exit(1)

@@ -16,6 +16,8 @@ import (
 	"kadop/internal/blockcache"
 	"kadop/internal/dht"
 	"kadop/internal/metrics"
+	"kadop/internal/obs/flight"
+	"kadop/internal/obs/slo"
 	"kadop/internal/trace"
 )
 
@@ -48,6 +50,15 @@ type Options struct {
 	// binaries gate them behind an explicit flag (kadop-bench, whose
 	// endpoint exists for profiling, turns it on).
 	Pprof bool
+	// Flight supplies /debug/flight (the flight-recorder ring dump).
+	// Defaults to Node.Flight().
+	Flight *flight.Recorder
+	// SLO supplies /debug/slo (objective statuses and burn rates).
+	SLO *slo.Engine
+	// BuildInfo adds kadop_build_info and the process start-time gauge
+	// to /metrics. The binaries turn it on; deterministic tests leave it
+	// off so golden expositions stay stable.
+	BuildInfo bool
 }
 
 // load resolves the effective load source.
@@ -72,6 +83,17 @@ func (o Options) registry() *metrics.Registry {
 	return nil
 }
 
+// flightRecorder resolves the effective flight-ring source.
+func (o Options) flightRecorder() *flight.Recorder {
+	if o.Flight != nil {
+		return o.Flight
+	}
+	if o.Node != nil {
+		return o.Node.Flight()
+	}
+	return nil
+}
+
 // Handler builds the admin mux. Paths:
 //
 //	/metrics        Prometheus text exposition
@@ -79,6 +101,8 @@ func (o Options) registry() *metrics.Registry {
 //	/debug/load     per-peer load ledger and hot-term sketch (JSON)
 //	/debug/traces   recent traces, JSON; ?format=text for trace trees
 //	/debug/peer     identity, routing table and store statistics
+//	/debug/flight   flight-recorder ring dump (JSON; ?kind=rpc filters)
+//	/debug/slo      SLO statuses, burn rates and the health verdict
 //	/debug/pprof/   the standard pprof handlers (only with Options.Pprof)
 func Handler(o Options) http.Handler {
 	mux := http.NewServeMux()
@@ -93,7 +117,9 @@ func Handler(o Options) http.Handler {
 			"/debug/load      per-peer load ledger, hot-term sketch (JSON)\n"+
 			"/debug/traces    recent query traces (JSON; ?format=text&n=8)\n"+
 			"/debug/peer      identity, routing table, store stats (JSON)\n"+
-			"/debug/cache     posting-block cache counters (JSON)\n")
+			"/debug/cache     posting-block cache counters (JSON)\n"+
+			"/debug/flight    flight-recorder dump (JSON; ?kind=rpc filters)\n"+
+			"/debug/slo       SLO statuses and burn-rate verdict (JSON)\n")
 		if o.Pprof {
 			fmt.Fprint(w, "/debug/pprof/    runtime profiles\n")
 		}
@@ -104,6 +130,7 @@ func Handler(o Options) http.Handler {
 			Collector: o.Collector,
 			Load:      o.load(),
 			Registry:  o.registry(),
+			BuildInfo: o.BuildInfo,
 		})
 	})
 	mux.HandleFunc("/debug/load", func(w http.ResponseWriter, r *http.Request) {
@@ -150,6 +177,35 @@ func Handler(o Options) http.Handler {
 	})
 	mux.HandleFunc("/debug/cache", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, o.Cache.Stats())
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		rec := o.flightRecorder()
+		if rec == nil {
+			http.Error(w, "no flight recorder installed", http.StatusNotFound)
+			return
+		}
+		dump := rec.TakeDump("request")
+		if kind := r.URL.Query().Get("kind"); kind != "" {
+			kept := dump.Events[:0:0]
+			for _, e := range dump.Events {
+				if e.Kind == kind {
+					kept = append(kept, e)
+				}
+			}
+			dump.Events = kept
+		}
+		writeJSON(w, dump)
+	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		if o.SLO == nil {
+			http.Error(w, "no slo engine installed", http.StatusNotFound)
+			return
+		}
+		statuses := o.SLO.Status()
+		writeJSON(w, map[string]any{
+			"verdict":    slo.Verdict(statuses),
+			"objectives": statuses,
+		})
 	})
 	if o.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"kadop/internal/metrics"
+	"kadop/internal/obs/flight"
 	"kadop/internal/postings"
 )
 
@@ -65,6 +66,7 @@ type Cache struct {
 	flights  map[Key]*Flight
 
 	collector atomic.Pointer[metrics.Collector]
+	recorder  atomic.Pointer[flight.Recorder]
 
 	hits       atomic.Int64
 	misses     atomic.Int64
@@ -141,6 +143,16 @@ func (c *Cache) col() *metrics.Collector {
 	return c.collector.Load()
 }
 
+// SetFlight mirrors cache misses into a flight recorder, so a dump
+// shows which blocks the cache had to go to the network for just
+// before an incident. Nil disables mirroring.
+func (c *Cache) SetFlight(r *flight.Recorder) {
+	if c == nil {
+		return
+	}
+	c.recorder.Store(r)
+}
+
 func (c *Cache) shardOf(k Key) *shard {
 	var h maphash.Hash
 	h.SetSeed(c.seed)
@@ -172,6 +184,9 @@ func (c *Cache) Get(k Key) (postings.List, bool) {
 	if !ok {
 		c.misses.Add(1)
 		c.col().CountEvent(metrics.EventCacheMiss)
+		if fr := c.recorder.Load(); fr != nil {
+			fr.Record(flight.Event{Kind: flight.KindEvent, Name: "cache-miss:" + k.Term})
+		}
 		return nil, false
 	}
 	c.hits.Add(1)

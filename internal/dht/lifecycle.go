@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kadop/internal/metrics"
+	"kadop/internal/obs/flight"
 )
 
 // This file holds the churn-tolerance machinery: the probe-on-suspicion
@@ -16,11 +17,15 @@ import (
 
 // robust counts one robustness occurrence in the node's labeled
 // registry, so failure handling shows up on /metrics next to the RPC
-// counters.
+// counters, and mirrors it into the flight ring (when one is
+// installed) so a dump shows the individual occurrences in order.
 func (n *Node) robust(event string) {
 	n.reg.Counter("kadop_robustness_total",
 		"Robustness events: repair pushes/pulls, handoff keys, probes, evictions, bucket refreshes.",
 		metrics.Label{Key: "event", Value: event}).Add(1)
+	if fr := n.flight.Load(); fr != nil {
+		fr.Record(flight.Event{Kind: flight.KindEvent, Name: event, Peer: n.self.Addr})
+	}
 }
 
 // noteFailure reacts to a contact failing an RPC after retries. With no

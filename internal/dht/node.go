@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"kadop/internal/metrics"
+	"kadop/internal/obs/flight"
 	"kadop/internal/postings"
 	"kadop/internal/sid"
 	"kadop/internal/store"
@@ -114,6 +115,7 @@ type Node struct {
 	reg       *metrics.Registry
 	rng       *retryRNG
 	tracer    atomic.Pointer[trace.Tracer]
+	flight    atomic.Pointer[flight.Recorder]
 
 	mu          sync.RWMutex
 	procs       map[string]ProcHandler
@@ -212,6 +214,15 @@ func (n *Node) SetTracer(t *trace.Tracer) { n.tracer.Store(t) }
 // Tracer returns the installed tracer, or nil.
 func (n *Node) Tracer() *trace.Tracer { return n.tracer.Load() }
 
+// SetFlight installs a flight recorder: every outgoing RPC and
+// robustness event this node counts also drops an annotated entry into
+// the ring, so a dump reconstructs what the node was doing right
+// before an incident. A nil recorder (the default) disables recording.
+func (n *Node) SetFlight(r *flight.Recorder) { n.flight.Store(r) }
+
+// Flight returns the installed flight recorder, or nil.
+func (n *Node) Flight() *flight.Recorder { return n.flight.Load() }
+
 // Table exposes the routing table (for diagnostics).
 func (n *Node) Table() *Table { return n.table }
 
@@ -262,6 +273,7 @@ func (n *Node) call(ctx context.Context, to Contact, req Message) (Message, erro
 	dur := time.Since(start)
 	n.collector.Observe(rpcOp(req.Type), dur)
 	n.countPeerRPC(rpcOp(req.Type), to, err)
+	n.flightRPC(rpcOp(req.Type), to, req.TraceID, dur, err)
 	if parent != nil {
 		sp := parent.Child(rpcOp(req.Type), start, dur)
 		sp.SetAttr("peer", to.Addr)
@@ -273,6 +285,20 @@ func (n *Node) call(ctx context.Context, to Contact, req Message) (Message, erro
 		}
 	}
 	return resp, err
+}
+
+// flightRPC records one completed outgoing RPC in the flight ring
+// (retries folded in, like the latency observation beside it).
+func (n *Node) flightRPC(op string, to Contact, traceID uint64, dur time.Duration, err error) {
+	fr := n.flight.Load()
+	if fr == nil {
+		return
+	}
+	e := flight.Event{Kind: flight.KindRPC, Name: op, Peer: to.Addr, TraceID: traceID, Dur: dur}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	fr.Record(e)
 }
 
 // countPeerRPC records one outgoing RPC (and its failure, if any) in
@@ -327,6 +353,7 @@ func (n *Node) openStreamPolicy(ctx context.Context, to Contact, req Message, re
 	dur := time.Since(start)
 	n.collector.Observe(rpcOp(req.Type), dur)
 	n.countPeerRPC(rpcOp(req.Type), to, err)
+	n.flightRPC(rpcOp(req.Type), to, req.TraceID, dur, err)
 	if parent != nil {
 		sp := parent.Child("stream-open:"+req.Type.String(), start, dur)
 		sp.SetAttr("peer", to.Addr)

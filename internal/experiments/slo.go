@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"kadop/internal/dht"
+	"kadop/internal/kadop"
+	"kadop/internal/metrics"
+	"kadop/internal/obs/flight"
+	"kadop/internal/obs/slo"
+	"kadop/internal/pattern"
+	"kadop/internal/trace"
+	"kadop/internal/workload"
+)
+
+// SLOOptions scale the SLO/flight-recorder experiment: a deployment
+// queried healthy, then under seeded overload (message loss), with the
+// burn-rate engine watching the querier and a flight watchdog armed on
+// its alerts.
+type SLOOptions struct {
+	Records int
+	Peers   int
+	// Queries per phase (healthy, then overloaded).
+	Queries int
+	// DropProb is the overload phase's message-loss rate.
+	DropProb float64
+	// Jitter is the overload phase's per-message added latency cap.
+	Jitter time.Duration
+	// SlowThreshold is the slow-query capture threshold and the latency
+	// SLO's cut-off (rounded up to the owning histogram bucket).
+	SlowThreshold time.Duration
+	// DumpDir receives the watchdog's flight dumps (temp dir if empty).
+	DumpDir string
+	Seed    int64
+	// Inspect, when set, runs after the run's own assertions pass and
+	// before the cluster shuts down — the e2e test scrapes the live
+	// admin endpoint through it. Its error fails the run.
+	Inspect func(SLOForensics) error
+}
+
+// SLOForensics hands the live observability objects of an SLO run to
+// SLOOptions.Inspect.
+type SLOForensics struct {
+	// Node is the querier's overlay node (collector, registry, flight).
+	Node *dht.Node
+	// Recorder is the querier's flight ring.
+	Recorder *flight.Recorder
+	// Engine is the ticked SLO engine, alerting after the overload.
+	Engine *slo.Engine
+}
+
+func (o SLOOptions) defaults() SLOOptions {
+	if o.Records <= 0 {
+		o.Records = 200
+	}
+	if o.Peers <= 0 {
+		o.Peers = 8
+	}
+	if o.Queries <= 0 {
+		o.Queries = 8
+	}
+	if o.DropProb <= 0 {
+		o.DropProb = 0.2
+	}
+	if o.Jitter <= 0 {
+		o.Jitter = 400 * time.Millisecond
+	}
+	if o.SlowThreshold <= 0 {
+		o.SlowThreshold = 50 * time.Millisecond
+	}
+	return o
+}
+
+// SLOPhase is one phase's measurement.
+type SLOPhase struct {
+	Phase   string
+	Queries int
+	Errors  int
+	// Slow counts queries captured at or over the slow threshold.
+	Slow int64
+	// MaxBurn is the hottest burn rate across objectives and windows at
+	// the phase's closing tick.
+	MaxBurn float64
+	Verdict string
+	Alerts  int
+}
+
+// SLOResult is the experiment outcome. Run fails (returns an error)
+// unless the burn-rate alert fires under overload, stays quiet when
+// healthy, and the watchdog's flight dump is non-empty with query
+// trace ids that also appear as histogram exemplars — the full
+// forensic chain the observability plane promises.
+type SLOResult struct {
+	Phases []SLOPhase
+	// DumpPath is the watchdog's flight dump on disk.
+	DumpPath string
+	// DumpEvents is the number of events in the dump.
+	DumpEvents int
+	// QueryTraces / ExemplarTraces / LinkedTraces count the distinct
+	// query trace ids in the flight dump, on the latency histogram's
+	// exemplars, and in both.
+	QueryTraces    int
+	ExemplarTraces int
+	LinkedTraces   int
+}
+
+// RunSLO prices the observability plane end to end. A deployment
+// answers a healthy query workload (the SLO engine ticks and stays
+// calm), then the network starts dropping messages: queries slow down
+// and fail, the availability budget burns past the window thresholds,
+// the alert fires, and the flight watchdog snapshots the querier's
+// ring — which, because slow-query capture and exemplars share trace
+// ids, names the exact queries that burned the budget. Ticks use a
+// synthetic clock so the burn windows are deterministic.
+func RunSLO(o SLOOptions) (*SLOResult, error) {
+	o = o.defaults()
+	docs := workload.DBLP{Seed: o.Seed, Records: o.Records}.Documents()
+	cl, err := NewCluster(ClusterOptions{
+		Peers: o.Peers,
+		Cfg:   kadop.Config{SlowQuery: o.SlowThreshold},
+		// One-shot RPCs with a short timeout: overload should hurt — the
+		// experiment measures detection, not the retry machinery's cure
+		// (robustness.go prices that).
+		DHT: dht.Config{RPCTimeout: 250 * time.Millisecond},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	if _, err := cl.PublishAll(docs, 4); err != nil {
+		return nil, err
+	}
+
+	q := pattern.MustParse(Fig3Query)
+	querier := cl.NonOwnerPeer(q)
+	// Shared tracer: server-side spans join the querier's traces, so a
+	// captured slow trace shows the whole cluster's part in the stall.
+	tr := trace.New(64)
+	for _, nd := range cl.Nodes {
+		nd.SetTracer(tr)
+	}
+	rec := flight.New(2048)
+	querier.Node().SetFlight(rec)
+
+	dir := o.DumpDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "kadop-slo-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	wd := flight.NewWatchdog(rec, dir, time.Millisecond)
+
+	reg := querier.Node().Registry()
+	queries := reg.Counter("kadop_queries_total", "Queries evaluated by this peer.")
+	qerrors := reg.Counter("kadop_query_errors_total", "Queries that failed (after retries and partial-result handling).")
+	slowQueries := reg.Counter("kadop_slow_queries_total", "Queries at or over the Config.SlowQuery capture threshold.")
+	var alerts []slo.Alert
+	eng, err := slo.New(slo.Config{
+		Objectives: []slo.Objective{
+			{
+				Name:        "query-availability",
+				Description: "90% of queries succeed",
+				Target:      0.9,
+				Source: slo.CounterSource(
+					func() int64 { return queries.Value() - qerrors.Value() },
+					qerrors.Value,
+				),
+			},
+			{
+				Name:        "query-latency",
+				Description: "90% of queries under the slow threshold",
+				Target:      0.9,
+				Source:      slo.LatencySource(querier.Node().Metrics(), metrics.OpQueryTotal, o.SlowThreshold),
+			},
+		},
+		// Compressed windows: the experiment's synthetic clock advances
+		// one second per tick, so a 2s/10s pair burns within one phase.
+		Windows:  []slo.Window{{Short: 2 * time.Second, Long: 10 * time.Second, Burn: 2, Severity: "page"}},
+		Registry: reg,
+		OnAlert: func(a slo.Alert) {
+			alerts = append(alerts, a)
+			wd.Trip(a.String())
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SLOResult{}
+	clock := time.Now()
+	tick := func() []slo.Status {
+		clock = clock.Add(time.Second)
+		return eng.Tick(clock)
+	}
+	runPhase := func(name string) SLOPhase {
+		ph := SLOPhase{Phase: name, Queries: o.Queries}
+		alertsBefore, slowBefore := len(alerts), slowQueries.Value()
+		for i := 0; i < o.Queries; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_, qerr := querier.QueryContext(ctx, q, kadop.QueryOptions{})
+			cancel()
+			if qerr != nil {
+				ph.Errors++
+			}
+		}
+		statuses := tick()
+		for _, s := range statuses {
+			for _, w := range s.Windows {
+				if w.ShortBurn > ph.MaxBurn {
+					ph.MaxBurn = w.ShortBurn
+				}
+			}
+		}
+		ph.Slow = slowQueries.Value() - slowBefore
+		ph.Verdict = slo.Verdict(statuses)
+		ph.Alerts = len(alerts) - alertsBefore
+		return ph
+	}
+
+	tick() // baseline sample before any traffic
+	healthy := runPhase("healthy")
+	res.Phases = append(res.Phases, healthy)
+	if healthy.Alerts > 0 || healthy.Verdict != "ok" {
+		return nil, fmt.Errorf("experiments: slo: burn alert fired on the healthy phase (verdict %q)", healthy.Verdict)
+	}
+
+	// Overload: every message suffers seeded jitter and some loss, so
+	// queries cross the slow threshold (and some fail outright).
+	cl.Net.SetFaults(dht.Faults{Seed: o.Seed, DropProb: o.DropProb, JitterMax: o.Jitter})
+	overload := runPhase("overload")
+	cl.Net.SetFaults(dht.Faults{})
+	res.Phases = append(res.Phases, overload)
+	if overload.Slow == 0 {
+		return nil, fmt.Errorf("experiments: slo: overload (jitter %v) produced no slow queries", o.Jitter)
+	}
+	if overload.Alerts == 0 {
+		return nil, fmt.Errorf("experiments: slo: no burn-rate alert under overload (burn %.1fx, %d slow, %d/%d errors)",
+			overload.MaxBurn, overload.Slow, overload.Errors, overload.Queries)
+	}
+
+	// The forensic chain: alert → watchdog dump on disk → query trace
+	// ids in the dump → the same ids on the histogram's exemplars.
+	dumps := wd.Dumps()
+	if len(dumps) == 0 {
+		return nil, fmt.Errorf("experiments: slo: alert fired but the watchdog wrote no flight dump")
+	}
+	res.DumpPath = dumps[0]
+	st, err := os.Stat(res.DumpPath)
+	if err != nil || st.Size() == 0 {
+		return nil, fmt.Errorf("experiments: slo: flight dump %s is missing or empty", res.DumpPath)
+	}
+	dump := rec.TakeDump("experiment")
+	res.DumpEvents = len(dump.Events)
+	if res.DumpEvents == 0 {
+		return nil, fmt.Errorf("experiments: slo: flight ring is empty")
+	}
+	queryIDs := dump.TraceIDs(flight.KindQuery)
+	res.QueryTraces = len(queryIDs)
+	exemplar := map[uint64]bool{}
+	if h := querier.Node().Metrics().Hist(metrics.OpQueryTotal); h != nil {
+		for _, e := range h.Exemplars() {
+			exemplar[e.TraceID] = true
+		}
+	}
+	res.ExemplarTraces = len(exemplar)
+	for _, id := range queryIDs {
+		if exemplar[id] {
+			res.LinkedTraces++
+		}
+	}
+	if res.LinkedTraces == 0 {
+		return nil, fmt.Errorf("experiments: slo: no trace id links the flight dump (%d query traces) to the exemplars (%d)",
+			res.QueryTraces, res.ExemplarTraces)
+	}
+	if o.Inspect != nil {
+		if err := o.Inspect(SLOForensics{Node: querier.Node(), Recorder: rec, Engine: eng}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Format renders the SLO experiment report.
+func (r *SLOResult) Format() string {
+	rows := make([][]string, 0, len(r.Phases))
+	for _, p := range r.Phases {
+		rows = append(rows, []string{
+			p.Phase,
+			fmt.Sprintf("%d", p.Queries),
+			fmt.Sprintf("%d", p.Errors),
+			fmt.Sprintf("%d", p.Slow),
+			fmt.Sprintf("%.1fx", p.MaxBurn),
+			fmt.Sprintf("%d", p.Alerts),
+			p.Verdict,
+		})
+	}
+	out := "SLO burn-rate alerting under seeded overload (availability + latency targets 90%, 2x burn window)\n" +
+		table([]string{"phase", "queries", "errors", "slow", "burn", "alerts", "verdict"}, rows)
+	out += fmt.Sprintf("\nflight dump: %s (%d events; %d query traces, %d exemplar traces, %d linked)\n",
+		r.DumpPath, r.DumpEvents, r.QueryTraces, r.ExemplarTraces, r.LinkedTraces)
+	return out
+}

@@ -103,6 +103,13 @@ type Config struct {
 	// way postings need the repair loop. Zero (the default) disables the
 	// loop.
 	RepublishInterval time.Duration
+	// SlowQuery, when positive, is the slow-query capture threshold:
+	// any query at least this slow is written to the query log with its
+	// full trace tree attached, bypassing the log's sampling — the tail
+	// is exactly what sampling must not drop. Requires QueryLog for the
+	// persistent record; the query's flight-ring entry and histogram
+	// exemplar are recorded regardless.
+	SlowQuery time.Duration
 }
 
 func (c Config) pipelined() bool { return c.Pipelined == nil || *c.Pipelined }

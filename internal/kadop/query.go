@@ -9,6 +9,7 @@ import (
 
 	"kadop/internal/dpp"
 	"kadop/internal/metrics"
+	"kadop/internal/obs/flight"
 	"kadop/internal/pattern"
 	"kadop/internal/postings"
 	"kadop/internal/sid"
@@ -133,13 +134,47 @@ func (p *Peer) Query(q *pattern.Query, opts QueryOptions) (*Result, error) {
 // emits one structured JSONL record.
 func (p *Peer) QueryContext(ctx context.Context, q *pattern.Query, opts QueryOptions) (*Result, error) {
 	ql := p.cfg.QueryLog
-	if ql == nil || !ql.Sample() {
-		return p.queryContext(ctx, q, opts)
+	sampled := ql.Sample()
+	if ql == nil && p.cfg.SlowQuery <= 0 {
+		res, err := p.queryContext(ctx, q, opts)
+		p.countQuery(err, false)
+		return res, err
 	}
 	snap := p.logSnapshot()
+	start := time.Now()
 	res, err := p.queryContext(ctx, q, opts)
-	ql.Log(p.buildLogRecord(q, opts, snap, res, err))
+	// Slow-query capture bypasses sampling: the latency tail is exactly
+	// what sampling must not drop.
+	slow := p.cfg.SlowQuery > 0 && time.Since(start) >= p.cfg.SlowQuery
+	p.countQuery(err, slow)
+	if ql != nil && (sampled || slow) {
+		rec := p.buildLogRecord(q, opts, snap, res, err)
+		rec.Slow = slow
+		if res != nil && res.Trace != nil {
+			rec.TraceID = fmt.Sprintf("%016x", res.Trace.ID())
+			if slow {
+				// The full span tree rides the slow record, so the log line
+				// alone explains where the time went — no need to catch the
+				// trace before it rotates out of the tracer ring.
+				rec.Trace = res.Trace.Export()
+			}
+		}
+		ql.Log(rec)
+	}
 	return res, err
+}
+
+// countQuery maintains the peer's query counters in the node registry —
+// the availability feed of the SLO engine.
+func (p *Peer) countQuery(err error, slow bool) {
+	reg := p.node.Registry()
+	reg.Counter("kadop_queries_total", "Queries evaluated by this peer.").Add(1)
+	if err != nil {
+		reg.Counter("kadop_query_errors_total", "Queries that failed (after retries and partial-result handling).").Add(1)
+	}
+	if slow {
+		reg.Counter("kadop_slow_queries_total", "Queries at or over the Config.SlowQuery capture threshold.").Add(1)
+	}
 }
 
 // queryContext is the query body; QueryContext wraps it with the
@@ -168,7 +203,17 @@ func (p *Peer) queryContext(ctx context.Context, q *pattern.Query, opts QueryOpt
 	start := time.Now()
 	res := &Result{Trace: root.Trace()}
 	defer func() {
-		col.Observe(metrics.OpQueryTotal, time.Since(start))
+		dur := time.Since(start)
+		var traceID uint64
+		if t := root.Trace(); t != nil {
+			traceID = t.ID()
+		}
+		// Traced queries leave their trace id as the bucket's exemplar, so
+		// /metrics links a p99 bucket straight to a captured trace.
+		col.ObserveExemplar(metrics.OpQueryTotal, dur, traceID)
+		if fr := p.node.Flight(); fr != nil {
+			fr.Record(flight.Event{Kind: flight.KindQuery, Name: q.String(), TraceID: traceID, Dur: dur})
+		}
 		if root != nil {
 			// Per-class byte deltas: what this query moved, attributed the
 			// same way the collector attributes traffic.

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordExemplar(t *testing.T) {
+	var h Histogram
+	h.RecordExemplar(3*time.Microsecond, 0xdead)
+	h.RecordExemplar(3*time.Microsecond, 0xbeef) // same bucket: latest wins
+	h.Record(500 * time.Millisecond)             // untraced: no exemplar
+
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	i := bucketFor(3 * time.Microsecond)
+	e := h.BucketExemplar(i)
+	if e == nil || e.TraceID != 0xbeef || e.Value != 3*time.Microsecond {
+		t.Fatalf("bucket exemplar = %+v", e)
+	}
+	if e := h.BucketExemplar(bucketFor(500 * time.Millisecond)); e != nil {
+		t.Fatalf("untraced bucket grew an exemplar: %+v", e)
+	}
+	if all := h.Exemplars(); len(all) != 1 || all[0].TraceID != 0xbeef {
+		t.Fatalf("exemplars = %+v", all)
+	}
+	if e.At.IsZero() {
+		t.Error("exemplar At not stamped")
+	}
+}
+
+func TestRecordExemplarZeroTraceID(t *testing.T) {
+	var h Histogram
+	h.RecordExemplar(time.Millisecond, 0)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if all := h.Exemplars(); len(all) != 0 {
+		t.Fatalf("zero trace id left exemplars %+v", all)
+	}
+}
+
+func TestExemplarNilSafe(t *testing.T) {
+	var h *Histogram
+	h.RecordExemplar(time.Millisecond, 1)
+	if h.BucketExemplar(0) != nil || h.Exemplars() != nil {
+		t.Fatal("nil histogram returned exemplars")
+	}
+	var c *Collector
+	c.ObserveExemplar(OpQueryTotal, time.Millisecond, 1)
+}
+
+func TestCollectorObserveExemplar(t *testing.T) {
+	c := NewCollector()
+	c.ObserveExemplar(OpQueryTotal, 2*time.Millisecond, 0xabc)
+	c.ObserveExemplar(OpQueryTotal, 4*time.Second, 0)
+
+	h := c.Hist(OpQueryTotal)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	all := h.Exemplars()
+	if len(all) != 1 || all[0].TraceID != 0xabc {
+		t.Fatalf("exemplars = %+v", all)
+	}
+}
+
+func TestPromExemplarEmission(t *testing.T) {
+	c := NewCollector()
+	c.ObserveExemplar(OpQueryTotal, 3*time.Microsecond, 0x1234)
+	c.Observe(OpQueryTotal, 100*time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, PromOptions{Collector: c}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := fmt.Sprintf("kadop_op_latency_seconds_bucket{op=\"query-total\",le=\"4e-06\"} 1 # {trace_id=\"%016x\"} 3e-06\n", 0x1234)
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	// Untraced buckets stay classic.
+	if strings.Count(out, " # {") != 1 {
+		t.Fatalf("want exactly one exemplar suffix:\n%s", out)
+	}
+}
+
+func TestPromBuildInfo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, PromOptions{BuildInfo: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "kadop_build_info{go=\"go") {
+		t.Fatalf("missing build info:\n%s", out)
+	}
+	if !strings.Contains(out, "kadop_process_start_time_seconds ") {
+		t.Fatalf("missing start time gauge:\n%s", out)
+	}
+
+	// Off by default, so golden expositions stay byte-stable.
+	buf.Reset()
+	if err := WriteProm(&buf, PromOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty options rendered %q", buf.String())
+	}
+}
+
+// TestExemplarConcurrent hammers traced and untraced observations while
+// reading exemplars; meaningful under -race.
+func TestExemplarConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					c.ObserveExemplar(OpLookup, time.Duration(i)*time.Microsecond, uint64(g*1000+i))
+					c.Observe(OpLookup, time.Microsecond)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 100; i++ {
+		h := c.Hist(OpLookup)
+		for _, e := range h.Exemplars() {
+			if e.TraceID == 0 {
+				t.Error("zero trace id stored as exemplar")
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteProm(&buf, PromOptions{Collector: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

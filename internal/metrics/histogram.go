@@ -113,6 +113,19 @@ func bucketBound(i int) time.Duration {
 // BucketBound returns the inclusive upper bound of bucket i.
 func BucketBound(i int) time.Duration { return bucketBound(i) }
 
+// Exemplar ties one concrete observation — and the trace that explains
+// it — to a histogram bucket: the operator reading a p99 bucket on
+// /metrics can jump straight to a captured trace instead of trying to
+// reproduce the tail. Each bucket keeps its most recent exemplar.
+type Exemplar struct {
+	// TraceID identifies the trace of the exemplified observation.
+	TraceID uint64
+	// Value is the observed latency.
+	Value time.Duration
+	// At is when the observation happened.
+	At time.Time
+}
+
 // Histogram is a fixed-bucket latency histogram with power-of-two
 // bucket bounds starting at 1µs. Recording is lock-free (one atomic add
 // per observation plus count/sum upkeep), so it is cheap enough to sit
@@ -121,6 +134,10 @@ type Histogram struct {
 	counts [histBuckets]atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Int64 // nanoseconds
+	// exemplars holds the latest traced observation per bucket; an
+	// untraced Record leaves them untouched, so the exemplar machinery
+	// costs nothing until a traced query observes.
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
 }
 
 // bucketFor maps a duration to its bucket index: the smallest i with
@@ -148,6 +165,51 @@ func (h *Histogram) Record(d time.Duration) {
 	h.counts[bucketFor(d)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(d.Nanoseconds())
+}
+
+// RecordExemplar adds one observation carrying a trace id: besides the
+// bucket counts, the bucket's exemplar slot is replaced, so the latest
+// traced observation of each latency band stays reachable from the
+// exposition. A zero traceID degrades to a plain Record.
+func (h *Histogram) RecordExemplar(d time.Duration, traceID uint64) {
+	if h == nil {
+		return
+	}
+	if traceID == 0 {
+		h.Record(d)
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := bucketFor(d)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: d, At: time.Now()})
+}
+
+// BucketExemplar returns bucket i's latest exemplar, or nil when no
+// traced observation has landed there.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= histBuckets {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
+// Exemplars returns the non-nil exemplars by ascending bucket index.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := 0; i < histBuckets; i++ {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 // BucketCount returns the (non-cumulative) count of bucket i.

@@ -112,6 +112,26 @@ func (c *Collector) Observe(op string, d time.Duration) {
 	if c == nil {
 		return
 	}
+	c.hist(op).Record(d)
+}
+
+// ObserveExemplar records one latency observation for the named
+// operation together with the trace id that explains it; the owning
+// bucket keeps the observation as its exposition exemplar. A zero
+// traceID degrades to a plain Observe.
+func (c *Collector) ObserveExemplar(op string, d time.Duration, traceID uint64) {
+	if c == nil {
+		return
+	}
+	if traceID == 0 {
+		c.Observe(op, d)
+		return
+	}
+	c.hist(op).RecordExemplar(d, traceID)
+}
+
+// hist returns (creating on first use) the histogram for op.
+func (c *Collector) hist(op string) *Histogram {
 	c.histMu.RLock()
 	h := c.hists[op]
 	c.histMu.RUnlock()
@@ -126,7 +146,7 @@ func (c *Collector) Observe(op string, d time.Duration) {
 		}
 		c.histMu.Unlock()
 	}
-	h.Record(d)
+	return h
 }
 
 // Hist returns the histogram for an operation, or nil if nothing has

@@ -8,9 +8,12 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // PromOptions name the sources rendered by WriteProm. Every field is
@@ -22,6 +25,10 @@ type PromOptions struct {
 	// HotTerms bounds the kadop_hot_term_bytes series emitted per scrape
 	// (0 = the sketch's full contents).
 	HotTerms int
+	// BuildInfo adds kadop_build_info and the process start-time gauge;
+	// off by default so deterministic (golden-file) expositions stay
+	// reproducible.
+	BuildInfo bool
 }
 
 // WriteProm renders the metrics in Prometheus text exposition format.
@@ -30,7 +37,33 @@ func WriteProm(w io.Writer, o PromOptions) error {
 	writePromCollector(bw, o.Collector)
 	writePromLoad(bw, o.Load, o.HotTerms)
 	writePromRegistry(bw, o.Registry)
+	if o.BuildInfo {
+		writePromBuildInfo(bw)
+	}
 	return bw.err
+}
+
+// processStart anchors the start-time gauge; captured at package init,
+// which for this process is as close to exec as Go offers without cgo.
+var processStart = time.Now()
+
+// buildVersion returns the module version baked into the binary, or
+// "devel" for unversioned builds.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+func writePromBuildInfo(w *errWriter) {
+	w.printf("# HELP kadop_build_info Build metadata; the gauge is always 1.\n")
+	w.printf("# TYPE kadop_build_info gauge\n")
+	w.printf("kadop_build_info{go=\"%s\",version=\"%s\"} 1\n",
+		escapeLabelValue(runtime.Version()), escapeLabelValue(buildVersion()))
+	w.printf("# HELP kadop_process_start_time_seconds Unix time the process started.\n")
+	w.printf("# TYPE kadop_process_start_time_seconds gauge\n")
+	w.printf("kadop_process_start_time_seconds %s\n", formatFloat(float64(processStart.UnixNano())/1e9))
 }
 
 type errWriter struct {
@@ -95,6 +128,15 @@ func writePromCollector(w *errWriter, c *Collector) {
 			var cum int64
 			for i := 0; i < NumBuckets; i++ {
 				cum += h.BucketCount(i)
+				// Exemplars ride the bucket line OpenMetrics-style
+				// (" # {trace_id=...} value"); classic scrapers that stop at
+				// the sample value ignore the suffix, and the in-house
+				// cluster parser understands it.
+				if e := h.BucketExemplar(i); e != nil {
+					w.printf("kadop_op_latency_seconds_bucket{op=\"%s\",le=\"%s\"} %d # {trace_id=\"%016x\"} %s\n",
+						lv, formatFloat(BucketBound(i).Seconds()), cum, e.TraceID, formatFloat(e.Value.Seconds()))
+					continue
+				}
 				w.printf("kadop_op_latency_seconds_bucket{op=\"%s\",le=\"%s\"} %d\n",
 					lv, formatFloat(BucketBound(i).Seconds()), cum)
 			}

@@ -41,6 +41,90 @@ kadop_load_bytes_served_total 396
 	}
 }
 
+func TestParseExpositionExemplar(t *testing.T) {
+	in := `kadop_op_latency_seconds_bucket{op="query-total",le="0.004096"} 7 # {trace_id="00000000deadbeef"} 0.0031
+kadop_op_latency_seconds_bucket{op="query-total",le="+Inf"} 9
+`
+	samples, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(samples))
+	}
+	s := samples[0]
+	if s.Value != 7 {
+		t.Errorf("bucket value = %v", s.Value)
+	}
+	if s.Exemplar == nil {
+		t.Fatal("exemplar not parsed")
+	}
+	if got := s.Exemplar.TraceID(); got != 0xdeadbeef {
+		t.Errorf("exemplar trace id = %#x", got)
+	}
+	if math.Abs(s.Exemplar.Value-0.0031) > 1e-12 {
+		t.Errorf("exemplar value = %v", s.Exemplar.Value)
+	}
+	if samples[1].Exemplar != nil {
+		t.Errorf("bare bucket grew an exemplar: %+v", samples[1].Exemplar)
+	}
+}
+
+func TestParseExpositionRejectsMalformedExemplar(t *testing.T) {
+	bad := []string{
+		"kadop_b{op=\"x\"} 1 # trace_id=\"7\" 0.1\n",    // no label braces
+		"kadop_b{op=\"x\"} 1 # {trace_id=\"7\"} ten\n",  // bad exemplar value
+		"kadop_b{op=\"x\"} 1 # {trace_id=\"7\" 0.1\n",   // unterminated labels
+		"kadop_b{op=\"x\"} 1 # {trace_id=\"a\\q\"} 1\n", // bad escape
+	}
+	for _, in := range bad {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted malformed exemplar %q", in)
+		}
+	}
+}
+
+// TestEscapingRoundTrip feeds label values containing every escapable
+// character through the real exporter and back through this parser,
+// exemplars included: what the exporter writes, the scraper must read
+// back byte-identically.
+func TestEscapingRoundTrip(t *testing.T) {
+	weird := "we\"ird\\term\nwith all three"
+	col := metrics.NewCollector()
+	col.Count(metrics.Class(weird), 64)
+	col.ObserveExemplar(metrics.OpQueryTotal, 3*time.Millisecond, 0x77)
+	load := metrics.NewLoad(4)
+	load.Serve(weird, 2)
+
+	var buf strings.Builder
+	if err := metrics.WriteProm(&buf, metrics.PromOptions{Collector: col, Load: load}); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("parser rejected exporter output: %v\n%s", err, buf.String())
+	}
+	var gotClass, gotTerm, gotExemplar bool
+	for _, s := range samples {
+		if s.Name == "kadop_traffic_bytes_total" && s.Label("class") == weird {
+			gotClass = true
+		}
+		if s.Name == "kadop_hot_term_bytes" && s.Label("term") == weird {
+			gotTerm = true
+		}
+		if s.Name == "kadop_op_latency_seconds_bucket" && s.Exemplar != nil {
+			if got := s.Exemplar.TraceID(); got != 0x77 {
+				t.Errorf("round-tripped exemplar trace id = %#x", got)
+			}
+			gotExemplar = true
+		}
+	}
+	if !gotClass || !gotTerm || !gotExemplar {
+		t.Fatalf("round trip lost data: class=%v term=%v exemplar=%v\n%s",
+			gotClass, gotTerm, gotExemplar, buf.String())
+	}
+}
+
 func TestParseExpositionRejectsMalformed(t *testing.T) {
 	bad := []string{
 		"kadop_bytes{class=\"postings\" 15\n", // unterminated label set

@@ -20,6 +20,28 @@ type Sample struct {
 	Name   string
 	Labels map[string]string
 	Value  float64
+	// Exemplar is the OpenMetrics-style exemplar riding the line
+	// (" # {labels} value"), nil when absent.
+	Exemplar *Exemplar
+}
+
+// Exemplar is a traced observation attached to a histogram bucket line.
+type Exemplar struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// TraceID returns the exemplar's trace_id label decoded from hex
+// (0 when absent or malformed).
+func (e *Exemplar) TraceID() uint64 {
+	if e == nil {
+		return 0
+	}
+	id, err := strconv.ParseUint(e.Labels["trace_id"], 16, 64)
+	if err != nil {
+		return 0
+	}
+	return id
 }
 
 // Label returns a label value ("" when absent).
@@ -84,6 +106,13 @@ func parseSampleLine(line string) (Sample, error) {
 		}
 		rest = rest[1+end:]
 	}
+	// An exemplar section may trail the sample (" # {labels} value",
+	// OpenMetrics-style); split it off before value parsing.
+	var exemplar string
+	if j := strings.Index(rest, " # "); j >= 0 {
+		exemplar = strings.TrimSpace(rest[j+3:])
+		rest = rest[:j]
+	}
 	val := strings.TrimSpace(rest)
 	// A timestamp may trail the value; the in-repo exporter emits none,
 	// but tolerate it like a real scraper would.
@@ -95,7 +124,37 @@ func parseSampleLine(line string) (Sample, error) {
 		return s, fmt.Errorf("bad value %q: %w", val, err)
 	}
 	s.Value = v
+	if exemplar != "" {
+		e, err := parseExemplar(exemplar)
+		if err != nil {
+			return s, err
+		}
+		s.Exemplar = e
+	}
 	return s, nil
+}
+
+// parseExemplar parses `{labels} value` after the " # " separator.
+func parseExemplar(in string) (*Exemplar, error) {
+	if in == "" || in[0] != '{' {
+		return nil, fmt.Errorf("exemplar without label set in %q", in)
+	}
+	e := &Exemplar{Labels: map[string]string{}}
+	end, err := parseLabels(in[1:], e.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	val := strings.TrimSpace(in[1+end:])
+	// A timestamp may trail the exemplar value too.
+	if j := strings.IndexByte(val, ' '); j >= 0 {
+		val = val[:j]
+	}
+	v, err := parseValue(val)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %w", val, err)
+	}
+	e.Value = v
+	return e, nil
 }
 
 // parseLabels parses `key="value",...}` starting after the opening

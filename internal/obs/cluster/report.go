@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kadop/internal/metrics"
+	"kadop/internal/obs/slo"
 )
 
 // PeerRow is one peer's line in the load table.
@@ -29,6 +30,34 @@ type OpLatency struct {
 	P99   time.Duration
 }
 
+// SLORow is one objective's cluster-merged state, built from the
+// kadop_slo_* gauges of every peer running an SLO engine.
+type SLORow struct {
+	Name string
+	// Target is the good fraction required (from kadop_slo_target_ppm).
+	Target float64
+	// BudgetRemaining is the worst (minimum) remaining error-budget
+	// fraction across peers.
+	BudgetRemaining float64
+	// MaxBurn is the hottest burn rate across peers and windows.
+	MaxBurn float64
+	// Alerting is true when any peer has an alerting burn window for
+	// this objective; Severity is "page" when any page window fires,
+	// else "ticket".
+	Alerting bool
+	Severity string
+}
+
+// ExemplarRef is one histogram exemplar seen in a scrape: a trace id
+// pinned to a latency observation, the handle for "go look at that
+// exact slow query".
+type ExemplarRef struct {
+	Peer    string
+	Op      string
+	TraceID uint64
+	Seconds float64
+}
+
 // Report is the cluster-wide view built from a set of peer scrapes.
 type Report struct {
 	Peers []PeerRow
@@ -44,6 +73,14 @@ type Report struct {
 	HotTerms []metrics.HotTerm
 	// Ops are latency summaries from the peers' merged histograms.
 	Ops []OpLatency
+	// SLOs summarise the peers' SLO engines; empty when no scraped peer
+	// exports kadop_slo_* series.
+	SLOs []SLORow
+	// SLOVerdict is the one-line cluster health call ("" without SLOs).
+	SLOVerdict string
+	// Exemplars are the slowest histogram exemplars scraped, worst
+	// first — trace ids of real outlier queries.
+	Exemplars []ExemplarRef
 	// SampleCount is the total exposition samples scraped.
 	SampleCount int
 }
@@ -88,7 +125,106 @@ func BuildReport(scrapes []*PeerScrape, topK int) *Report {
 		r.HotTerms = r.HotTerms[:topK]
 	}
 	r.Ops = mergeOps(scrapes)
+	r.SLOs = mergeSLOs(scrapes)
+	r.SLOVerdict = sloVerdict(r.SLOs)
+	r.Exemplars = collectExemplars(scrapes, 5)
 	return r
+}
+
+// mergeSLOs folds every peer's kadop_slo_* gauges into one row per
+// objective: the worst budget, the hottest burn, alerting if anyone
+// alerts.
+func mergeSLOs(scrapes []*PeerScrape) []SLORow {
+	rows := map[string]*SLORow{}
+	row := func(name string) *SLORow {
+		if r := rows[name]; r != nil {
+			return r
+		}
+		r := &SLORow{Name: name, BudgetRemaining: 1}
+		rows[name] = r
+		return r
+	}
+	for _, ps := range scrapes {
+		for _, s := range ps.Samples {
+			name := s.Label("slo")
+			if name == "" {
+				continue
+			}
+			switch s.Name {
+			case "kadop_slo_target_ppm":
+				row(name).Target = s.Value / 1e6
+			case "kadop_slo_budget_remaining_ppm":
+				if b := s.Value / 1e6; b < row(name).BudgetRemaining {
+					row(name).BudgetRemaining = b
+				}
+			case "kadop_slo_burn_rate_milli":
+				if burn := s.Value / 1e3; burn > row(name).MaxBurn {
+					row(name).MaxBurn = burn
+				}
+			case "kadop_slo_alert":
+				if s.Value < 1 {
+					continue
+				}
+				r := row(name)
+				r.Alerting = true
+				if sev := s.Label("severity"); sev == "page" || r.Severity == "" {
+					r.Severity = sev
+				}
+			}
+		}
+	}
+	out := make([]SLORow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// sloVerdict renders the cluster health call with the engine's own
+// Verdict, so kadop-top and /debug/slo always agree on the wording.
+func sloVerdict(rows []SLORow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	statuses := make([]slo.Status, 0, len(rows))
+	for _, r := range rows {
+		statuses = append(statuses, slo.Status{Name: r.Name, Alerting: r.Alerting, Severity: r.Severity})
+	}
+	return slo.Verdict(statuses)
+}
+
+// collectExemplars gathers the topK slowest histogram exemplars across
+// the scrapes.
+func collectExemplars(scrapes []*PeerScrape, topK int) []ExemplarRef {
+	var out []ExemplarRef
+	for _, ps := range scrapes {
+		for _, s := range ps.Samples {
+			if s.Exemplar == nil || s.Name != "kadop_op_latency_seconds_bucket" {
+				continue
+			}
+			id := s.Exemplar.TraceID()
+			if id == 0 {
+				continue
+			}
+			out = append(out, ExemplarRef{
+				Peer:    ps.Target,
+				Op:      s.Label("op"),
+				TraceID: id,
+				Seconds: s.Exemplar.Value,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
 }
 
 // maxMeanRatio returns max/mean over the values (0 when empty or all
@@ -252,6 +388,23 @@ func (r *Report) Format() string {
 		fmt.Fprintf(&b, "%-20s %10s %12s %12s %12s\n", "op (merged)", "count", "p50", "p95", "p99")
 		for _, o := range r.Ops {
 			fmt.Fprintf(&b, "%-20s %10d %12v %12v %12v\n", o.Op, o.Count, o.P50, o.P95, o.P99)
+		}
+	}
+	if r.SLOVerdict != "" {
+		fmt.Fprintf(&b, "slo: %s\n", r.SLOVerdict)
+		for _, s := range r.SLOs {
+			state := "ok"
+			if s.Alerting {
+				state = "BURN " + s.Severity
+			}
+			fmt.Fprintf(&b, "  %-22s target %.4g%%  budget %6.1f%%  burn %5.1fx  %s\n",
+				s.Name, s.Target*100, s.BudgetRemaining*100, s.MaxBurn, state)
+		}
+	}
+	if len(r.Exemplars) > 0 {
+		b.WriteString("slow exemplars:\n")
+		for _, e := range r.Exemplars {
+			fmt.Fprintf(&b, "  trace %016x  %-16s %9.2gs  %s\n", e.TraceID, e.Op, e.Seconds, e.Peer)
 		}
 	}
 	return b.String()

@@ -1,0 +1,305 @@
+// Package flight implements a per-peer flight recorder: a fixed-size,
+// lock-sharded ring buffer of recent annotated events — RPC
+// completions, cache misses, store operations, robustness events,
+// query completions — that stays on in production and answers "what
+// was this peer doing just before things went wrong" without having to
+// reproduce the incident.
+//
+// The recorder is the forensic counterpart of the aggregate metrics
+// plane: counters say a retry storm happened, the flight ring says
+// which RPCs against which peers retried, in what order, carrying
+// which trace ids. Recording is one shard-local mutex acquisition and
+// a struct copy, so every subsystem that already counts a metric can
+// also drop an event into the ring.
+//
+// A Watchdog pairs the ring with a disk path: when some monitor (the
+// SLO engine's burn-rate alert, a caller-defined condition) trips it,
+// the ring is snapshotted to a JSON file — rate-limited, so a flapping
+// alert cannot grind the peer with dump I/O.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event kinds recorded by the system. Kind is an open string — higher
+// layers may record their own — but the built-in feeds use these.
+const (
+	// KindRPC is one outgoing RPC, retries folded in (the client view).
+	KindRPC = "rpc"
+	// KindEvent is one robustness/cache occurrence, mirroring the
+	// collector's event counters (retry, timeout, eviction, cache-miss…).
+	KindEvent = "event"
+	// KindStore is local store work: postings served or appended.
+	KindStore = "store"
+	// KindQuery is one completed query at the submitting peer.
+	KindQuery = "query"
+	// KindSpan is a completed trace span worth keeping after its trace
+	// rotates out of the tracer ring (slow phases, errors).
+	KindSpan = "span"
+	// KindSnapshot marks a watchdog dump, so dumps are self-describing
+	// about why they were taken.
+	KindSnapshot = "snapshot"
+)
+
+// Event is one annotated ring entry. Zero-valued fields are omitted
+// from the JSON dump, so cheap events stay cheap on disk too.
+type Event struct {
+	// Seq is the recorder-global sequence number; dumps sort by it.
+	Seq uint64 `json:"seq"`
+	// At is the wall-clock time the event was recorded.
+	At time.Time `json:"at"`
+	// Kind classifies the event (KindRPC, KindEvent, …).
+	Kind string `json:"kind"`
+	// Name identifies the event within its kind: the RPC op, the
+	// collector event name, the query pattern.
+	Name string `json:"name"`
+	// Peer is the remote peer involved, when any.
+	Peer string `json:"peer,omitempty"`
+	// TraceID links the event to a recorded trace (0 = untraced).
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// Dur is the event's duration, when it has one.
+	Dur time.Duration `json:"dur_ns,omitempty"`
+	// N carries the event's magnitude: bytes moved, postings served,
+	// keys repaired.
+	N int64 `json:"n,omitempty"`
+	// Err is the failure, when the event records one.
+	Err string `json:"err,omitempty"`
+}
+
+// shardCount is the number of independently locked rings. Sixteen
+// shards keep the recorder off the contention profile of a peer
+// serving concurrent queries while costing only a few pointers.
+const shardCount = 16
+
+type shard struct {
+	mu   sync.Mutex
+	ring []Event
+	next int
+	full bool
+}
+
+// Recorder is the lock-sharded ring. The zero value is unusable; use
+// New. A nil *Recorder is a valid no-op recorder: every method guards
+// on nil, so instrumentation sites need no feature flag.
+type Recorder struct {
+	shards [shardCount]shard
+	seq    atomic.Uint64 // global event ordering
+	rr     atomic.Uint64 // round-robin shard selector
+	total  atomic.Int64  // events ever recorded (overwrites included)
+}
+
+// New returns a recorder retaining approximately the most recent
+// capacity events (rounded up to a multiple of the shard count,
+// minimum one event per shard).
+func New(capacity int) *Recorder {
+	per := (capacity + shardCount - 1) / shardCount
+	if per < 1 {
+		per = 1
+	}
+	r := &Recorder{}
+	for i := range r.shards {
+		r.shards[i].ring = make([]Event, per)
+	}
+	return r
+}
+
+// Capacity returns the number of events the ring retains.
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.shards[0].ring) * shardCount
+}
+
+// Record adds one event to the ring, evicting the oldest entry of its
+// shard past capacity. The event's Seq is assigned here; At defaults
+// to now when unset. Safe for concurrent use; a nil recorder discards.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	e.Seq = r.seq.Add(1)
+	if e.At.IsZero() {
+		e.At = time.Now()
+	}
+	r.total.Add(1)
+	s := &r.shards[r.rr.Add(1)%shardCount]
+	s.mu.Lock()
+	s.ring[s.next] = e
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded, overwritten ones
+// included — Total - len(Snapshot()) is what the ring has forgotten.
+func (r *Recorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// Snapshot returns a point-in-time copy of the retained events, oldest
+// first (by sequence number). Concurrent recording continues; the
+// snapshot is consistent per shard and globally ordered by Seq.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		if s.full {
+			out = append(out, s.ring...)
+		} else {
+			out = append(out, s.ring[:s.next]...)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump is the JSON shape of a flight dump (/debug/flight and the
+// watchdog's disk snapshots share it).
+type Dump struct {
+	// TakenAt is when the snapshot was cut.
+	TakenAt time.Time `json:"taken_at"`
+	// Reason is why (a watchdog trip reason, or "request" for the
+	// debug endpoint).
+	Reason string `json:"reason,omitempty"`
+	// Total counts events ever recorded; len(Events) of them survive.
+	Total  int64   `json:"total_recorded"`
+	Events []Event `json:"events"`
+}
+
+// TraceIDs returns the distinct non-zero trace ids of the dump's
+// events of one kind ("" = all kinds), in first-seen order.
+func (d *Dump) TraceIDs(kind string) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, e := range d.Events {
+		if e.TraceID == 0 || (kind != "" && e.Kind != kind) {
+			continue
+		}
+		if !seen[e.TraceID] {
+			seen[e.TraceID] = true
+			out = append(out, e.TraceID)
+		}
+	}
+	return out
+}
+
+// TakeDump cuts a snapshot with the given reason.
+func (r *Recorder) TakeDump(reason string) *Dump {
+	return &Dump{
+		TakenAt: time.Now(),
+		Reason:  reason,
+		Total:   r.Total(),
+		Events:  r.Snapshot(),
+	}
+}
+
+// WriteJSON writes an indented JSON dump to w.
+func (r *Recorder) WriteJSON(w io.Writer, reason string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.TakeDump(reason))
+}
+
+// SnapshotToFile writes a dump to path atomically (temp file + rename),
+// creating parent directories as needed.
+func (r *Recorder) SnapshotToFile(path, reason string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("flight: snapshot dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".flight-*")
+	if err != nil {
+		return fmt.Errorf("flight: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := r.WriteJSON(tmp, reason); err != nil {
+		tmp.Close()
+		return fmt.Errorf("flight: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("flight: snapshot: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Watchdog snapshots a recorder to disk when tripped, at most once per
+// MinInterval — an alert that flaps every tick must not turn the peer
+// into a dump mill. Safe for concurrent use; nil-safe.
+type Watchdog struct {
+	rec *Recorder
+	dir string
+	min time.Duration
+
+	mu    sync.Mutex
+	last  time.Time
+	n     int
+	taken []string
+}
+
+// NewWatchdog returns a watchdog snapshotting rec into dir (one file
+// per trip, flight-<n>.json) at most once per minInterval (default
+// 30s when <= 0).
+func NewWatchdog(rec *Recorder, dir string, minInterval time.Duration) *Watchdog {
+	if minInterval <= 0 {
+		minInterval = 30 * time.Second
+	}
+	return &Watchdog{rec: rec, dir: dir, min: minInterval}
+}
+
+// Trip requests a snapshot with the given reason. It reports the dump
+// file written, or "" when the trip was rate-limited or the watchdog
+// is nil. The trip itself is recorded into the ring (KindSnapshot), so
+// the dump documents why it exists.
+func (w *Watchdog) Trip(reason string) (string, error) {
+	if w == nil || w.rec == nil {
+		return "", nil
+	}
+	w.mu.Lock()
+	if !w.last.IsZero() && time.Since(w.last) < w.min {
+		w.mu.Unlock()
+		return "", nil
+	}
+	w.last = time.Now()
+	w.n++
+	path := filepath.Join(w.dir, fmt.Sprintf("flight-%d.json", w.n))
+	w.mu.Unlock()
+
+	w.rec.Record(Event{Kind: KindSnapshot, Name: reason})
+	if err := w.rec.SnapshotToFile(path, reason); err != nil {
+		return "", err
+	}
+	w.mu.Lock()
+	w.taken = append(w.taken, path)
+	w.mu.Unlock()
+	return path, nil
+}
+
+// Dumps returns the snapshot files written so far.
+func (w *Watchdog) Dumps() []string {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.taken...)
+}

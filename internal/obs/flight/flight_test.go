@@ -1,0 +1,189 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordSnapshotOrdered(t *testing.T) {
+	r := New(64)
+	for i := 0; i < 40; i++ {
+		r.Record(Event{Kind: KindRPC, Name: "rpc:get", N: int64(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 40 {
+		t.Fatalf("snapshot has %d events, want 40", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot out of order at %d: %d after %d", i, snap[i].Seq, snap[i-1].Seq)
+		}
+	}
+	if snap[0].At.IsZero() {
+		t.Error("At not defaulted")
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := New(32)
+	total := 500
+	for i := 0; i < total; i++ {
+		r.Record(Event{Kind: KindEvent, Name: "retries", N: int64(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != r.Capacity() {
+		t.Fatalf("retained %d, want capacity %d", len(snap), r.Capacity())
+	}
+	if r.Total() != int64(total) {
+		t.Fatalf("total %d, want %d", r.Total(), total)
+	}
+	// Everything retained is from the recent tail: with round-robin
+	// sharding each shard keeps its own most recent entries, so nothing
+	// older than capacity*shards-worth of history can survive.
+	for _, e := range snap {
+		if int(e.Seq) <= total-2*r.Capacity() {
+			t.Fatalf("ancient event seq %d survived a %d-capacity ring", e.Seq, r.Capacity())
+		}
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindRPC})
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil snapshot = %v", got)
+	}
+	if r.Total() != 0 || r.Capacity() != 0 {
+		t.Fatal("nil totals not zero")
+	}
+	var w *Watchdog
+	if path, err := w.Trip("x"); err != nil || path != "" {
+		t.Fatalf("nil watchdog trip = %q, %v", path, err)
+	}
+}
+
+func TestDumpTraceIDs(t *testing.T) {
+	r := New(16)
+	r.Record(Event{Kind: KindQuery, Name: "q1", TraceID: 7})
+	r.Record(Event{Kind: KindRPC, Name: "rpc:get", TraceID: 7})
+	r.Record(Event{Kind: KindQuery, Name: "q2", TraceID: 9})
+	r.Record(Event{Kind: KindQuery, Name: "q3"}) // untraced
+	d := r.TakeDump("test")
+	if ids := d.TraceIDs(KindQuery); len(ids) != 2 || ids[0] != 7 || ids[1] != 9 {
+		t.Fatalf("query trace ids = %v", ids)
+	}
+	if ids := d.TraceIDs(""); len(ids) != 2 {
+		t.Fatalf("all trace ids = %v", ids)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := New(8)
+	r.Record(Event{Kind: KindStore, Name: "serve", Peer: "sim://1", N: 128, Dur: time.Millisecond, Err: "boom"})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, "request"); err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Reason != "request" || d.Total != 1 || len(d.Events) != 1 {
+		t.Fatalf("dump = %+v", d)
+	}
+	e := d.Events[0]
+	if e.Kind != KindStore || e.Peer != "sim://1" || e.N != 128 || e.Dur != time.Millisecond || e.Err != "boom" {
+		t.Fatalf("event = %+v", e)
+	}
+}
+
+func TestWatchdogSnapshotsAndRateLimits(t *testing.T) {
+	dir := t.TempDir()
+	r := New(16)
+	r.Record(Event{Kind: KindQuery, Name: "slow", TraceID: 42})
+	w := NewWatchdog(r, dir, time.Hour)
+
+	path, err := w.Trip("burn-rate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" {
+		t.Fatal("first trip rate-limited")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Reason != "burn-rate" {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+	// The trip itself is recorded, so the dump carries a snapshot marker.
+	var marker bool
+	for _, e := range d.Events {
+		if e.Kind == KindSnapshot && e.Name == "burn-rate" {
+			marker = true
+		}
+	}
+	if !marker {
+		t.Error("dump missing its own snapshot marker event")
+	}
+	if ids := d.TraceIDs(KindQuery); len(ids) != 1 || ids[0] != 42 {
+		t.Fatalf("dump trace ids = %v", ids)
+	}
+
+	// Within the rate limit: no second dump.
+	if p2, err := w.Trip("again"); err != nil || p2 != "" {
+		t.Fatalf("rate-limited trip = %q, %v", p2, err)
+	}
+	if got := w.Dumps(); len(got) != 1 || got[0] != path {
+		t.Fatalf("dumps = %v", got)
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 1 {
+		t.Fatalf("dir has %d files", len(ents))
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("dump outside dir: %s", path)
+	}
+}
+
+// TestConcurrentRecordSnapshot hammers the ring from many goroutines
+// while snapshotting; under -race it proves the sharding is sound.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	r := New(256)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Record(Event{Kind: KindRPC, Name: "rpc:get", TraceID: uint64(g*1000 + i)})
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		for j := 1; j < len(snap); j++ {
+			if snap[j].Seq <= snap[j-1].Seq {
+				t.Errorf("snapshot %d unordered", i)
+				break
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -84,6 +84,17 @@ type Record struct {
 	FailedPeers   int   `json:"failed_peers,omitempty"`
 
 	Err string `json:"err,omitempty"`
+
+	// TraceID is the query's trace identifier in hex ("" when the query
+	// was untraced). It joins the record with histogram exemplars on
+	// /metrics and flight-recorder dumps.
+	TraceID string `json:"trace_id,omitempty"`
+	// Slow marks a record captured by the slow-query threshold — logged
+	// regardless of sampling, with the trace tree attached.
+	Slow bool `json:"slow,omitempty"`
+	// Trace is the query's full span tree (slow captures only; any
+	// JSON-marshalable shape, in practice trace.TraceRecord).
+	Trace any `json:"trace,omitempty"`
 }
 
 // Log writes one record.
@@ -91,7 +102,7 @@ func (l *Logger) Log(r Record) {
 	if l == nil {
 		return
 	}
-	l.lg.LogAttrs(context.Background(), slog.LevelInfo, "query",
+	attrs := []slog.Attr{
 		slog.String("query", r.Query),
 		slog.String("strategy", r.Strategy),
 		slog.Bool("index_only", r.IndexOnly),
@@ -113,7 +124,17 @@ func (l *Logger) Log(r Record) {
 		slog.Bool("incomplete", r.Incomplete),
 		slog.Int("failed_peers", r.FailedPeers),
 		slog.String("err", r.Err),
-	)
+	}
+	if r.TraceID != "" {
+		attrs = append(attrs, slog.String("trace_id", r.TraceID))
+	}
+	if r.Slow {
+		attrs = append(attrs, slog.Bool("slow", true))
+	}
+	if r.Trace != nil {
+		attrs = append(attrs, slog.Any("trace", r.Trace))
+	}
+	l.lg.LogAttrs(context.Background(), slog.LevelInfo, "query", attrs...)
 }
 
 // DurNS converts a duration to the record's nanosecond representation.

@@ -1,0 +1,106 @@
+package querylog
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingWriter is a size-capped JSONL sink: when the current file
+// would exceed MaxBytes, it is renamed to <path>.1 (shifting older
+// generations up, dropping the one past Keep) and a fresh file is
+// opened. Long-lived peers keep a bounded disk footprint instead of an
+// unbounded query log. Safe for concurrent use; each Write is one
+// whole record (slog emits one line per call), so rotation never
+// splits a line.
+type RotatingWriter struct {
+	path     string
+	maxBytes int64
+	keep     int
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// DefaultMaxLogBytes is the rotation threshold when none is given.
+const DefaultMaxLogBytes = 64 << 20
+
+// OpenRotating opens (appending to) path with rotation at maxBytes
+// (default 64 MiB when <= 0), retaining keep rotated generations
+// (default 3 when <= 0): path, path.1 (newest rotated) … path.<keep>.
+func OpenRotating(path string, maxBytes int64, keep int) (*RotatingWriter, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxLogBytes
+	}
+	if keep <= 0 {
+		keep = 3
+	}
+	w := &RotatingWriter{path: path, maxBytes: maxBytes, keep: keep}
+	if err := w.open(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *RotatingWriter) open() error {
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("querylog: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("querylog: stat: %w", err)
+	}
+	w.f, w.size = f, st.Size()
+	return nil
+}
+
+// Write appends one record, rotating first when it would push the file
+// past the cap. A record larger than the cap still lands (in a file of
+// its own) rather than being dropped.
+func (w *RotatingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, os.ErrClosed
+	}
+	if w.size > 0 && w.size+int64(len(p)) > w.maxBytes {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotate closes the current file, shifts the retained generations and
+// opens a fresh one. Called with the lock held.
+func (w *RotatingWriter) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("querylog: rotate close: %w", err)
+	}
+	w.f = nil
+	os.Remove(fmt.Sprintf("%s.%d", w.path, w.keep))
+	for i := w.keep - 1; i >= 1; i-- {
+		os.Rename(fmt.Sprintf("%s.%d", w.path, i), fmt.Sprintf("%s.%d", w.path, i+1))
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return fmt.Errorf("querylog: rotate: %w", err)
+	}
+	return w.open()
+}
+
+// Close closes the current file. Further writes fail.
+func (w *RotatingWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -41,6 +41,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"kadop/internal/admin"
@@ -49,7 +50,9 @@ import (
 	"kadop/internal/fundex"
 	ikadop "kadop/internal/kadop"
 	"kadop/internal/metrics"
+	"kadop/internal/obs/flight"
 	"kadop/internal/obs/querylog"
+	"kadop/internal/obs/slo"
 	"kadop/internal/pattern"
 	"kadop/internal/sid"
 	"kadop/internal/store"
@@ -101,6 +104,21 @@ type (
 	QueryLogger = querylog.Logger
 	// QueryLogOptions tune a QueryLogger (sampling rate).
 	QueryLogOptions = querylog.Options
+	// FlightRecorder is the per-peer forensic ring of recent annotated
+	// events; install one via EnableFlight.
+	FlightRecorder = flight.Recorder
+	// FlightWatchdog snapshots a flight recorder to disk when tripped.
+	FlightWatchdog = flight.Watchdog
+	// SLOEngine evaluates declarative objectives with multi-window
+	// burn-rate alerting; build one via EnableSLO.
+	SLOEngine = slo.Engine
+	// SLOWindow is one burn-rate alert condition (short/long look-back
+	// plus threshold).
+	SLOWindow = slo.Window
+	// SLOAlert is one burn-rate condition newly met.
+	SLOAlert = slo.Alert
+	// SLOStatus is one objective's current evaluation.
+	SLOStatus = slo.Status
 	// FsyncPolicy selects when the index WAL is fsynced (Config.Fsync):
 	// it trades publish throughput for the durability window, never
 	// consistency — a crash under any policy recovers to a committed
@@ -175,22 +193,161 @@ func EnableTracing(p *Peer, capacity int) *Tracer {
 	return tr
 }
 
+// EnableFlight installs a flight recorder retaining the peer's most
+// recent capacity events (4096 if capacity <= 0) and returns it. From
+// then on the peer's RPCs, robustness events, cache misses and query
+// completions land in the ring, dumpable via /debug/flight or
+// Recorder.TakeDump. The recorder stays on in production: recording is
+// one shard-local lock and a struct copy per event.
+func EnableFlight(p *Peer, capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	rec := flight.New(capacity)
+	p.Node().SetFlight(rec)
+	if c := p.BlockCache(); c != nil {
+		c.SetFlight(rec)
+	}
+	return rec
+}
+
+// SLOOptions configure EnableSLO. The zero value is a production-ready
+// default: 99.9% query availability, 99% of queries under ~500ms, the
+// classic SRE multi-window burn-rate pairs, evaluated every 5 seconds.
+type SLOOptions struct {
+	// AvailabilityTarget is the required fraction of queries that
+	// succeed (default 0.999).
+	AvailabilityTarget float64
+	// LatencyTarget is the required fraction of queries at or under
+	// LatencyThreshold (default 0.99).
+	LatencyTarget float64
+	// LatencyThreshold is the latency SLO's cut-off (default 500ms,
+	// rounded up to the owning histogram bucket).
+	LatencyThreshold time.Duration
+	// Windows are the burn-rate alert conditions; the SRE default pairs
+	// (5m/1h at 14.4x pages, 30m/6h at 6x tickets) when empty.
+	Windows []SLOWindow
+	// Interval is the evaluation cadence (default 5s). Negative
+	// disables the background loop — drive Engine.Tick yourself (tests
+	// and experiments use this for determinism).
+	Interval time.Duration
+	// FlightDir, when set, arms a flight watchdog: each burn-rate alert
+	// snapshots the peer's flight recorder into this directory
+	// (rate-limited), so the forensics of the moment the budget started
+	// burning survive the ring. Install the recorder with EnableFlight.
+	FlightDir string
+	// OnAlert additionally receives each burn-rate alert transition.
+	OnAlert func(SLOAlert)
+}
+
+// EnableSLO builds and starts the peer's SLO engine with two
+// objectives over counters the peer already maintains:
+//
+//	query-availability  queries that did not error
+//	query-latency       queries at or under the latency threshold
+//
+// Burn rates and verdicts are exported as kadop_slo_* gauges on
+// /metrics (and /debug/slo via ServeDebug), where kadop-top picks them
+// up for the cluster health verdict. The returned stop function halts
+// the background evaluation loop.
+func EnableSLO(p *Peer, o SLOOptions) (*SLOEngine, func(), error) {
+	if o.AvailabilityTarget == 0 {
+		o.AvailabilityTarget = 0.999
+	}
+	if o.LatencyTarget == 0 {
+		o.LatencyTarget = 0.99
+	}
+	if o.LatencyThreshold <= 0 {
+		o.LatencyThreshold = 500 * time.Millisecond
+	}
+	reg := p.Node().Registry()
+	queries := reg.Counter("kadop_queries_total", "Queries evaluated by this peer.")
+	errors := reg.Counter("kadop_query_errors_total", "Queries that failed (after retries and partial-result handling).")
+	onAlert := o.OnAlert
+	if o.FlightDir != "" {
+		// The watchdog resolves the recorder lazily at the first alert, so
+		// EnableFlight and EnableSLO may be called in either order.
+		var wd *FlightWatchdog
+		var once sync.Once
+		dir, user := o.FlightDir, o.OnAlert
+		onAlert = func(a SLOAlert) {
+			once.Do(func() { wd = flight.NewWatchdog(p.Node().Flight(), dir, 0) })
+			wd.Trip(a.String())
+			if user != nil {
+				user(a)
+			}
+		}
+	}
+	eng, err := slo.New(slo.Config{
+		Objectives: []slo.Objective{
+			{
+				Name:        "query-availability",
+				Description: fmt.Sprintf("%.4g%% of queries succeed", o.AvailabilityTarget*100),
+				Target:      o.AvailabilityTarget,
+				Source: slo.CounterSource(
+					func() int64 { return queries.Value() - errors.Value() },
+					errors.Value,
+				),
+			},
+			{
+				Name:        "query-latency",
+				Description: fmt.Sprintf("%.4g%% of queries under %s", o.LatencyTarget*100, o.LatencyThreshold),
+				Target:      o.LatencyTarget,
+				Source:      slo.LatencySource(p.Node().Metrics(), metrics.OpQueryTotal, o.LatencyThreshold),
+			},
+		},
+		Windows:  o.Windows,
+		Registry: reg,
+		OnAlert:  onAlert,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.Interval < 0 {
+		return eng, func() {}, nil
+	}
+	return eng, eng.Start(o.Interval), nil
+}
+
+// ParseSLOTarget parses a "99.9" / "0.999"-style SLO target into a
+// fraction; values above 1 are read as percentages (the kadop-peer
+// -slo-* flags).
+func ParseSLOTarget(s string) (float64, error) { return slo.ParseTarget(s) }
+
+// DebugOptions select what the introspection endpoint exposes beyond
+// the peer's always-available sections (metrics, load, peer, cache,
+// flight).
+type DebugOptions struct {
+	// Tracer exposes /debug/traces (from EnableTracing).
+	Tracer *Tracer
+	// SLO exposes /debug/slo (from EnableSLO).
+	SLO *SLOEngine
+	// Pprof mounts the net/http/pprof profiling handlers — off by
+	// default because the debug address is often bound on a reachable
+	// interface.
+	Pprof bool
+	// BuildInfo adds kadop_build_info and the process start-time gauge
+	// to /metrics. The binaries turn it on.
+	BuildInfo bool
+}
+
 // ServeDebug starts the live introspection endpoint for a peer on addr
 // (e.g. "127.0.0.1:6060"): /metrics (Prometheus exposition),
-// /debug/metrics, /debug/load, /debug/traces and /debug/peer. It
-// returns the bound address and a shutdown function. Pass the peer's
-// tracer (from EnableTracing) to expose its recent traces; nil leaves
-// that section empty. pprof gates the net/http/pprof profiling
-// handlers — off by default because the debug address is often bound
-// on a reachable interface.
-func ServeDebug(addr string, p *Peer, tr *Tracer, pprof bool) (string, func() error, error) {
+// /debug/metrics, /debug/load, /debug/traces, /debug/peer,
+// /debug/flight and /debug/slo. It returns the bound address and a
+// shutdown function. The peer's flight recorder (EnableFlight) is
+// picked up automatically; tracer and SLO engine are passed through
+// DebugOptions.
+func ServeDebug(addr string, p *Peer, o DebugOptions) (string, func() error, error) {
 	return admin.Serve(addr, admin.Options{
 		Collector: p.Node().Metrics(),
-		Tracer:    tr,
+		Tracer:    o.Tracer,
 		Node:      p.Node(),
 		Docs:      p.DocumentCount,
 		Cache:     p.BlockCache(),
-		Pprof:     pprof,
+		Pprof:     o.Pprof,
+		SLO:       o.SLO,
+		BuildInfo: o.BuildInfo,
 	})
 }
 
@@ -199,6 +356,14 @@ func ServeDebug(addr string, p *Peer, tr *Tracer, pprof bool) (string, func() er
 // -log flag is a thin wrapper around this.
 func NewQueryLog(w io.Writer, o QueryLogOptions) *QueryLogger {
 	return querylog.New(w, o)
+}
+
+// OpenRotatingLog opens a size-capped JSONL sink for NewQueryLog:
+// when path would exceed maxBytes (64MiB if <= 0) it is rotated to
+// path.1 … path.<keep> (3 if <= 0) and a fresh file opened, so a
+// long-lived peer's query log has a bounded disk footprint.
+func OpenRotatingLog(path string, maxBytes int64, keep int) (io.WriteCloser, error) {
+	return querylog.OpenRotating(path, maxBytes, keep)
 }
 
 // SimCluster is an in-process deployment: every peer runs over the
