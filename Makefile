@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-smoke fuzz-smoke crash-smoke churn-smoke slo-smoke
+.PHONY: build test check bench bench-smoke fuzz-smoke crash-smoke churn-smoke slo-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,15 @@ test:
 # check is the tier-1 verification gate: vet plus the full test suite
 # under the race detector (the chaos tests exercise concurrent retries,
 # repair and fault injection), then the seeded crash-recovery sweep,
-# the churn emulation and the SLO/flight-recorder overload run at
-# smoke scale.
+# the churn emulation, the SLO/flight-recorder overload run and the
+# adaptive-replication load gate at smoke scale.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) crash-smoke
 	$(MAKE) churn-smoke
 	$(MAKE) slo-smoke
+	$(MAKE) load-smoke
 
 # churn-smoke runs the churn emulation harness at its smallest scale: a
 # seeded join/leave/crash schedule over a replicated overlay, asserting
@@ -35,6 +36,15 @@ churn-smoke:
 # histogram exemplars. Deterministic: same seed, same fault schedule.
 slo-smoke:
 	$(GO) run ./cmd/kadop-bench -exp slo -short
+
+# load-smoke is the closed-loop skew gate: the load experiment's
+# adaptive phase replays the same seeded Zipf stream before and after
+# the replication controllers engage and exits non-zero unless the
+# controllers promoted and BOTH the per-peer serving-load Gini and the
+# query latency p99 strictly improved. Deterministic: same seed, same
+# query mix in both phases.
+load-smoke:
+	$(GO) run ./cmd/kadop-bench -exp load -short
 
 # crash-smoke is the durability gate: the crash-injection property and
 # sweep tests at a fixed, deeper trial budget than the default `go
@@ -64,9 +74,10 @@ bench-smoke:
 	$(GO) run ./cmd/kadop-top -selftest 4
 
 # fuzz-smoke runs each fuzz target for 30s on top of its checked-in
-# seed corpus: the pattern parser, the posting codec, and the DHT
-# message codec.
+# seed corpus: the pattern parser, the posting codec, the DHT message
+# codec, and the replica-advertisement codec.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/pattern/
 	$(GO) test -run='^$$' -fuzz=FuzzCodec -fuzztime=30s ./internal/postings/
 	$(GO) test -run='^$$' -fuzz=FuzzMessage -fuzztime=30s ./internal/dht/
+	$(GO) test -run='^$$' -fuzz=FuzzReplicaSetCodec -fuzztime=30s ./internal/replicate/

@@ -36,6 +36,12 @@ func main() {
 		cache     = flag.Int64("cache", 0, "posting-block cache capacity in bytes (0 = off; effective with -dpp)")
 		repl      = flag.Int("replication", 1, "index replication factor (all peers of a deployment must agree)")
 		repair    = flag.Duration("repair", 0, "replica repair cadence, e.g. 30s (0 = off; needs -replication > 1)")
+		replicate = flag.Duration("replicate", 0, "adaptive hot-term replication control-loop cadence, e.g. 10s (0 = off)")
+		replExtra = flag.Int("replicate-extra", 2, "extra replicas a promoted hot term gets (with -replicate)")
+		replHot   = flag.Int64("replicate-hot", 16<<10, "promotion threshold: bytes of a term served per decay window (with -replicate)")
+		replLease = flag.Duration("replicate-lease", 30*time.Second, "replica advertisement lease TTL (with -replicate)")
+		shedRate  = flag.Float64("shed-rate", 0, "admission gate: sustained reads/second served before shedding (0 = off)")
+		shedBurst = flag.Float64("shed-burst", 0, "admission gate burst headroom in reads (default max(shed-rate,1))")
 		refresh   = flag.Duration("refresh", 5*time.Minute, "stale routing-bucket refresh cadence (0 = off)")
 		republish = flag.Duration("republish", 0, "directory re-registration cadence, e.g. 5m (0 = off)")
 		probeTO   = flag.Duration("probe-timeout", 2*time.Second, "liveness probe timeout before evicting a failed contact (0 = evict immediately)")
@@ -65,6 +71,17 @@ func main() {
 		UseDPP: *useDPP, CacheBytes: *cache, DHT: deployDHT(*repl, *repair, *refresh, *probeTO),
 		DataDir: *dataDir, Fsync: fsync, RepublishInterval: *republish,
 		SlowQuery: *slowQuery,
+		ShedRate:  *shedRate, ShedBurst: *shedBurst,
+	}
+	if *replicate > 0 {
+		cfg.Replicate = kadop.ReplicateConfig{
+			Enabled:  true,
+			Interval: *replicate,
+			Extra:    *replExtra,
+			HotBytes: *replHot,
+			Lease:    *replLease,
+			Seed:     int64(*id),
+		}
 	}
 	// A restart is a start whose data directory already has an index.
 	restarting := false

@@ -90,6 +90,16 @@ type Message struct {
 	// untraced message costs two extra zero bytes on the wire.
 	TraceID uint64
 	SpanID  uint64
+	// Gauge piggybacks the responder's recent-load reading (1 +
+	// bytes served over the last control windows) on every response,
+	// so clients learn replica load from traffic they already pay
+	// for. Zero means "no reading attached" (requests, old peers);
+	// the +1 keeps a genuinely idle responder distinguishable.
+	Gauge uint64
+	// Shed piggybacks whether the responder's admission gate is
+	// currently rejecting reads, steering replica selection away
+	// before a request is burned on an overload rejection.
+	Shed bool
 }
 
 // rpcOp returns the fixed histogram operation name for a message type,
@@ -189,6 +199,12 @@ func (m Message) Encode() ([]byte, error) {
 	buf = appendString(buf, m.Err)
 	buf = binary.AppendUvarint(buf, m.TraceID)
 	buf = binary.AppendUvarint(buf, m.SpanID)
+	buf = binary.AppendUvarint(buf, m.Gauge)
+	if m.Shed {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
 	return buf, nil
 }
 
@@ -229,6 +245,8 @@ func DecodeMessage(buf []byte) (Message, error) {
 	m.Err = r.str()
 	m.TraceID = r.uvarint()
 	m.SpanID = r.uvarint()
+	m.Gauge = r.uvarint()
+	m.Shed = r.byte() != 0
 	if r.err != nil {
 		return m, fmt.Errorf("dht: decode message: %w", r.err)
 	}

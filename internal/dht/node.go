@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -117,6 +118,12 @@ type Node struct {
 	tracer    atomic.Pointer[trace.Tracer]
 	flight    atomic.Pointer[flight.Recorder]
 
+	// gate is the optional read-admission controller (see SetShedGate);
+	// gauges remembers the last piggybacked load advertisement per
+	// remote peer, feeding power-of-two-choices replica selection.
+	gate   atomic.Pointer[ShedGate]
+	gauges gaugeCache
+
 	mu          sync.RWMutex
 	procs       map[string]ProcHandler
 	streamProcs map[string]StreamProcHandler
@@ -192,6 +199,16 @@ func (n *Node) from() Contact {
 // Store exposes the local index store (used by the KadoP layer for
 // local index organisation such as DPP blocks).
 func (n *Node) Store() store.Store { return n.store }
+
+// quietStore returns the store without its load instrumentation, for
+// maintenance reads (replication pushes) that must not register as
+// serving demand in the hot-term sketch.
+func (n *Node) quietStore() store.Store {
+	if u, ok := n.store.(*store.Instrumented); ok {
+		return u.Unwrap()
+	}
+	return n.store
+}
 
 // Metrics exposes the node's collector (the transport's, when the
 // transport accounts traffic). May be nil; the collector's methods are
@@ -270,6 +287,9 @@ func (n *Node) call(ctx context.Context, to Contact, req Message) (Message, erro
 	if err != nil && Retryable(err) && !to.ID.IsZero() {
 		n.noteFailure(to)
 	}
+	// Even an error response (a shed read, say) carries the responder's
+	// load gauge — that rejection is exactly when selection needs it.
+	n.noteGauge(to.Addr, resp)
 	dur := time.Since(start)
 	n.collector.Observe(rpcOp(req.Type), dur)
 	n.countPeerRPC(rpcOp(req.Type), to, err)
@@ -774,6 +794,7 @@ func (n *Node) streamFromPolicy(ctx context.Context, owner Contact, req Message,
 				pipe.Close(err)
 				return
 			}
+			n.noteGauge(owner.Addr, m)
 			if !pipe.Send(m.Postings) {
 				ms.Close()
 				return
@@ -1154,7 +1175,13 @@ func (n *Node) serverContext(req Message) (context.Context, *trace.Span) {
 }
 
 // HandleCall implements Handler (the server side of the wire protocol).
+// Every response leaves with the peer's load gauge stamped on it, so
+// regular traffic doubles as replica-load advertisement.
 func (n *Node) HandleCall(from Contact, req Message) Message {
+	return n.stampGauge(n.handleCall(from, req))
+}
+
+func (n *Node) handleCall(from Contact, req Message) Message {
 	if !from.ID.IsZero() {
 		n.table.Update(from)
 	}
@@ -1174,6 +1201,9 @@ func (n *Node) HandleCall(from Contact, req Message) Message {
 		}
 		return Message{Type: MsgAck, From: n.self}
 	case MsgGet:
+		if err := n.admitRead(rpcOp(req.Type)); err != nil {
+			return fail(err)
+		}
 		l, err := n.store.Get(req.Key)
 		if err != nil {
 			return fail(err)
@@ -1225,25 +1255,41 @@ func (n *Node) HandleCall(from Contact, req Message) Message {
 	return fail(fmt.Errorf("unexpected message type %s", req.Type))
 }
 
-// HandleStream implements Handler for pipelined transfers.
+// HandleStream implements Handler for pipelined transfers. Outgoing
+// chunks carry the peer's load gauge like call responses do, and the
+// posting-read streams pass the admission gate: a shed stream fails
+// before any store work, and the rejection reaches the consumer as a
+// stream error it answers by failing over to another replica.
 func (n *Node) HandleStream(from Contact, req Message, send func(Message) error) error {
 	if !from.ID.IsZero() {
 		n.table.Update(from)
 	}
 	ctx, sp := n.serverContext(req)
 	defer sp.Finish()
+	stamped := func(m Message) error { return send(n.stampGauge(m)) }
 	switch req.Type {
 	case MsgGetStream:
-		return n.streamList(req.Key, send)
+		if err := n.admitRead(rpcOp(req.Type)); err != nil {
+			return err
+		}
+		return n.streamList(req.Key, stamped)
 	case MsgGetBatch:
-		return n.streamBatch(req, send)
+		if err := n.admitRead(rpcOp(req.Type)); err != nil {
+			return err
+		}
+		return n.streamBatch(req, stamped)
 	case MsgApp:
 		h := n.lookupStreamProc(req.Proc)
 		if h == nil {
 			return fmt.Errorf("unknown stream procedure %q", req.Proc)
 		}
+		if strings.HasPrefix(req.Proc, "stream:") {
+			if err := n.admitRead(rpcOp(req.Type)); err != nil {
+				return err
+			}
+		}
 		return h(ctx, from, req.Key, req.Blob, func(batch postings.List) error {
-			return send(Message{Type: MsgChunk, From: n.self, Postings: batch})
+			return stamped(Message{Type: MsgChunk, From: n.self, Postings: batch})
 		})
 	}
 	return fmt.Errorf("unexpected stream request %s", req.Type)

@@ -23,12 +23,15 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"kadop/internal/blockcache"
 	"kadop/internal/dht"
 	"kadop/internal/postings"
+	"kadop/internal/replicate"
 	"kadop/internal/sid"
 )
 
@@ -65,6 +68,11 @@ type BlockRef struct {
 	// conditions carry type information so queries can skip blocks whose
 	// types cannot match). Empty means untyped content: never skipped.
 	Types []string
+	// Replicas are extra peers currently advertised as holding a pushed
+	// copy of this block (adaptive hot-term replication). Attached by
+	// the home peer at serve time from its leased advertisements; never
+	// part of the persisted root state.
+	Replicas []string
 }
 
 // Root is the root DPP block for one term. A term that has not
@@ -83,6 +91,9 @@ type Root struct {
 	// Types are the document types of the term's postings (inline or
 	// across all blocks); empty means untyped.
 	Types []string
+	// Replicas are extra peers advertised as holding a pushed copy of
+	// the inline list (see BlockRef.Replicas).
+	Replicas []string
 }
 
 // maxTrackedTypes caps per-condition type sets; content with more
@@ -137,11 +148,27 @@ type Manager struct {
 
 	persistPath string // "" = memory-only
 
+	now func() time.Time
+
 	mu          sync.Mutex
 	roots       map[string]*Root
 	inlineTypes map[string][]string // term -> types of its inline list
 	inlineGen   map[string]uint64   // term -> inline list generation
 	next        int                 // pseudo-key counter
+	// ads holds the leased replica advertisements installed by
+	// replication controllers (keyed by store key). Runtime-only state:
+	// leases expire on their own, so it is never persisted.
+	ads map[string]adEntry
+
+	selMu sync.Mutex
+	sel   *rand.Rand // replica-selection randomness (seeded)
+}
+
+// adEntry is one leased replica advertisement.
+type adEntry struct {
+	replicas []string
+	count    uint64
+	expire   int64 // unix nanoseconds
 }
 
 // Options configure a Manager.
@@ -165,6 +192,12 @@ type Options struct {
 	// its terms' overflow blocks live. The blocks themselves are index
 	// postings and persist through the node's store.
 	PersistPath string
+	// Now injects a clock for advertisement-lease checks (default
+	// time.Now; the experiments drive it synthetically).
+	Now func() time.Time
+	// Seed drives the replica-selection randomness of the fetch path
+	// (default 1, so seeded runs pick reproducible replicas).
+	Seed int64
 }
 
 // NewManager creates the DPP manager for a node and registers its
@@ -179,13 +212,23 @@ func NewManager(node *dht.Node, opts Options) (*Manager, error) {
 	m := &Manager{node: node, blockSize: bs, ordered: !opts.RandomSplit,
 		cache: opts.Cache, persistPath: opts.PersistPath,
 		roots: map[string]*Root{}, inlineTypes: map[string][]string{},
-		inlineGen: map[string]uint64{}}
+		inlineGen: map[string]uint64{}, ads: map[string]adEntry{},
+		now: opts.Now}
+	if m.now == nil {
+		m.now = time.Now
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	m.sel = rand.New(rand.NewSource(seed + 0x9e1ec7))
 	if err := m.load(); err != nil {
 		return nil, err
 	}
 	node.Handle(ProcAppend, m.handleAppend)
 	node.Handle(ProcDelete, m.handleDelete)
 	node.Handle(ProcRoot, m.handleRoot)
+	node.Handle(replicate.ProcAdvert, m.handleAdvert)
 	node.HandleStreamProc(ProcBlock, m.handleBlock)
 	return m, nil
 }
@@ -458,9 +501,50 @@ func (m *Manager) splitBlock(root *Root, bi int) error {
 	return nil
 }
 
+// handleAdvert installs (or, with an empty replica list, revokes) a
+// leased replica advertisement pushed by a replication controller. The
+// advertisement's count pins the copy's freshness: handleRoot only
+// serves it while the local count still matches, so an append that
+// lands after the push silently disables the stale replicas until the
+// controller re-pushes and re-advertises.
+func (m *Manager) handleAdvert(_ context.Context, _ dht.Contact, _ string, blob []byte) ([]byte, error) {
+	ad, err := replicate.DecodeSet(blob)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(ad.Replicas) == 0 || ad.Expire <= m.now().UnixNano() {
+		delete(m.ads, ad.Key)
+		return nil, nil
+	}
+	m.ads[ad.Key] = adEntry{replicas: ad.Replicas, count: ad.Count, expire: ad.Expire}
+	return nil, nil
+}
+
+// adReplicas returns the advertised replicas for a store key if the
+// lease is live and the advertised count matches the current one,
+// garbage-collecting dead entries. Caller holds m.mu.
+func (m *Manager) adReplicas(key string, count int) []string {
+	ad, ok := m.ads[key]
+	if !ok {
+		return nil
+	}
+	if ad.expire <= m.now().UnixNano() {
+		delete(m.ads, key)
+		return nil
+	}
+	if ad.count != uint64(count) {
+		return nil
+	}
+	return ad.replicas
+}
+
 // handleRoot serves the root block of a term this peer is home for.
 // A term that never overflowed reports itself inline, with its local
-// list's bounds attached for the document-interval computation.
+// list's bounds attached for the document-interval computation. Live
+// replica advertisements ride along, so query peers learn the extra
+// holders of a hot term from the root fetch they make anyway.
 func (m *Manager) handleRoot(_ context.Context, _ dht.Contact, term string, _ []byte) ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -480,9 +564,19 @@ func (m *Manager) handleRoot(_ context.Context, _ dht.Contact, term string, _ []
 		if err != nil {
 			return nil, err
 		}
+		inline.Replicas = m.adReplicas(term, inline.Count)
 		return encodeRoot(inline), nil
 	}
-	return encodeRoot(root), nil
+	if len(m.ads) == 0 {
+		return encodeRoot(root), nil
+	}
+	// Attach advertisements on a copy; the stored root stays ad-free.
+	served := *root
+	served.Blocks = append([]BlockRef(nil), root.Blocks...)
+	for i := range served.Blocks {
+		served.Blocks[i].Replicas = m.adReplicas(served.Blocks[i].Key, served.Blocks[i].Count)
+	}
+	return encodeRoot(&served), nil
 }
 
 // handleBlock streams a block's postings, clipped to the requested
@@ -555,6 +649,7 @@ func encodeRoot(r *Root) []byte {
 	buf = appendPosting(buf, r.Lo)
 	buf = appendPosting(buf, r.Hi)
 	buf = appendStrs(buf, r.Types)
+	buf = appendStrs(buf, r.Replicas)
 	buf = binary.AppendUvarint(buf, uint64(len(r.Blocks)))
 	for _, b := range r.Blocks {
 		buf = appendStr(buf, b.Key)
@@ -564,6 +659,7 @@ func encodeRoot(r *Root) []byte {
 		buf = binary.AppendUvarint(buf, uint64(b.Count))
 		buf = binary.AppendUvarint(buf, b.Gen)
 		buf = appendStrs(buf, b.Types)
+		buf = appendStrs(buf, b.Replicas)
 	}
 	return buf
 }
@@ -627,6 +723,9 @@ func decodeRoot(buf []byte) (*Root, error) {
 	if r.Types, pos, err = readStrs(buf, pos); err != nil {
 		return nil, err
 	}
+	if r.Replicas, pos, err = readStrs(buf, pos); err != nil {
+		return nil, err
+	}
 	n, sz := binary.Uvarint(buf[pos:])
 	if sz <= 0 || n > uint64(len(buf)) {
 		return nil, fmt.Errorf("dpp: decode root: bad block count")
@@ -659,6 +758,9 @@ func decodeRoot(buf []byte) (*Root, error) {
 		pos += sz
 		b.Gen = bg
 		if b.Types, pos, err = readStrs(buf, pos); err != nil {
+			return nil, err
+		}
+		if b.Replicas, pos, err = readStrs(buf, pos); err != nil {
 			return nil, err
 		}
 		r.Blocks = append(r.Blocks, b)

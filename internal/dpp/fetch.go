@@ -12,6 +12,7 @@ import (
 	"kadop/internal/dht"
 	"kadop/internal/metrics"
 	"kadop/internal/postings"
+	"kadop/internal/replicate"
 	"kadop/internal/sid"
 	"kadop/internal/trace"
 )
@@ -295,6 +296,28 @@ func (m *Manager) fetchInline(ctx context.Context, root *Root, opts FetchOptions
 			return postings.NewSliceStream(l), plan, nil
 		}
 	}
+	if len(root.Replicas) > 0 && root.Count > 0 {
+		// A hot inline list advertises leased replicas on its root.
+		// Probe them in shed-aware power-of-two-choices order, draining
+		// eagerly (an inline list is at most one block), and trust a
+		// copy only if it is as complete as the root promised — a
+		// demoted or mid-push replica answers short and is skipped.
+		for _, addr := range m.orderCandidates("", root.Replicas) {
+			l, err := m.probeBlock(ctx, addr, root.Term, nil)
+			if err != nil || len(l) < root.Count {
+				continue
+			}
+			if m.cache != nil {
+				m.cache.Add(key, l)
+			}
+			if opts.Filter {
+				l = l.ClipDocs(opts.FilterLo, opts.FilterHi)
+			}
+			return postings.NewSliceStream(l), plan, nil
+		}
+		// Every replica failed or was stale: the home peer is still the
+		// source of truth, so fall through to the routed stream.
+	}
 	s, err := m.node.GetStreamContext(ctx, root.Term)
 	if err != nil {
 		return nil, nil, err
@@ -367,43 +390,62 @@ func (m *Manager) fetchBatch(ctx context.Context, owner string, keys []string) (
 	return got, err
 }
 
-// fetchBlock contacts the block's holder and drains its (possibly
-// clipped) stream. The holder recorded in the root block is probed with
-// a single attempt; on failure the fetch ROTATES to a freshly located
-// replica before any retrying, so a stale pointer costs one failed
-// probe instead of the whole retry budget.
+// orderCandidates builds the probe order over a block's known holders
+// — the recorded owner plus any leased replica advertisements — using
+// shed-aware power-of-two-choices over the load gauges piggybacked on
+// past responses. A peer with no known gauge ranks as idle, so a fresh
+// replica gets probed rather than starved.
+func (m *Manager) orderCandidates(primary string, replicas []string) []string {
+	seen := map[string]bool{}
+	var addrs []string
+	for _, a := range append([]string{primary}, replicas...) {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		addrs = append(addrs, a)
+	}
+	if len(addrs) <= 1 {
+		return addrs
+	}
+	cands := make([]replicate.PeerLoad, len(addrs))
+	for i, a := range addrs {
+		load, shed, known := m.node.PeerGauge(a)
+		cands[i] = replicate.PeerLoad{Addr: a, Load: load, Shed: shed, Known: known}
+	}
+	m.selMu.Lock()
+	order := replicate.Order(cands, m.sel)
+	m.selMu.Unlock()
+	out := make([]string, len(order))
+	for i, idx := range order {
+		out[i] = addrs[idx]
+	}
+	return out
+}
+
+// probeBlock opens a single-attempt stream for key at addr and drains
+// it. Streams open optimistically, so an admission-gate rejection (or
+// any other server-side error) surfaces here as a drain error — which
+// is exactly what lets callers fail over to the next holder.
+func (m *Manager) probeBlock(ctx context.Context, addr, key string, intervalBlob []byte) (postings.List, error) {
+	c := dht.Contact{ID: dht.PeerIDFromSeed(addr), Addr: addr}
+	s, err := m.node.OpenProcStreamOnceContext(ctx, c, key, ProcBlock, intervalBlob)
+	if err != nil {
+		return nil, err
+	}
+	return postings.Drain(s)
+}
+
+// fetchBlock drains a block's (possibly clipped) stream from one of its
+// holders. Each known holder — the recorded owner plus any advertised
+// replicas, in shed-aware power-of-two-choices order — gets a single
+// probe; a failed or stale probe fails over to the next. Only when all
+// probes miss does the fetch ROTATE to a freshly located holder and
+// finally spend the full retry budget there, so a stale pointer or a
+// shedding replica costs one failed probe instead of the whole budget.
 func (m *Manager) fetchBlock(ctx context.Context, b BlockRef, intervalBlob []byte) (postings.List, error) {
 	start := time.Now()
-	located := false
-	owner := dht.Contact{ID: dht.PeerIDFromSeed(b.Owner), Addr: b.Owner}
-	if b.Owner == "" {
-		var err error
-		owner, err = m.node.LocateContext(ctx, b.Key)
-		if err != nil {
-			return nil, err
-		}
-		located = true
-	}
-	s, err := m.node.OpenProcStreamOnceContext(ctx, owner, b.Key, ProcBlock, intervalBlob)
-	if err != nil && !located {
-		// Rotate: route the pseudo-key to the current holder and probe
-		// that once too, before spending retries anywhere.
-		if loc, lerr := m.node.LocateContext(ctx, b.Key); lerr == nil {
-			if loc.Addr != owner.Addr {
-				owner = loc
-				s, err = m.node.OpenProcStreamOnceContext(ctx, owner, b.Key, ProcBlock, intervalBlob)
-			}
-		}
-	}
-	if err != nil {
-		// Every candidate failed its probe: the full retry/backoff budget
-		// now goes to the routed holder (transient faults heal here).
-		s, err = m.node.OpenProcStreamContext(ctx, owner, b.Key, ProcBlock, intervalBlob)
-		if err != nil {
-			return nil, err
-		}
-	}
-	list, err := postings.Drain(s)
+	list, err := m.fetchBlockFailover(ctx, b, intervalBlob)
 	dur := time.Since(start)
 	m.node.Metrics().Observe(metrics.OpDPPFetch, dur)
 	if sp := trace.FromContext(ctx); sp != nil {
@@ -415,6 +457,43 @@ func (m *Manager) fetchBlock(ctx context.Context, b BlockRef, intervalBlob []byt
 		}
 	}
 	return list, err
+}
+
+func (m *Manager) fetchBlockFailover(ctx context.Context, b BlockRef, intervalBlob []byte) (postings.List, error) {
+	tried := map[string]bool{}
+	for _, addr := range m.orderCandidates(b.Owner, b.Replicas) {
+		tried[addr] = true
+		list, err := m.probeBlock(ctx, addr, b.Key, intervalBlob)
+		if err != nil {
+			continue // dead, shed, or unreachable: next holder
+		}
+		if len(list) == 0 && b.Count > 0 && addr != b.Owner {
+			// An advertised replica answering empty for a block that has
+			// postings is stale (demoted, or its push never finished):
+			// treat it as a miss, not as truth.
+			continue
+		}
+		return list, nil
+	}
+	// Rotate: route the pseudo-key to the current holder and, if the
+	// probes above did not already cover it, probe that once too before
+	// spending retries anywhere.
+	owner, err := m.node.LocateContext(ctx, b.Key)
+	if err != nil {
+		return nil, err
+	}
+	if !tried[owner.Addr] {
+		if list, err := m.probeBlock(ctx, owner.Addr, b.Key, intervalBlob); err == nil {
+			return list, nil
+		}
+	}
+	// Every candidate failed its probe: the full retry/backoff budget
+	// now goes to the routed holder (transient faults heal here).
+	s, err := m.node.OpenProcStreamContext(ctx, owner, b.Key, ProcBlock, intervalBlob)
+	if err != nil {
+		return nil, err
+	}
+	return postings.Drain(s)
 }
 
 // teeStream accumulates a fully drained stream into the block cache.

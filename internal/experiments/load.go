@@ -62,10 +62,16 @@ var loadQueries = []string{
 type LoadResult struct {
 	Off *cluster.Report // conventional: whole lists at their home peers
 	On  *cluster.Report // DPP: lists split into distributed blocks
+	// Adaptive is the closed-loop variant: hot lists start inline at
+	// their home peers and the replication controllers engage mid-run.
+	Adaptive *AdaptiveResult
 }
 
 // RunLoad measures per-peer serving load under a skewed DBLP workload
-// with the DPP off and on.
+// with the DPP off and on, then runs the adaptive-replication phase.
+// It returns an error (with the result still populated) when the
+// adaptive phase fails its strict improvement assertions, so the load
+// smoke gate in CI fails loudly if the closed loop regresses.
 func RunLoad(o LoadOptions) (*LoadResult, error) {
 	o = o.defaults()
 	res := &LoadResult{}
@@ -80,7 +86,12 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 			res.Off = rep
 		}
 	}
-	return res, nil
+	ad, err := runLoadAdaptive(o)
+	if err != nil {
+		return nil, err
+	}
+	res.Adaptive = ad
+	return res, ad.check(!raceEnabled)
 }
 
 func runLoadVariant(o LoadOptions, useDPP bool) (*cluster.Report, error) {
@@ -148,6 +159,9 @@ func (r *LoadResult) Format() string {
 		b.WriteString("DPP flattens the serving load, as in the paper's Section 4 motivation.\n")
 	} else {
 		b.WriteString("WARNING: DPP did not flatten the load at this scale.\n")
+	}
+	if r.Adaptive != nil {
+		b.WriteString(r.Adaptive.Format())
 	}
 	return b.String()
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is on. Wall-clock
+// latency assertions are only trusted without it: the detector's
+// scheduling overhead adds noise on the order of the margins the
+// adaptive gate measures.
+const raceEnabled = false

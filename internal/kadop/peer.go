@@ -29,6 +29,7 @@ import (
 	"kadop/internal/obs/querylog"
 	"kadop/internal/pattern"
 	"kadop/internal/postings"
+	"kadop/internal/replicate"
 	"kadop/internal/sid"
 	"kadop/internal/store"
 	"kadop/internal/twigjoin"
@@ -103,6 +104,19 @@ type Config struct {
 	// way postings need the repair loop. Zero (the default) disables the
 	// loop.
 	RepublishInterval time.Duration
+	// Replicate configures the adaptive hot-term replication controller
+	// (internal/replicate). The zero value keeps the seed behaviour: no
+	// promotion, no advertisements. With Enabled set the peer builds a
+	// controller; Interval > 0 additionally starts its background loop
+	// (experiments with synthetic clocks leave it zero and drive Tick).
+	Replicate replicate.Config
+	// ShedRate, when positive, arms the admission gate on this peer's
+	// read-serving path: sustained read admissions per second, with
+	// ShedBurst (default max(ShedRate,1)) of headroom. Over-budget
+	// reads answer the retryable overload error so clients fail over to
+	// another replica instead of queueing here. Zero disables shedding.
+	ShedRate  float64
+	ShedBurst float64
 	// SlowQuery, when positive, is the slow-query capture threshold:
 	// any query at least this slow is written to the query log with its
 	// full trace tree attached, bypassing the log's sampling — the tail
@@ -149,7 +163,8 @@ type Peer struct {
 	persist    *statePersist // nil unless Config.DataDir is set
 	ownedStore io.Closer     // index store closed by Close (NewTCPPeer)
 
-	stopRepub func() // stops the republish loop; nil when disabled
+	stopRepub func()                // stops the republish loop; nil when disabled
+	ctrl      *replicate.Controller // adaptive replication; nil when disabled
 }
 
 // NewPeer creates a KadoP peer with internal identifier id on an
@@ -183,7 +198,20 @@ func NewPeer(node *dht.Node, id sid.PeerID, cfg Config) (*Peer, error) {
 			return nil, err
 		}
 	}
+	if cfg.ShedRate > 0 {
+		node.SetShedGate(replicate.NewGate(cfg.ShedRate, cfg.ShedBurst, cfg.Replicate.Now))
+	}
+	if cfg.Replicate.Enabled {
+		p.ctrl = replicate.NewController(node, cfg.Replicate)
+		p.ctrl.Start() // no-op unless Interval > 0
+	}
 	if cfg.UseDPP {
+		if cfg.DPP.Now == nil {
+			cfg.DPP.Now = cfg.Replicate.Now // one synthetic clock end to end
+		}
+		if cfg.DPP.Seed == 0 {
+			cfg.DPP.Seed = cfg.DHT.Seed
+		}
 		if cfg.CacheBytes > 0 && cfg.DPP.Cache == nil {
 			cfg.DPP.Cache = blockcache.New(blockcache.Options{MaxBytes: cfg.CacheBytes})
 			cfg.DPP.Cache.SetCollector(node.Metrics())
@@ -282,6 +310,7 @@ func (p *Peer) Close() error {
 	if p.stopRepub != nil {
 		p.stopRepub()
 	}
+	p.ctrl.Stop()
 	err := p.node.Close()
 	if p.ownedStore != nil {
 		if cerr := p.ownedStore.Close(); err == nil {
@@ -305,6 +334,9 @@ func (p *Peer) Leave(ctx context.Context) (int, error) {
 	if p.stopRepub != nil {
 		p.stopRepub()
 	}
+	// Stop promoting before handing off: a controller pushing copies
+	// mid-departure would race the handoff's ownership view.
+	p.ctrl.Stop()
 	p.handoffDir(ctx)
 	moved, err := p.node.Leave(ctx)
 	if cerr := p.Close(); err == nil {
@@ -411,6 +443,10 @@ func (p *Peer) ID() sid.PeerID { return p.id }
 
 // DPP returns the peer's DPP manager (nil when disabled).
 func (p *Peer) DPP() *dpp.Manager { return p.dpp }
+
+// Replicator returns the peer's adaptive replication controller (nil
+// when disabled); experiments with synthetic clocks drive its Tick.
+func (p *Peer) Replicator() *replicate.Controller { return p.ctrl }
 
 // BlockCache returns the peer's posting-block cache, or nil when
 // caching (or DPP) is disabled.

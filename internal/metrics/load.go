@@ -31,6 +31,8 @@ type Load struct {
 	appends        atomic.Int64
 	appendPostings atomic.Int64
 	appendBytes    atomic.Int64
+	recent         atomic.Int64
+	prevRecent     atomic.Int64
 	hot            *SpaceSaving
 }
 
@@ -52,6 +54,7 @@ func (l *Load) Serve(term string, n int) {
 	b := int64(n) * PostingWireBytes
 	l.bytesServed.Add(b)
 	l.postingsServed.Add(int64(n))
+	l.recent.Add(b)
 	l.hot.Add(CanonicalTerm(term), b)
 }
 
@@ -108,6 +111,38 @@ func (l *Load) HotTerms(n int) []HotTerm {
 	return l.hot.Top(n)
 }
 
+// RecentBytes is the serving-rate gauge replica selection balances on:
+// the posting bytes served over the current and previous Roll windows.
+// Cumulative counters never cool down, so a peer that was hot an hour
+// ago would look loaded forever; the two-window sum decays to zero
+// after two idle rolls while staying non-zero across a window edge.
+func (l *Load) RecentBytes() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.recent.Load() + l.prevRecent.Load()
+}
+
+// Roll advances the recency window: the replication controller calls it
+// once per control tick, so "recent" always means "the last one to two
+// ticks".
+func (l *Load) Roll() {
+	if l == nil {
+		return
+	}
+	l.prevRecent.Store(l.recent.Swap(0))
+}
+
+// DecayHot ages the hot-term sketch by factor (0 < factor < 1), so
+// terms that stopped being queried fall back below the promotion
+// threshold and the controller can demote them.
+func (l *Load) DecayHot(factor float64) {
+	if l == nil {
+		return
+	}
+	l.hot.Decay(factor)
+}
+
 // LoadExport is the JSON shape of /debug/load.
 type LoadExport struct {
 	BytesServed    int64     `json:"bytes_served"`
@@ -116,6 +151,7 @@ type LoadExport struct {
 	Appends        int64     `json:"appends"`
 	AppendPostings int64     `json:"append_postings"`
 	AppendBytes    int64     `json:"append_bytes"`
+	RecentBytes    int64     `json:"recent_bytes"`
 	HotTerms       []HotTerm `json:"hot_terms"`
 }
 
@@ -132,6 +168,7 @@ func (l *Load) Export() LoadExport {
 		Appends:        l.appends.Load(),
 		AppendPostings: l.appendPostings.Load(),
 		AppendBytes:    l.appendBytes.Load(),
+		RecentBytes:    l.RecentBytes(),
 		HotTerms:       l.hot.Top(0),
 	}
 }
@@ -208,6 +245,31 @@ func (s *SpaceSaving) Add(term string, w int64) {
 	}
 	delete(s.items, min.Term)
 	s.items[term] = &HotTerm{Term: term, Bytes: min.Bytes + w, Err: min.Bytes}
+}
+
+// Decay scales every tracked weight by factor (clamped to [0,1)) and
+// drops entries that reach zero. Error bounds scale with the weights:
+// an entry's Err is the weight it inherited from the entry it evicted,
+// and that inherited weight ages at the same rate as the real traffic
+// it stood for. Keeping Err fixed while Bytes shrinks would let a key
+// evicted and re-inserted within one decay window report a stale count
+// — mostly inherited error — as if it were fresh traffic.
+func (s *SpaceSaving) Decay(factor float64) {
+	if s == nil || factor >= 1 {
+		return
+	}
+	if factor < 0 {
+		factor = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for term, it := range s.items {
+		it.Bytes = int64(float64(it.Bytes) * factor)
+		it.Err = int64(float64(it.Err) * factor)
+		if it.Bytes <= 0 {
+			delete(s.items, term)
+		}
+	}
 }
 
 // Top returns the n heaviest tracked terms (all of them when n <= 0),

@@ -54,6 +54,92 @@ func TestSpaceSavingKeepsHeavyHitters(t *testing.T) {
 	}
 }
 
+// TestSpaceSavingDecayEvictReinsert pins the stale-count fix: a key
+// evicted and re-inserted within one decay window must inherit the
+// *decayed* minimum, not a weight frozen at eviction time. Before the
+// fix, Decay scaled Bytes but not Err, so the sketch kept claiming the
+// re-inserted key's weight was mostly real traffic when it was almost
+// entirely inherited error from before the window rolled.
+func TestSpaceSavingDecayEvictReinsert(t *testing.T) {
+	s := NewSpaceSaving(2)
+	s.Add("a", 100)
+	s.Add("b", 60)
+	// c evicts b (the minimum): inherits Bytes 60+10, Err 60.
+	s.Add("c", 10)
+	top := s.Top(0)
+	if top[1].Term != "c" || top[1].Bytes != 70 || top[1].Err != 60 {
+		t.Fatalf("after evict: %+v", top)
+	}
+	// One decay window: everything halves, error bounds included.
+	s.Decay(0.5)
+	top = s.Top(0)
+	if top[0].Term != "a" || top[0].Bytes != 50 {
+		t.Fatalf("after decay: %+v", top)
+	}
+	if top[1].Term != "c" || top[1].Bytes != 35 || top[1].Err != 30 {
+		t.Fatalf("stale error bound survived decay: %+v", top[1])
+	}
+	// b comes back within the same window, evicting c. Its count must be
+	// built on c's decayed weight (35), not c's pre-decay weight.
+	s.Add("b", 10)
+	top = s.Top(0)
+	if top[1].Term != "b" {
+		t.Fatalf("re-insert did not evict the minimum: %+v", top)
+	}
+	if top[1].Bytes != 45 || top[1].Err != 35 {
+		t.Fatalf("re-inserted key reports stale count: got bytes %d err %d, want 45/35", top[1].Bytes, top[1].Err)
+	}
+	// Guaranteed weight (Bytes-Err) must never exceed b's true traffic.
+	if g := top[1].Bytes - top[1].Err; g > 10 {
+		t.Fatalf("guaranteed weight %d exceeds true traffic 10", g)
+	}
+}
+
+func TestSpaceSavingDecayDropsZeroes(t *testing.T) {
+	s := NewSpaceSaving(4)
+	s.Add("a", 1)
+	s.Add("b", 1000)
+	s.Decay(0.25)
+	top := s.Top(0)
+	if len(top) != 1 || top[0].Term != "b" || top[0].Bytes != 250 {
+		t.Fatalf("decay should drop zeroed entries: %+v", top)
+	}
+	var nilSketch *SpaceSaving
+	nilSketch.Decay(0.5) // nil-safe
+}
+
+func TestLoadRecentWindow(t *testing.T) {
+	l := NewLoad(4)
+	l.Serve("x", 10)
+	if l.RecentBytes() != 10*PostingWireBytes {
+		t.Fatalf("recent = %d", l.RecentBytes())
+	}
+	l.Roll()
+	// Still visible for one full window after the roll.
+	if l.RecentBytes() != 10*PostingWireBytes {
+		t.Fatalf("recent after one roll = %d", l.RecentBytes())
+	}
+	l.Serve("x", 2)
+	if l.RecentBytes() != 12*PostingWireBytes {
+		t.Fatalf("recent mid-window = %d", l.RecentBytes())
+	}
+	l.Roll()
+	l.Roll()
+	if l.RecentBytes() != 0 {
+		t.Fatalf("recent after two idle rolls = %d", l.RecentBytes())
+	}
+	// Cumulative counters are untouched by rolls.
+	if l.BytesServed() != 12*PostingWireBytes {
+		t.Fatalf("bytes served = %d", l.BytesServed())
+	}
+	var nl *Load
+	nl.Roll()
+	nl.DecayHot(0.5)
+	if nl.RecentBytes() != 0 {
+		t.Fatal("nil load must read as zero")
+	}
+}
+
 func TestCanonicalTerm(t *testing.T) {
 	cases := map[string]string{
 		"l:author":              "l:author",

@@ -65,6 +65,9 @@ const (
 	// EventRefresh counts stale routing buckets refreshed with a
 	// random-identifier lookup.
 	EventRefresh Event = "bucket-refreshes"
+	// EventShed counts reads the admission gate rejected with
+	// ErrOverload so the client would fail over to another replica.
+	EventShed Event = "shed-reads"
 	// EventCacheHit counts posting blocks served from the query-peer
 	// block cache instead of the network.
 	EventCacheHit Event = "cache-hits"

@@ -161,6 +161,7 @@ func writePromLoad(w *errWriter, l *Load, hotTerms int) {
 	counter("kadop_load_appends_total", "Append operations absorbed by this peer.", ex.Appends)
 	counter("kadop_load_append_postings_total", "Postings appended at this peer.", ex.AppendPostings)
 	counter("kadop_load_append_bytes_total", "Posting bytes appended at this peer.", ex.AppendBytes)
+	w.printf("# HELP kadop_load_recent_bytes Posting bytes served over the last two control-loop windows (the replica-selection gauge).\n# TYPE kadop_load_recent_bytes gauge\nkadop_load_recent_bytes %d\n", ex.RecentBytes)
 	hot := ex.HotTerms
 	if hotTerms > 0 && len(hot) > hotTerms {
 		hot = hot[:hotTerms]

@@ -1,0 +1,78 @@
+package replicate
+
+import "math/rand"
+
+// PeerLoad is one replica-selection candidate: the peer's last
+// advertised recent-load gauge (bytes served over the last control
+// windows, piggybacked on RPC responses) and whether it reported
+// itself shedding. Known is false when no gauge has been observed yet;
+// unknown peers count as load zero, which biases exploration toward
+// peers we have never asked — exactly what a fresh replica wants.
+type PeerLoad struct {
+	Addr  string
+	Load  int64
+	Shed  bool
+	Known bool
+}
+
+// Choose picks a candidate index by power-of-two choices: sample two
+// distinct candidates, take the lighter one. Shedding peers are
+// excluded whenever at least one non-shedding candidate exists, so an
+// overloaded replica stops receiving traffic the moment an alternative
+// is available — but a fully-shedding set still serves rather than
+// failing. Returns -1 on an empty candidate list.
+func Choose(cands []PeerLoad, rng *rand.Rand) int {
+	pool := make([]int, 0, len(cands))
+	for i, c := range cands {
+		if !c.Shed {
+			pool = append(pool, i)
+		}
+	}
+	if len(pool) == 0 {
+		// Everyone sheds: serve anyway, the gate's token refill will
+		// let some requests through.
+		for i := range cands {
+			pool = append(pool, i)
+		}
+	}
+	switch len(pool) {
+	case 0:
+		return -1
+	case 1:
+		return pool[0]
+	}
+	ai := rng.Intn(len(pool))
+	bj := rng.Intn(len(pool) - 1)
+	// Map the second sample into pool \ {first} so the two are distinct.
+	if bj == ai {
+		bj = len(pool) - 1
+	}
+	a, bi := pool[ai], pool[bj]
+	if cands[bi].Load < cands[a].Load {
+		return bi
+	}
+	return a
+}
+
+// Order returns all candidate indices in failover order: repeated
+// Choose without replacement, so the first entry is the p2c pick and
+// later entries are progressively heavier (shedding peers last).
+func Order(cands []PeerLoad, rng *rand.Rand) []int {
+	remaining := make([]PeerLoad, len(cands))
+	copy(remaining, cands)
+	index := make([]int, len(cands))
+	for i := range index {
+		index[i] = i
+	}
+	out := make([]int, 0, len(cands))
+	for len(remaining) > 0 {
+		i := Choose(remaining, rng)
+		if i < 0 {
+			break
+		}
+		out = append(out, index[i])
+		remaining = append(remaining[:i], remaining[i+1:]...)
+		index = append(index[:i], index[i+1:]...)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package replicate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChooseBeatsUniform is the power-of-two-choices property test:
+// over randomized initial load vectors, routing a stream of requests
+// with Choose (each pick adds unit load) must end with a strictly
+// smaller maximum load than routing the same stream uniformly at
+// random. The theoretical gap is exponential (O(log log n / log 2) vs
+// O(log n / log log n) above the mean); here we assert the max-load
+// bound holds on aggregate across many seeded trials, allowing the
+// rare individual trial where uniform gets lucky.
+func TestChooseBeatsUniform(t *testing.T) {
+	const (
+		trials   = 50
+		peers    = 16
+		requests = 2000
+	)
+	p2cWins, ties, uniformWins := 0, 0, 0
+	var p2cMaxSum, uniMaxSum int64
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(1000 + trial)
+		init := make([]int64, peers)
+		irng := rand.New(rand.NewSource(seed))
+		for i := range init {
+			init[i] = int64(irng.Intn(500))
+		}
+
+		run := func(uniform bool) int64 {
+			rng := rand.New(rand.NewSource(seed * 31))
+			cands := make([]PeerLoad, peers)
+			for i := range cands {
+				cands[i] = PeerLoad{Load: init[i], Known: true}
+			}
+			for r := 0; r < requests; r++ {
+				var i int
+				if uniform {
+					i = rng.Intn(peers)
+				} else {
+					i = Choose(cands, rng)
+				}
+				cands[i].Load++
+			}
+			var max int64
+			for _, c := range cands {
+				if c.Load > max {
+					max = c.Load
+				}
+			}
+			return max
+		}
+
+		p2cMax, uniMax := run(false), run(true)
+		p2cMaxSum += p2cMax
+		uniMaxSum += uniMax
+		switch {
+		case p2cMax < uniMax:
+			p2cWins++
+		case p2cMax == uniMax:
+			ties++
+		default:
+			uniformWins++
+		}
+	}
+	if p2cMaxSum >= uniMaxSum {
+		t.Fatalf("p2c aggregate max load %d not below uniform %d", p2cMaxSum, uniMaxSum)
+	}
+	if p2cWins <= uniformWins {
+		t.Fatalf("p2c won %d trials, uniform %d (ties %d); two choices should dominate",
+			p2cWins, uniformWins, ties)
+	}
+	t.Logf("p2c wins %d / ties %d / uniform wins %d; aggregate max %d vs %d",
+		p2cWins, ties, uniformWins, p2cMaxSum, uniMaxSum)
+}
+
+// TestChooseNeverPicksSheddingPeer: whenever at least one non-shedding
+// candidate exists, Choose must not return a shedding one — across
+// randomized loads, shed patterns and candidate counts.
+func TestChooseNeverPicksSheddingPeer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(8)
+		cands := make([]PeerLoad, n)
+		healthy := 0
+		for i := range cands {
+			cands[i] = PeerLoad{Load: int64(rng.Intn(1000)), Shed: rng.Intn(3) == 0, Known: true}
+			if !cands[i].Shed {
+				healthy++
+			}
+		}
+		i := Choose(cands, rng)
+		if i < 0 || i >= n {
+			t.Fatalf("trial %d: index %d out of range", trial, i)
+		}
+		if healthy > 0 && cands[i].Shed {
+			t.Fatalf("trial %d: picked shedding peer %d of %+v", trial, i, cands)
+		}
+	}
+}
+
+func TestChooseAllShedStillServes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cands := []PeerLoad{{Shed: true, Load: 5}, {Shed: true, Load: 1}}
+	for i := 0; i < 100; i++ {
+		if j := Choose(cands, rng); j < 0 || j > 1 {
+			t.Fatalf("all-shedding set must still pick someone, got %d", j)
+		}
+	}
+	if Choose(nil, rng) != -1 {
+		t.Fatal("empty candidate list must return -1")
+	}
+	if Choose([]PeerLoad{{Load: 9}}, rng) != 0 {
+		t.Fatal("single candidate must be picked")
+	}
+}
+
+func TestOrderCoversAllShedLast(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cands := []PeerLoad{
+		{Addr: "a", Load: 10},
+		{Addr: "b", Load: 700, Shed: true},
+		{Addr: "c", Load: 3},
+		{Addr: "d", Load: 40},
+	}
+	for trial := 0; trial < 200; trial++ {
+		order := Order(cands, rng)
+		if len(order) != len(cands) {
+			t.Fatalf("order %v does not cover all %d candidates", order, len(cands))
+		}
+		seen := map[int]bool{}
+		for _, i := range order {
+			if seen[i] {
+				t.Fatalf("order %v repeats index %d", order, i)
+			}
+			seen[i] = true
+		}
+		// The only shedding peer must always come last.
+		if order[len(order)-1] != 1 {
+			t.Fatalf("shedding peer not last in failover order %v", order)
+		}
+	}
+}

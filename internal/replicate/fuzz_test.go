@@ -1,0 +1,42 @@
+package replicate
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzReplicaSetCodec: any frame DecodeSet accepts must survive an
+// encode/decode round trip field for field (non-minimal uvarints are
+// accepted but re-encode minimally, so byte identity is not required —
+// same contract as the DHT message codec).
+func FuzzReplicaSetCodec(f *testing.F) {
+	seeds := []Set{
+		{},
+		{Key: "l:author", Term: "l:author", Count: 7, Expire: 1234,
+			Replicas: []string{"127.0.0.1:4001", "127.0.0.1:4002", "127.0.0.1:4003"}},
+		{Key: "overflow:12:w:ullman", Term: "w:ullman", Count: 1 << 33, Expire: -1,
+			Replicas: []string{"[::1]:9"}},
+		{Key: "k", Term: "t"},
+	}
+	for _, s := range seeds {
+		f.Add(EncodeSet(s))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSet(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeSet(s)
+		s2, err := DecodeSet(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if s2.Key != s.Key || s2.Term != s.Term || s2.Count != s.Count ||
+			s2.Expire != s.Expire || !reflect.DeepEqual(s2.Replicas, s.Replicas) {
+			t.Fatalf("round trip drift: %+v vs %+v", s, s2)
+		}
+	})
+}

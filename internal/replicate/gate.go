@@ -1,0 +1,83 @@
+package replicate
+
+import (
+	"sync"
+	"time"
+)
+
+// Gate is a token-bucket admission controller on a peer's serve path.
+// Each admitted read spends one token; the bucket refills at Rate
+// tokens per second up to Burst. When empty, Allow reports false and
+// the serve path rejects the read with dht.ErrOverload — a retryable
+// signal the client answers by failing over to another replica, which
+// is what turns local overload into load spreading instead of queueing
+// delay. The zero threshold (rate <= 0) disables shedding entirely, so
+// deployments that never opt in keep the seed behaviour.
+type Gate struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewGate returns a gate admitting rate reads per second with bursts
+// up to burst (burst < 1 is raised to the rate, minimum 1). A nil now
+// uses the wall clock; tests and the simulated experiments inject a
+// synthetic clock. rate <= 0 returns nil, and a nil *Gate admits
+// everything.
+func NewGate(rate, burst float64, now func() time.Time) *Gate {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Gate{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// Allow spends one token if available.
+func (g *Gate) Allow() bool {
+	if g == nil {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.refill()
+	if g.tokens < 1 {
+		return false
+	}
+	g.tokens--
+	return true
+}
+
+// Shedding reports whether the gate would currently reject a read; the
+// serve path piggybacks it on RPC responses so clients stop choosing
+// this replica before burning a request on a rejection.
+func (g *Gate) Shedding() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.refill()
+	return g.tokens < 1
+}
+
+func (g *Gate) refill() {
+	now := g.now()
+	if dt := now.Sub(g.last).Seconds(); dt > 0 {
+		g.tokens += dt * g.rate
+		if g.tokens > g.burst {
+			g.tokens = g.burst
+		}
+	}
+	g.last = now
+}

@@ -1,0 +1,125 @@
+// Package replicate closes the load-skew loop the observability plane
+// only measures: a per-peer controller reads the hot-term sketch and
+// the recent-load gauge, promotes hot terms by pushing their posting
+// blocks to extra replicas, advertises the replica set to the term's
+// home peer under a TTL lease, and demotes terms that cool off.
+// Clients balance across the advertised replicas with power-of-two
+// choices, and an admission gate sheds over-budget reads so overload
+// fails over instead of queueing. This is the LiquidXML direction —
+// adaptive XML content redistribution — grafted onto the KadoP index.
+package replicate
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ProcAdvert is the application procedure a controller calls on a
+// term's home peer to install (or, with an empty replica list, revoke)
+// a replica advertisement. The DPP manager registers the handler.
+const ProcAdvert = "replicate:advert"
+
+// Set is one replica advertisement: "these peers hold a pushed copy of
+// store key Key (belonging to canonical term Term) good until Expire".
+// Count is the posting count of the copy at push time; the home peer
+// only serves the advertisement while its own count still matches, so
+// an append silently disables stale replicas until the controller
+// re-pushes and re-advertises. An empty Replicas slice is a revocation.
+type Set struct {
+	// Key is the store key the replicas hold (a term, or a DPP
+	// overflow pseudo-key "overflow:<n>:<term>").
+	Key string
+	// Term is the canonical term the key belongs to.
+	Term string
+	// Count is the posting count of the replicated copy.
+	Count uint64
+	// Expire is the lease deadline in Unix nanoseconds; advertisements
+	// at or past it are ignored and garbage-collected.
+	Expire int64
+	// Replicas are the extra holders' addresses (primaries excluded).
+	Replicas []string
+}
+
+// maxReplicas bounds a decoded advertisement; a controller never
+// promotes to more than a handful of peers, so anything larger is a
+// corrupt or hostile frame.
+const maxReplicas = 1 << 10
+
+// EncodeSet encodes an advertisement for the ProcAdvert blob.
+func EncodeSet(s Set) []byte {
+	buf := make([]byte, 0, 32+len(s.Key)+len(s.Term))
+	buf = appendStr(buf, s.Key)
+	buf = appendStr(buf, s.Term)
+	buf = binary.AppendUvarint(buf, s.Count)
+	buf = binary.AppendUvarint(buf, uint64(s.Expire))
+	buf = binary.AppendUvarint(buf, uint64(len(s.Replicas)))
+	for _, r := range s.Replicas {
+		buf = appendStr(buf, r)
+	}
+	return buf
+}
+
+// DecodeSet decodes an advertisement, rejecting truncated or
+// implausible frames.
+func DecodeSet(data []byte) (Set, error) {
+	r := &reader{buf: data}
+	var s Set
+	s.Key = r.str()
+	s.Term = r.str()
+	s.Count = r.uvarint()
+	s.Expire = int64(r.uvarint())
+	n := r.uvarint()
+	if r.err == nil && n > maxReplicas {
+		return Set{}, fmt.Errorf("replicate: implausible replica count %d", n)
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		s.Replicas = append(s.Replicas, r.str())
+	}
+	if r.err != nil {
+		return Set{}, fmt.Errorf("replicate: decode advertisement: %w", r.err)
+	}
+	if r.pos != len(data) {
+		return Set{}, fmt.Errorf("replicate: %d trailing bytes after advertisement", len(data)-r.pos)
+	}
+	return s, nil
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// reader is a latching decode cursor: the first failure sticks and
+// every later read returns zero values, so decoders check err once.
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("bad uvarint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.err = fmt.Errorf("string of %d bytes overruns buffer at offset %d", n, r.pos)
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}

@@ -1,0 +1,93 @@
+package replicate
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSetRoundTrip(t *testing.T) {
+	cases := []Set{
+		{},
+		{Key: "l:author", Term: "l:author", Count: 12, Expire: 99,
+			Replicas: []string{"127.0.0.1:4001", "127.0.0.1:4002"}},
+		{Key: "overflow:3:l:author", Term: "l:author", Count: 1 << 40,
+			Expire: time.Now().UnixNano(), Replicas: []string{"x"}},
+		{Key: "k", Term: "t", Count: 0, Expire: -1, Replicas: nil},
+	}
+	for _, want := range cases {
+		got, err := DecodeSet(EncodeSet(want))
+		if err != nil {
+			t.Fatalf("round trip %+v: %v", want, err)
+		}
+		if got.Key != want.Key || got.Term != want.Term || got.Count != want.Count ||
+			got.Expire != want.Expire || !reflect.DeepEqual(got.Replicas, want.Replicas) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestSetDecodeRejects(t *testing.T) {
+	good := EncodeSet(Set{Key: "k", Term: "t", Count: 3, Expire: 7, Replicas: []string{"a", "b"}})
+	cases := map[string][]byte{
+		"empty":         {},
+		"truncated":     good[:len(good)-1],
+		"trailing":      append(append([]byte{}, good...), 0xff),
+		"overrun str":   {0xff, 0x01},
+		"bad uvarint":   {0x80},
+		"huge replicas": EncodeSet(Set{Key: "k", Term: "t"})[:0],
+	}
+	// A frame claiming 2^20 replicas but carrying none.
+	huge := appendStr(nil, "k")
+	huge = appendStr(huge, "t")
+	huge = append(huge, 0x00, 0x00)       // count, expire
+	huge = append(huge, 0x80, 0x80, 0x40) // replica count 2^20
+	cases["huge replicas"] = huge
+	for name, data := range cases {
+		if _, err := DecodeSet(data); err == nil {
+			t.Errorf("%s: decode accepted %x", name, data)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	g := NewGate(10, 2, now)
+	if !g.Allow() || !g.Allow() {
+		t.Fatal("burst of 2 must admit two reads")
+	}
+	if g.Allow() {
+		t.Fatal("third read within the burst must shed")
+	}
+	if !g.Shedding() {
+		t.Fatal("empty bucket must report shedding")
+	}
+	clock = clock.Add(100 * time.Millisecond) // refills 1 token at 10/s
+	if g.Shedding() {
+		t.Fatal("refilled bucket must not report shedding")
+	}
+	if !g.Allow() {
+		t.Fatal("refilled token must admit")
+	}
+	if g.Allow() {
+		t.Fatal("bucket must be empty again")
+	}
+	clock = clock.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if !g.Allow() {
+			t.Fatalf("read %d: refill must cap at burst, not admit unbounded", i)
+		}
+	}
+	if g.Allow() {
+		t.Fatal("refill must cap at burst")
+	}
+
+	var nilGate *Gate
+	if !nilGate.Allow() || nilGate.Shedding() {
+		t.Fatal("nil gate must admit everything")
+	}
+	if NewGate(0, 5, now) != nil {
+		t.Fatal("rate 0 must disable the gate")
+	}
+}

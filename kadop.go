@@ -54,6 +54,7 @@ import (
 	"kadop/internal/obs/querylog"
 	"kadop/internal/obs/slo"
 	"kadop/internal/pattern"
+	"kadop/internal/replicate"
 	"kadop/internal/sid"
 	"kadop/internal/store"
 	"kadop/internal/trace"
@@ -119,6 +120,13 @@ type (
 	SLOAlert = slo.Alert
 	// SLOStatus is one objective's current evaluation.
 	SLOStatus = slo.Status
+	// ReplicateConfig parameterises the adaptive hot-term replication
+	// controller (Config.Replicate): promotion threshold, extra replica
+	// count, lease TTL and control-loop interval.
+	ReplicateConfig = replicate.Config
+	// ReplicationController is the per-peer closed loop promoting hot
+	// terms to extra replicas; reach it via Peer.Replicator.
+	ReplicationController = replicate.Controller
 	// FsyncPolicy selects when the index WAL is fsynced (Config.Fsync):
 	// it trades publish throughput for the durability window, never
 	// consistency — a crash under any policy recovers to a committed
