@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-smoke fuzz-smoke crash-smoke churn-smoke slo-smoke load-smoke
+.PHONY: build test check bench bench-smoke fuzz-smoke crash-smoke churn-smoke slo-smoke load-smoke stats-smoke
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,9 @@ test:
 # check is the tier-1 verification gate: vet plus the full test suite
 # under the race detector (the chaos tests exercise concurrent retries,
 # repair and fault injection), then the seeded crash-recovery sweep,
-# the churn emulation, the SLO/flight-recorder overload run and the
-# adaptive-replication load gate at smoke scale.
+# the churn emulation, the SLO/flight-recorder overload run, the
+# adaptive-replication load gate and the statistics-registry estimation
+# gate at smoke scale.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -20,6 +21,7 @@ check:
 	$(MAKE) churn-smoke
 	$(MAKE) slo-smoke
 	$(MAKE) load-smoke
+	$(MAKE) stats-smoke
 
 # churn-smoke runs the churn emulation harness at its smallest scale: a
 # seeded join/leave/crash schedule over a replicated overlay, asserting
@@ -45,6 +47,16 @@ slo-smoke:
 # query mix in both phases.
 load-smoke:
 	$(GO) run ./cmd/kadop-bench -exp load -short
+
+# stats-smoke is the query-cost-plane gate: a DPP deployment answers a
+# repeated workload, the querier's statistics registry trains its
+# selectivity EWMAs on warmup passes, and the run exits non-zero unless
+# the measured p95 cardinality-estimation relative error stays under
+# the bound and every phase (fetch, join, answers) reports nonzero
+# operator actuals. Deterministic: same seed, same corpus, same
+# estimates.
+stats-smoke:
+	$(GO) run ./cmd/kadop-bench -exp stats -short
 
 # crash-smoke is the durability gate: the crash-injection property and
 # sweep tests at a fixed, deeper trial budget than the default `go

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|churn|cache|load|durability|slo|all")
+		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|churn|cache|load|durability|slo|stats|all")
 		records   = flag.String("records", "", "comma-separated corpus sizes in records (experiment-specific default)")
 		peers     = flag.Int("peers", 0, "network size (experiment-specific default)")
 		seed      = flag.Int64("seed", 1, "workload seed")
@@ -160,10 +160,20 @@ func main() {
 			}
 			return experiments.RunSLO(o)
 		},
+		"stats": func() (interface{ Format() string }, error) {
+			o := experiments.StatsOptions{Peers: *peers, Seed: *seed}
+			if len(sizes) > 0 {
+				o.Records = sizes[len(sizes)-1]
+			}
+			if *short {
+				o.Records, o.Peers, o.Warmup, o.Measure = 150, 6, 4, 2
+			}
+			return experiments.RunStats(o)
+		},
 	}
 
 	order := []string{"fig2", "fig3", "traffic", "table1", "sensitivity",
-		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust", "churn", "cache", "load", "durability", "slo"}
+		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust", "churn", "cache", "load", "durability", "slo", "stats"}
 
 	var selected []string
 	if *exp == "all" {

@@ -6,7 +6,9 @@
 // The -strategy flag selects a Section 5.3 Bloom-reducer plan; -index
 // stops after phase one and prints the candidate documents; -explain
 // prints the query's trace tree — every phase with its latency and the
-// bytes moved per traffic class.
+// bytes moved per traffic class; -explain-analyze adds the per-phase
+// work table comparing the statistics registry's estimate with the
+// operator actuals the query recorded.
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 		indexOnly = flag.Bool("index", false, "run the index query only; print candidate documents")
 		repl      = flag.Int("replication", 1, "index replication factor (must match the deployment's peers)")
 		explain   = flag.Bool("explain", false, "print the query's trace tree (per-phase latency and bytes)")
+		analyze   = flag.Bool("explain-analyze", false, "like -explain, plus the per-phase work table: estimated vs actual blocks, bytes, postings and matches")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/{metrics,load,traces,peer} on this address; keeps the process up after the query for inspection")
 		logPath   = flag.String("log", "", "append one structured JSONL record per query to this file (- = stderr)")
 		logSample = flag.Float64("log-sample", 1, "fraction of queries logged to -log (deterministic: every 1/rate-th)")
@@ -93,7 +96,7 @@ func main() {
 	// no trace id, so the captured record would have no span tree and
 	// the latency histogram no exemplar to link back to.
 	var tracer *kadop.Tracer
-	if *explain || *debugAddr != "" || *slowThr > 0 {
+	if *explain || *analyze || *debugAddr != "" || *slowThr > 0 {
 		tracer = kadop.EnableTracing(peer, 16)
 	}
 	if *debugAddr != "" {
@@ -117,9 +120,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kadop-query:", err)
 		os.Exit(1)
 	}
-	if *explain && res.Trace != nil {
+	if *explain || *analyze {
 		fmt.Println("--- explain ---")
-		fmt.Print(res.Trace.Tree())
+		fmt.Print(kadop.FormatExplain(res, *analyze))
 		fmt.Println("---------------")
 	}
 	fmt.Printf("index query: %v (first answer %v), %d candidate documents\n",

@@ -18,6 +18,7 @@ import (
 	"kadop/internal/metrics"
 	"kadop/internal/obs/flight"
 	"kadop/internal/obs/slo"
+	"kadop/internal/obs/stats"
 	"kadop/internal/trace"
 )
 
@@ -55,6 +56,10 @@ type Options struct {
 	Flight *flight.Recorder
 	// SLO supplies /debug/slo (objective statuses and burn rates).
 	SLO *slo.Engine
+	// Stats supplies /debug/stats (the statistics registry: per-term
+	// cardinalities, join selectivities, estimation-error histogram)
+	// and the kadop_stats_* families of /metrics.
+	Stats *stats.Registry
 	// BuildInfo adds kadop_build_info and the process start-time gauge
 	// to /metrics. The binaries turn it on; deterministic tests leave it
 	// off so golden expositions stay stable.
@@ -103,6 +108,7 @@ func (o Options) flightRecorder() *flight.Recorder {
 //	/debug/peer     identity, routing table and store statistics
 //	/debug/flight   flight-recorder ring dump (JSON; ?kind=rpc filters)
 //	/debug/slo      SLO statuses, burn rates and the health verdict
+//	/debug/stats    statistics registry: cardinalities, selectivities (JSON)
 //	/debug/pprof/   the standard pprof handlers (only with Options.Pprof)
 func Handler(o Options) http.Handler {
 	mux := http.NewServeMux()
@@ -119,7 +125,8 @@ func Handler(o Options) http.Handler {
 			"/debug/peer      identity, routing table, store stats (JSON)\n"+
 			"/debug/cache     posting-block cache counters (JSON)\n"+
 			"/debug/flight    flight-recorder dump (JSON; ?kind=rpc filters)\n"+
-			"/debug/slo       SLO statuses and burn-rate verdict (JSON)\n")
+			"/debug/slo       SLO statuses and burn-rate verdict (JSON)\n"+
+			"/debug/stats     statistics registry: cardinalities, selectivities (JSON)\n")
 		if o.Pprof {
 			fmt.Fprint(w, "/debug/pprof/    runtime profiles\n")
 		}
@@ -132,6 +139,16 @@ func Handler(o Options) http.Handler {
 			Registry:  o.registry(),
 			BuildInfo: o.BuildInfo,
 		})
+		if o.Stats != nil {
+			o.Stats.WriteProm(w)
+		}
+	})
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
+		if o.Stats == nil {
+			http.Error(w, "no statistics registry installed", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, o.Stats.Snapshot())
 	})
 	mux.HandleFunc("/debug/load", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, o.load().Export())

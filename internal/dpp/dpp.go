@@ -30,6 +30,7 @@ import (
 
 	"kadop/internal/blockcache"
 	"kadop/internal/dht"
+	"kadop/internal/obs/cost"
 	"kadop/internal/postings"
 	"kadop/internal/replicate"
 	"kadop/internal/sid"
@@ -627,6 +628,7 @@ func (m *Manager) Root(term string) (*Root, error) {
 
 // RootContext is Root under a caller-controlled deadline.
 func (m *Manager) RootContext(ctx context.Context, term string) (*Root, error) {
+	cost.FromContext(ctx).AddRootFetches(1)
 	blob, err := m.node.CallProcContext(ctx, term, ProcRoot, nil)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ import (
 	"kadop/internal/blockcache"
 	"kadop/internal/dht"
 	"kadop/internal/metrics"
+	"kadop/internal/obs/cost"
 	"kadop/internal/postings"
 	"kadop/internal/replicate"
 	"kadop/internal/sid"
@@ -30,6 +31,16 @@ type FetchPlan struct {
 	// CacheHits counts blocks (or the inline list) served from the
 	// query-peer block cache instead of the network.
 	CacheHits int
+	// Postings is the root's promise of how many postings the kept
+	// blocks (or the inline list) hold — the planner's cardinality
+	// input, known before a single posting transfers.
+	Postings int
+	// Probes and Sheds count replica probes and overload sheds on the
+	// synchronous inline path only; block-path probes run in fetch
+	// goroutines after the plan is returned and are attributed to
+	// their dpp:block spans instead.
+	Probes int
+	Sheds  int
 }
 
 // FetchOptions configure the query-side fetch.
@@ -88,6 +99,7 @@ func (m *Manager) FetchWithRootContext(ctx context.Context, root *Root, opts Fet
 		opts.Parallel = 4
 	}
 	plan := &FetchPlan{Term: root.Term, Blocks: len(root.Blocks), Parallel: opts.Parallel, DocClipped: opts.Filter}
+	cc := cost.FromContext(ctx)
 	// The fan-out span covers the fetch decision; the fetch itself
 	// streams on, so block transfers appear as their own child spans and
 	// the pipeline's cost lands in the consumer's transfer accounting.
@@ -99,6 +111,12 @@ func (m *Manager) FetchWithRootContext(ctx context.Context, root *Root, opts Fet
 			c.SetInt("fetched", int64(plan.Fetched))
 			c.SetInt("parallel", int64(plan.Parallel))
 			c.SetInt("cache-hits", int64(plan.CacheHits))
+			if plan.Probes > 0 {
+				c.SetInt("probes", int64(plan.Probes))
+			}
+			if plan.Sheds > 0 {
+				c.SetInt("sheds", int64(plan.Sheds))
+			}
 			if plan.Inline {
 				c.SetAttr("inline", "true")
 			}
@@ -123,6 +141,9 @@ func (m *Manager) FetchWithRootContext(ctx context.Context, root *Root, opts Fet
 		keep = append(keep, b)
 	}
 	plan.Fetched = len(keep)
+	for _, b := range keep {
+		plan.Postings += b.Count
+	}
 	if len(keep) == 0 {
 		return postings.NewSliceStream(nil), plan, nil
 	}
@@ -164,6 +185,7 @@ func (m *Manager) FetchWithRootContext(ctx context.Context, root *Root, opts Fet
 		k := blockcache.Key{Term: root.Term, Block: b.Key, Gen: b.Gen}
 		if l, ok := m.cache.Get(k); ok {
 			plan.CacheHits++
+			cc.AddCacheHits(1)
 			results[i] <- fetched{list: clip(l)}
 			continue
 		}
@@ -283,13 +305,16 @@ func (m *Manager) FetchWithRootContext(ctx context.Context, root *Root, opts Fet
 // the cache as it completes.
 func (m *Manager) fetchInline(ctx context.Context, root *Root, opts FetchOptions, plan *FetchPlan) (postings.Stream, *FetchPlan, error) {
 	plan.Inline = true
+	cc := cost.FromContext(ctx)
 	if !typeMatches(root.Types, opts.AllowedTypes) {
 		return postings.NewSliceStream(nil), plan, nil
 	}
+	plan.Postings = root.Count
 	key := blockcache.Key{Term: root.Term, Gen: root.Gen}
 	if m.cache != nil && root.Count > 0 {
 		if l, ok := m.cache.Get(key); ok {
 			plan.CacheHits++
+			cc.AddCacheHits(1)
 			if opts.Filter {
 				l = l.ClipDocs(opts.FilterLo, opts.FilterHi)
 			}
@@ -303,10 +328,18 @@ func (m *Manager) fetchInline(ctx context.Context, root *Root, opts FetchOptions
 		// copy only if it is as complete as the root promised — a
 		// demoted or mid-push replica answers short and is skipped.
 		for _, addr := range m.orderCandidates("", root.Replicas) {
+			plan.Probes++
+			cc.AddReplicaProbes(1)
 			l, err := m.probeBlock(ctx, addr, root.Term, nil)
+			if dht.IsOverload(err) {
+				plan.Sheds++
+				cc.AddShedRetries(1)
+			}
 			if err != nil || len(l) < root.Count {
 				continue
 			}
+			cc.AddBlocksFetched(1)
+			cc.AddWireBytes(int64(len(l)) * metrics.PostingWireBytes)
 			if m.cache != nil {
 				m.cache.Add(key, l)
 			}
@@ -322,6 +355,10 @@ func (m *Manager) fetchInline(ctx context.Context, root *Root, opts FetchOptions
 	if err != nil {
 		return nil, nil, err
 	}
+	if root.Count > 0 {
+		cc.AddBlocksFetched(1)
+	}
+	s = &costStream{s: s, c: cc}
 	if m.cache != nil && root.Count > 0 {
 		// The transfer is full-list regardless (the clip below is local),
 		// so a completely drained stream is exactly the cacheable block.
@@ -379,6 +416,15 @@ func (m *Manager) fetchBatch(ctx context.Context, owner string, keys []string) (
 	got, err := m.node.GetBatchContext(ctx, contact, keys, false, sid.DocKey{}, sid.DocKey{})
 	dur := time.Since(start)
 	m.node.Metrics().Observe(metrics.OpDPPFetch, dur)
+	if err == nil {
+		cc := cost.FromContext(ctx)
+		for _, l := range got {
+			if len(l) > 0 {
+				cc.AddBlocksFetched(1)
+				cc.AddWireBytes(int64(len(l)) * metrics.PostingWireBytes)
+			}
+		}
+	}
 	if sp := trace.FromContext(ctx); sp != nil {
 		c := sp.Child("dpp:block-batch", start, dur)
 		c.SetAttr("peer", owner)
@@ -445,13 +491,27 @@ func (m *Manager) probeBlock(ctx context.Context, addr, key string, intervalBlob
 // shedding replica costs one failed probe instead of the whole budget.
 func (m *Manager) fetchBlock(ctx context.Context, b BlockRef, intervalBlob []byte) (postings.List, error) {
 	start := time.Now()
-	list, err := m.fetchBlockFailover(ctx, b, intervalBlob)
+	var probes, sheds int64
+	list, err := m.fetchBlockFailover(ctx, b, intervalBlob, &probes, &sheds)
 	dur := time.Since(start)
 	m.node.Metrics().Observe(metrics.OpDPPFetch, dur)
+	cc := cost.FromContext(ctx)
+	cc.AddReplicaProbes(probes)
+	cc.AddShedRetries(sheds)
+	if err == nil {
+		cc.AddBlocksFetched(1)
+		cc.AddWireBytes(int64(len(list)) * metrics.PostingWireBytes)
+	}
 	if sp := trace.FromContext(ctx); sp != nil {
 		c := sp.Child("dpp:block", start, dur)
 		c.SetAttr("block", b.Key)
 		c.SetInt("postings", int64(len(list)))
+		if probes > 0 {
+			c.SetInt("probes", probes)
+		}
+		if sheds > 0 {
+			c.SetInt("sheds", sheds)
+		}
 		if err != nil {
 			c.SetAttr("error", err.Error())
 		}
@@ -459,12 +519,16 @@ func (m *Manager) fetchBlock(ctx context.Context, b BlockRef, intervalBlob []byt
 	return list, err
 }
 
-func (m *Manager) fetchBlockFailover(ctx context.Context, b BlockRef, intervalBlob []byte) (postings.List, error) {
+func (m *Manager) fetchBlockFailover(ctx context.Context, b BlockRef, intervalBlob []byte, probes, sheds *int64) (postings.List, error) {
 	tried := map[string]bool{}
 	for _, addr := range m.orderCandidates(b.Owner, b.Replicas) {
 		tried[addr] = true
+		*probes++
 		list, err := m.probeBlock(ctx, addr, b.Key, intervalBlob)
 		if err != nil {
+			if dht.IsOverload(err) {
+				*sheds++
+			}
 			continue // dead, shed, or unreachable: next holder
 		}
 		if len(list) == 0 && b.Count > 0 && addr != b.Owner {
@@ -483,8 +547,11 @@ func (m *Manager) fetchBlockFailover(ctx context.Context, b BlockRef, intervalBl
 		return nil, err
 	}
 	if !tried[owner.Addr] {
+		*probes++
 		if list, err := m.probeBlock(ctx, owner.Addr, b.Key, intervalBlob); err == nil {
 			return list, nil
+		} else if dht.IsOverload(err) {
+			*sheds++
 		}
 	}
 	// Every candidate failed its probe: the full retry/backoff budget
@@ -494,6 +561,22 @@ func (m *Manager) fetchBlockFailover(ctx context.Context, b BlockRef, intervalBl
 		return nil, err
 	}
 	return postings.Drain(s)
+}
+
+// costStream counts the wire bytes of a routed posting stream as the
+// consumer pulls it — inline lists transfer lazily, so the bytes are
+// only known posting by posting.
+type costStream struct {
+	s postings.Stream
+	c *cost.Counters
+}
+
+func (cs *costStream) Next() (sid.Posting, error) {
+	p, err := cs.s.Next()
+	if err == nil {
+		cs.c.AddWireBytes(metrics.PostingWireBytes)
+	}
+	return p, err
 }
 
 // teeStream accumulates a fully drained stream into the block cache.

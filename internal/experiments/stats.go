@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"kadop/internal/dpp"
+	"kadop/internal/kadop"
+	"kadop/internal/pattern"
+	"kadop/internal/workload"
+)
+
+// StatsOptions scale the statistics-registry experiment: a DPP
+// deployment answers a repeated workload, the querier's registry
+// trains its selectivity EWMAs on the warmup passes, and the
+// measurement passes compare its cardinality estimates to the twig
+// join's actual match counts.
+type StatsOptions struct {
+	Records int
+	Peers   int
+	// Warmup is the number of passes over the query set that train the
+	// selectivity EWMAs before measurement begins.
+	Warmup int
+	// Measure is the number of measured passes.
+	Measure int
+	// ErrBound is the p95 relative-error ceiling the run must meet on
+	// the measured passes.
+	ErrBound  float64
+	BlockSize int
+	Seed      int64
+}
+
+func (o StatsOptions) defaults() StatsOptions {
+	if o.Records <= 0 {
+		o.Records = 300
+	}
+	if o.Peers <= 0 {
+		o.Peers = 8
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 6
+	}
+	if o.Measure <= 0 {
+		o.Measure = 3
+	}
+	if o.ErrBound <= 0 {
+		o.ErrBound = 0.25
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 256
+	}
+	return o
+}
+
+// statsQueries is the measured workload: the paper's stress query plus
+// two broader shapes. The shapes are edge-disjoint on purpose — two
+// queries training one edge to different reductions would oscillate
+// the EWMA and measure the workload's ambiguity, not the registry.
+var statsQueries = []string{
+	Fig3Query,
+	`//inproceedings//author`,
+	`//article//title`,
+}
+
+// StatsRow is one query shape's measurement.
+type StatsRow struct {
+	Query string
+	// Estimated and Actual are the registry's match prediction and the
+	// twig join's match count on the last measured pass.
+	Estimated float64
+	Actual    int64
+	// RelErr is the worst relative error across measured passes.
+	RelErr float64
+}
+
+// StatsResult is the experiment outcome. Run fails unless every
+// measured query carries an estimate, the p95 relative error stays
+// under the bound, and every phase of the cost plane reports nonzero
+// actuals — an operator that stops counting is an observability bug
+// no dashboard would catch.
+type StatsResult struct {
+	Rows []StatsRow
+	// ErrP50 and ErrP95 summarise relative errors over measured passes.
+	ErrP50, ErrP95 float64
+	ErrBound       float64
+	// RegistryP95 is the querier registry's own bucketed p95, the value
+	// /debug/stats and kadop-top report for the same run.
+	RegistryP95 float64
+	// FetchWork, JoinWork and AnswerWork are the summed actuals of the
+	// measured passes: blocks fetched, postings scanned, documents
+	// evaluated.
+	FetchWork, JoinWork, AnswerWork int64
+}
+
+// RunStats prices the estimation loop end to end: publish a corpus
+// over a DPP deployment, train the querier's statistics registry on a
+// warmup workload, then verify the registry's cardinality estimates
+// track the actuals the cost counters measure.
+func RunStats(o StatsOptions) (*StatsResult, error) {
+	o = o.defaults()
+	docs := workload.DBLP{Seed: o.Seed, Records: o.Records}.Documents()
+	cl, err := NewCluster(ClusterOptions{
+		Peers: o.Peers,
+		Cfg: kadop.Config{
+			UseDPP: true,
+			DPP:    dpp.Options{BlockSize: o.BlockSize},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	if _, err := cl.PublishAll(docs, 4); err != nil {
+		return nil, err
+	}
+
+	queries := make([]*pattern.Query, len(statsQueries))
+	for i, s := range statsQueries {
+		queries[i] = pattern.MustParse(s)
+	}
+	// One querier for the whole run: training and measurement must hit
+	// the same registry, and a non-owner so fetches cross the network.
+	querier := cl.NonOwnerPeer(queries[0])
+
+	run := func(q *pattern.Query) (*kadop.Result, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), 60e9)
+		defer cancel()
+		return querier.QueryContext(ctx, q, kadop.QueryOptions{})
+	}
+	for pass := 0; pass < o.Warmup; pass++ {
+		for _, q := range queries {
+			if _, err := run(q); err != nil {
+				return nil, fmt.Errorf("experiments: stats: warmup: %w", err)
+			}
+		}
+	}
+
+	res := &StatsResult{ErrBound: o.ErrBound}
+	rows := make([]StatsRow, len(queries))
+	var errs []float64
+	for pass := 0; pass < o.Measure; pass++ {
+		for i, q := range queries {
+			r, err := run(q)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: stats: measure: %w", err)
+			}
+			if r.Estimate == nil {
+				return nil, fmt.Errorf("experiments: stats: query %q produced no estimate", statsQueries[i])
+			}
+			actual := int64(r.IndexMatches)
+			relErr := math.Abs(r.Estimate.Matches-float64(actual)) / math.Max(float64(actual), 1)
+			errs = append(errs, relErr)
+			rows[i].Query = statsQueries[i]
+			rows[i].Estimated = r.Estimate.Matches
+			rows[i].Actual = actual
+			if relErr > rows[i].RelErr {
+				rows[i].RelErr = relErr
+			}
+			res.FetchWork += r.Cost.RootFetches + r.Cost.BlocksFetched
+			res.JoinWork += r.Cost.PostingsScanned
+			res.AnswerWork += r.Cost.DocsEvaluated
+		}
+	}
+	res.Rows = rows
+	sort.Float64s(errs)
+	quantile := func(q float64) float64 {
+		idx := int(math.Ceil(q*float64(len(errs)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return errs[idx]
+	}
+	res.ErrP50, res.ErrP95 = quantile(0.50), quantile(0.95)
+	res.RegistryP95 = querier.Stats().ErrorQuantile(0.95)
+
+	if res.ErrP95 > o.ErrBound {
+		return nil, fmt.Errorf("experiments: stats: p95 relative error %.3f exceeds bound %.3f after %d warmup passes",
+			res.ErrP95, o.ErrBound, o.Warmup)
+	}
+	for _, ph := range []struct {
+		name string
+		work int64
+	}{{"fetch", res.FetchWork}, {"join", res.JoinWork}, {"answers", res.AnswerWork}} {
+		if ph.work == 0 {
+			return nil, fmt.Errorf("experiments: stats: phase %s reported zero actuals — an operator stopped counting", ph.name)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the statistics experiment report.
+func (r *StatsResult) Format() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Query,
+			fmt.Sprintf("%.1f", row.Estimated),
+			fmt.Sprintf("%d", row.Actual),
+			fmt.Sprintf("%.3f", row.RelErr),
+		})
+	}
+	out := "Statistics registry — cardinality estimates vs twig-join actuals (trained EWMAs)\n" +
+		table([]string{"query", "est-matches", "actual", "max-rel-err"}, rows)
+	out += fmt.Sprintf("\nrelative error: p50 %.3f, p95 %.3f (bound %.3f); registry bucketed p95 %.3g\n",
+		r.ErrP50, r.ErrP95, r.ErrBound, r.RegistryP95)
+	out += fmt.Sprintf("actuals: %d blocks+roots fetched, %d postings scanned, %d docs evaluated\n",
+		r.FetchWork, r.JoinWork, r.AnswerWork)
+	return out
+}

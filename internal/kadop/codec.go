@@ -93,41 +93,81 @@ func encodeMatches(ms []twigjoin.Match) []byte {
 }
 
 func decodeMatches(buf []byte) ([]twigjoin.Match, error) {
+	out, _, err := decodeMatchesAt(buf)
+	return out, err
+}
+
+func decodeMatchesAt(buf []byte) ([]twigjoin.Match, int, error) {
 	n, pos, err := readUint(buf, 0)
 	if err != nil {
-		return nil, err
+		return nil, pos, err
 	}
 	if n > uint64(len(buf)) {
-		return nil, fmt.Errorf("kadop: implausible match count %d", n)
+		return nil, pos, fmt.Errorf("kadop: implausible match count %d", n)
 	}
 	out := make([]twigjoin.Match, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var m twigjoin.Match
 		var v uint64
 		if v, pos, err = readUint(buf, pos); err != nil {
-			return nil, err
+			return nil, pos, err
 		}
 		m.Doc.Peer = sid.PeerID(v)
 		if v, pos, err = readUint(buf, pos); err != nil {
-			return nil, err
+			return nil, pos, err
 		}
 		m.Doc.Doc = sid.DocID(v)
 		if v, pos, err = readUint(buf, pos); err != nil {
-			return nil, err
+			return nil, pos, err
 		}
 		if v > uint64(len(buf)) {
-			return nil, fmt.Errorf("kadop: implausible tuple width %d", v)
+			return nil, pos, fmt.Errorf("kadop: implausible tuple width %d", v)
 		}
 		for j := uint64(0); j < v; j++ {
 			var p sid.Posting
 			if p, pos, err = readPosting(buf, pos); err != nil {
-				return nil, err
+				return nil, pos, err
 			}
 			m.Postings = append(m.Postings, p)
 		}
 		out = append(out, m)
 	}
-	return out, nil
+	return out, pos, nil
+}
+
+// answerStats is the optional cost trailer of a phase-two response:
+// how much evaluation work the document peer did on the query's
+// behalf. Old responses simply end after the matches, so the trailer
+// decodes as zeros — decodeMatches ignores it entirely.
+type answerStats struct {
+	docsEvaluated   int64
+	elementsScanned int64
+}
+
+func appendAnswerStats(buf []byte, st answerStats) []byte {
+	buf = appendUint(buf, uint64(st.docsEvaluated))
+	return appendUint(buf, uint64(st.elementsScanned))
+}
+
+// decodeMatchesStats decodes a phase-two response plus its cost
+// trailer when present.
+func decodeMatchesStats(buf []byte) ([]twigjoin.Match, answerStats, error) {
+	var st answerStats
+	out, pos, err := decodeMatchesAt(buf)
+	if err != nil || pos >= len(buf) {
+		return out, st, err
+	}
+	d, pos, err := readUint(buf, pos)
+	if err != nil {
+		return out, answerStats{}, nil // no well-formed trailer: matches stand alone
+	}
+	e, _, err := readUint(buf, pos)
+	if err != nil {
+		return out, answerStats{}, nil
+	}
+	st.docsEvaluated = int64(d)
+	st.elementsScanned = int64(e)
+	return out, st, nil
 }
 
 // encodeDocKeys serialises a document-key list (phase-two requests).

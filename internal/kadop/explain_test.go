@@ -1,0 +1,69 @@
+package kadop
+
+import (
+	"strings"
+	"testing"
+
+	"kadop/internal/dpp"
+	"kadop/internal/pattern"
+	"kadop/internal/trace"
+)
+
+// TestCostPlaneEndToEnd drives a DPP cluster and checks the whole cost
+// plane on a real query: operator actuals populated for every phase,
+// an estimate present once the fetch plans supply cardinalities, the
+// registry trained, and the shared explain renderer showing both.
+func TestCostPlaneEndToEnd(t *testing.T) {
+	c := newCluster(t, 8, Config{UseDPP: true, DPP: dpp.Options{BlockSize: 4}})
+	publishAll(t, c, dblpDocs)
+	querier := c.peers[len(c.peers)-1]
+	tr := trace.New(4)
+	querier.Node().SetTracer(tr)
+
+	q := pattern.MustParse(`//article//author[. contains "Ullman"]`)
+	var res *Result
+	var err error
+	for i := 0; i < 3; i++ { // repeats train the selectivity EWMAs
+		if res, err = querier.Query(q, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cost := res.Cost
+	if cost.RootFetches == 0 || cost.BlocksFetched == 0 || cost.WireBytes == 0 {
+		t.Errorf("fetch actuals missing: %+v", cost)
+	}
+	if cost.PostingsScanned == 0 || cost.IndexMatches == 0 {
+		t.Errorf("join actuals missing: %+v", cost)
+	}
+	if cost.DocsEvaluated == 0 || cost.Answers != int64(len(res.Matches)) {
+		t.Errorf("answer actuals missing or inconsistent: %+v (%d matches)", cost, len(res.Matches))
+	}
+	if res.Estimate == nil {
+		t.Fatal("DPP query carried no estimate")
+	}
+	if res.Estimate.Postings <= 0 || res.Estimate.Matches <= 0 {
+		t.Errorf("estimate = %+v", res.Estimate)
+	}
+	if querier.Stats().Queries() == 0 {
+		t.Error("registry observed no queries")
+	}
+
+	out := FormatExplain(res, true)
+	for _, want := range []string{
+		"query", "phase:fetch", // the span tree
+		"estimated", "actual", "postings scanned", "docs evaluated",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain-analyze output missing %q:\n%s", want, out)
+		}
+	}
+	// -explain (no analyze) is the tree alone, same renderer.
+	plain := FormatExplain(res, false)
+	if !strings.Contains(plain, "phase:fetch") || strings.Contains(plain, "estimated") {
+		t.Errorf("explain output wrong:\n%s", plain)
+	}
+	if FormatExplain(nil, true) != "" {
+		t.Error("nil result should render empty")
+	}
+}

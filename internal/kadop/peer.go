@@ -26,12 +26,15 @@ import (
 	"kadop/internal/blockcache"
 	"kadop/internal/dht"
 	"kadop/internal/dpp"
+	"kadop/internal/obs/cost"
 	"kadop/internal/obs/querylog"
+	"kadop/internal/obs/stats"
 	"kadop/internal/pattern"
 	"kadop/internal/postings"
 	"kadop/internal/replicate"
 	"kadop/internal/sid"
 	"kadop/internal/store"
+	"kadop/internal/trace"
 	"kadop/internal/twigjoin"
 	"kadop/internal/xmltree"
 )
@@ -163,6 +166,8 @@ type Peer struct {
 	persist    *statePersist // nil unless Config.DataDir is set
 	ownedStore io.Closer     // index store closed by Close (NewTCPPeer)
 
+	stats *stats.Registry // per-term cardinalities + learned selectivities
+
 	stopRepub func()                // stops the republish loop; nil when disabled
 	ctrl      *replicate.Controller // adaptive replication; nil when disabled
 }
@@ -183,6 +188,7 @@ func NewPeer(node *dht.Node, id sid.PeerID, cfg Config) (*Peer, error) {
 		dir:      map[string][]byte{},
 		sess:     map[string]chan pushMsg{},
 		hybrid:   map[string]postings.List{},
+		stats:    stats.NewRegistry(),
 	}
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
@@ -194,6 +200,10 @@ func NewPeer(node *dht.Node, id sid.PeerID, cfg Config) (*Peer, error) {
 		}
 		p.persist = sp
 		if err := p.replayState(recs); err != nil {
+			sp.close()
+			return nil, err
+		}
+		if err := p.stats.Load(filepath.Join(cfg.DataDir, "stats.json")); err != nil {
 			sp.close()
 			return nil, err
 		}
@@ -311,7 +321,13 @@ func (p *Peer) Close() error {
 		p.stopRepub()
 	}
 	p.ctrl.Stop()
-	err := p.node.Close()
+	var err error
+	if p.cfg.DataDir != "" {
+		err = p.stats.Save(filepath.Join(p.cfg.DataDir, "stats.json"))
+	}
+	if cerr := p.node.Close(); err == nil {
+		err = cerr
+	}
 	if p.ownedStore != nil {
 		if cerr := p.ownedStore.Close(); err == nil {
 			err = cerr
@@ -448,6 +464,12 @@ func (p *Peer) DPP() *dpp.Manager { return p.dpp }
 // when disabled); experiments with synthetic clocks drive its Tick.
 func (p *Peer) Replicator() *replicate.Controller { return p.ctrl }
 
+// Stats returns the peer's statistics registry: per-term cardinalities
+// from its publish path and join selectivities learned from its
+// completed queries. Served at /debug/stats and as kadop_stats_* on
+// /metrics by the admin endpoint.
+func (p *Peer) Stats() *stats.Registry { return p.stats }
+
 // BlockCache returns the peer's posting-block cache, or nil when
 // caching (or DPP) is disabled.
 func (p *Peer) BlockCache() *blockcache.Cache {
@@ -552,6 +574,10 @@ func (p *Peer) indexDoc(id sid.DocID, doc *xmltree.Document, uri, dtype string) 
 		if err := p.appendIndex(term, list, dtype); err != nil {
 			return key, fmt.Errorf("kadop: publish %q: index %q: %w", uri, term, err)
 		}
+		// Statistics update at the publisher: each term gained one
+		// document and len(list) postings here, so summing registries
+		// across the cluster yields the exact global cardinalities.
+		p.stats.ObservePublish(term, 1, int64(len(list)))
 	}
 	if err := p.dirPut(docKey(key), []byte(uri)); err != nil {
 		return key, err
@@ -594,6 +620,7 @@ func (p *Peer) PublishAt(id sid.DocID, doc *xmltree.Document, uri string) (sid.D
 		if err := p.appendIndex(term, list, ""); err != nil {
 			return key, fmt.Errorf("kadop: publish %q: index %q: %w", uri, term, err)
 		}
+		p.stats.ObservePublish(term, 1, int64(len(list)))
 	}
 	if err := p.dirPut(docKey(key), []byte(uri)); err != nil {
 		return key, err
@@ -699,7 +726,7 @@ func (p *Peer) URI(k sid.DocKey) (string, error) {
 // handleAnswer serves phase-two query evaluation: given a query and a
 // set of local document ids, it evaluates the full tree pattern on the
 // stored documents and returns the answer tuples.
-func (p *Peer) handleAnswer(_ context.Context, _ dht.Contact, _ string, blob []byte) ([]byte, error) {
+func (p *Peer) handleAnswer(ctx context.Context, _ dht.Contact, _ string, blob []byte) ([]byte, error) {
 	queryText, pos, err := readStr(blob, 0)
 	if err != nil {
 		return nil, err
@@ -712,6 +739,11 @@ func (p *Peer) handleAnswer(_ context.Context, _ dht.Contact, _ string, blob []b
 	if err != nil {
 		return nil, fmt.Errorf("kadop: answer: %w", err)
 	}
+	// Evaluation work is measured locally and shipped back in the
+	// response trailer, so the querying peer's cost accumulator covers
+	// phase two even though it runs here.
+	counters := new(cost.Counters)
+	mctx := cost.NewContext(ctx, counters)
 	var all []twigjoin.Match
 	for _, k := range keys {
 		p.mu.Lock()
@@ -720,7 +752,7 @@ func (p *Peer) handleAnswer(_ context.Context, _ dht.Contact, _ string, blob []b
 		if doc == nil || k.Peer != p.id {
 			continue
 		}
-		for _, m := range pattern.MatchDocument(q, doc, k) {
+		for _, m := range pattern.MatchDocumentContext(mctx, q, doc, k) {
 			ps := make([]sid.Posting, len(m.Elements))
 			for i, e := range m.Elements {
 				ps[i] = sid.Posting{Peer: k.Peer, Doc: k.Doc, SID: e}
@@ -728,5 +760,16 @@ func (p *Peer) handleAnswer(_ context.Context, _ dht.Contact, _ string, blob []b
 			all = append(all, twigjoin.Match{Doc: k, Postings: ps})
 		}
 	}
-	return encodeMatches(all), nil
+	snap := counters.Snapshot()
+	if sp := trace.FromContext(ctx); sp != nil {
+		// The joined server span shows where the evaluation effort went
+		// when client and server share a tracer (sim clusters).
+		sp.SetInt("docs-evaluated", snap.DocsEvaluated)
+		sp.SetInt("elements-scanned", snap.ElementsScanned)
+		sp.SetInt("matches", int64(len(all)))
+	}
+	return appendAnswerStats(encodeMatches(all), answerStats{
+		docsEvaluated:   snap.DocsEvaluated,
+		elementsScanned: snap.ElementsScanned,
+	}), nil
 }

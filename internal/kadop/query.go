@@ -9,7 +9,9 @@ import (
 
 	"kadop/internal/dpp"
 	"kadop/internal/metrics"
+	"kadop/internal/obs/cost"
 	"kadop/internal/obs/flight"
+	"kadop/internal/obs/stats"
 	"kadop/internal/pattern"
 	"kadop/internal/postings"
 	"kadop/internal/sid"
@@ -117,6 +119,15 @@ type Result struct {
 	// span). Render it with Trace.Tree() — the kadop-query -explain
 	// output.
 	Trace *trace.Trace
+	// Cost is the query's operator actuals: the work every phase did
+	// (postings scanned, blocks fetched, bytes moved, candidates
+	// pruned, documents evaluated). Always populated.
+	Cost cost.Snapshot
+	// Estimate is the pre-execution cost prediction from the peer's
+	// statistics registry, nil when the per-term cardinalities were
+	// unavailable (plain transfers of terms this peer never published).
+	// FormatExplain renders Estimate vs Cost side by side.
+	Estimate *stats.Estimate
 }
 
 // Query evaluates a tree-pattern query: phase one computes the
@@ -200,6 +211,11 @@ func (p *Peer) queryContext(ctx context.Context, q *pattern.Query, opts QueryOpt
 		root.SetAttr("strategy", opts.Strategy.String())
 		classBase = col.ClassBytes()
 	}
+	// Every query gets a cost accumulator: the fetch, join and answer
+	// operators find it on the context and add their actuals as they
+	// work, regardless of tracing.
+	counters := new(cost.Counters)
+	ctx = cost.NewContext(ctx, counters)
 	start := time.Now()
 	res := &Result{Trace: root.Trace()}
 	defer func() {
@@ -237,6 +253,10 @@ func (p *Peer) queryContext(ctx context.Context, q *pattern.Query, opts QueryOpt
 	res.Docs = docs
 	res.IndexTime = time.Since(start)
 	col.Observe(metrics.OpQueryIndex, res.IndexTime)
+	// Phase one is done: predict its cost from the statistics registry
+	// (using the selectivities as they were BEFORE this query), record
+	// the estimation error, then let the query train the EWMAs.
+	p.observeQueryStats(iq, res)
 
 	if !opts.IndexOnly {
 		phaseStart := time.Now()
@@ -256,11 +276,97 @@ func (p *Peer) queryContext(ctx context.Context, q *pattern.Query, opts QueryOpt
 		res.Incomplete = failed > 0
 	}
 	res.Total = time.Since(start)
+	res.Cost = counters.Snapshot()
 	if root != nil {
 		root.SetInt("answers", int64(len(res.Matches)))
 		root.SetInt("candidate-docs", int64(len(res.Docs)))
+		if c := res.Cost; c != (cost.Snapshot{}) {
+			root.SetInt("postings-scanned", c.PostingsScanned)
+			root.SetInt("blocks-fetched", c.BlocksFetched)
+			root.SetInt("wire-bytes", c.WireBytes)
+			root.SetInt("pruned", c.Pruned)
+		}
 	}
 	return res, nil
+}
+
+// queryEdges flattens an index query's tree edges into the statistics
+// registry's selectivity keys.
+func queryEdges(iq *indexQuery) []stats.Edge {
+	var edges []stats.Edge
+	for _, sub := range iq.subtrees {
+		var walk func(n *pattern.Node)
+		walk = func(n *pattern.Node) {
+			for _, c := range n.Children {
+				edges = append(edges, stats.Edge{
+					Parent: n.Term.Key(),
+					Axis:   c.Axis.String(),
+					Child:  c.Term.Key(),
+				})
+				walk(c)
+			}
+		}
+		if sub.Root != nil {
+			walk(sub.Root)
+		}
+	}
+	return edges
+}
+
+// observeQueryStats closes the estimation loop after phase one: it
+// gathers the per-term planned posting counts (from the DPP fetch
+// plans when available, else the local registry), asks the registry
+// for a prediction, records the relative cardinality error against
+// the twig join's actual match count, and finally feeds the actuals
+// back into the selectivity EWMAs.
+func (p *Peer) observeQueryStats(iq *indexQuery, res *Result) {
+	counts := map[string]int64{}
+	var blocks int64
+	if len(res.Plans) > 0 {
+		for _, plan := range res.Plans {
+			counts[plan.Term] += int64(plan.Postings)
+			n := int64(plan.Fetched)
+			if plan.Inline && plan.Postings > 0 {
+				n = 1
+			}
+			blocks += n
+		}
+	} else if p.stats != nil {
+		// Plain transfers carry no plan; the local registry knows the
+		// cardinalities only for terms this peer published itself.
+		for _, sub := range iq.subtrees {
+			for _, t := range sub.Terms() {
+				ts, ok := p.stats.Term(t.Key())
+				if !ok {
+					return // unknown term: no honest estimate exists
+				}
+				counts[t.Key()] = ts.Postings
+			}
+		}
+	}
+	if len(counts) == 0 {
+		return
+	}
+	edges := queryEdges(iq)
+	est := p.stats.Estimate(counts, blocks, edges)
+	res.Estimate = &est
+	actual := int64(res.IndexMatches)
+	relErr := est.Matches - float64(actual)
+	if relErr < 0 {
+		relErr = -relErr
+	}
+	div := float64(actual)
+	if div < 1 {
+		div = 1
+	}
+	p.stats.ObserveError(relErr / div)
+	minCount := int64(-1)
+	for _, n := range counts {
+		if minCount < 0 || n < minCount {
+			minCount = n
+		}
+	}
+	p.stats.ObserveQuery(minCount, actual, edges)
 }
 
 // indexQuery runs phase one and returns the candidate document keys.
@@ -377,7 +483,7 @@ func (p *Peer) sequentialIndexJoin(ctx context.Context, sub *pattern.Query, opts
 	joinStart := time.Now()
 	matchBase := res.IndexMatches
 	var subDocs []sid.DocKey
-	err = twigjoin.Run(sub, streams, func(m twigjoin.Match) error {
+	err = twigjoin.RunContext(ctx, sub, streams, func(m twigjoin.Match) error {
 		if res.FirstAnswer == 0 {
 			res.FirstAnswer = time.Since(start)
 		}
@@ -482,7 +588,7 @@ func (p *Peer) parallelIndexJoin(ctx context.Context, sub *pattern.Query, opts Q
 			}
 			joinStart := time.Now()
 			vecMatches := 0
-			err = twigjoin.Run(sub, nodeStreams, func(m twigjoin.Match) error {
+			err = twigjoin.RunContext(vctx, sub, nodeStreams, func(m twigjoin.Match) error {
 				mu.Lock()
 				if res.FirstAnswer == 0 {
 					res.FirstAnswer = time.Since(start)
@@ -631,6 +737,7 @@ func (p *Peer) fetchStreams(ctx context.Context, sub *pattern.Query, opts QueryO
 	// Plain transfers: pipelined get (default) or the blocking baseline.
 	lists := map[string]postings.Stream{}
 	dup := termDup(nodes)
+	cc := cost.FromContext(ctx)
 	for _, t := range terms {
 		var s postings.Stream
 		if p.cfg.pipelined() {
@@ -639,11 +746,13 @@ func (p *Peer) fetchStreams(ctx context.Context, sub *pattern.Query, opts QueryO
 			if err != nil {
 				return nil, nil, err
 			}
+			s = &wireCountStream{s: s, c: cc}
 		} else {
 			l, err := p.node.GetContext(ctx, t.Key())
 			if err != nil {
 				return nil, nil, err
 			}
+			cc.AddWireBytes(int64(len(l)) * metrics.PostingWireBytes)
 			s = postings.NewSliceStream(l)
 		}
 		if dup[t.Key()] {
@@ -657,6 +766,21 @@ func (p *Peer) fetchStreams(ctx context.Context, sub *pattern.Query, opts QueryO
 	}
 	streams, err := assignStreams(nodes, lists, dup)
 	return streams, nil, err
+}
+
+// wireCountStream attributes a plain pipelined get's posting bytes to
+// the query's cost accumulator as the consumer pulls them.
+type wireCountStream struct {
+	s postings.Stream
+	c *cost.Counters
+}
+
+func (w *wireCountStream) Next() (sid.Posting, error) {
+	p, err := w.s.Next()
+	if err == nil {
+		w.c.AddWireBytes(metrics.PostingWireBytes)
+	}
+	return p, err
 }
 
 // termDup reports which term keys label more than one query node.
@@ -735,6 +859,7 @@ func rootDocRange(r *dpp.Root) (lo, hi sid.DocKey, ok bool) {
 // gathers the final answers. It returns the matches, the number of
 // unreachable peers, and the first error encountered.
 func (p *Peer) secondPhase(ctx context.Context, q *pattern.Query, docs []sid.DocKey) ([]twigjoin.Match, int, error) {
+	cc := cost.FromContext(ctx)
 	byPeer := map[sid.PeerID][]sid.DocKey{}
 	for _, d := range docs {
 		byPeer[d.Peer] = append(byPeer[d.Peer], d)
@@ -771,11 +896,16 @@ func (p *Peer) secondPhase(ctx context.Context, q *pattern.Query, docs []sid.Doc
 				fail(err)
 				return
 			}
-			ms, err := decodeMatches(out)
+			ms, st, err := decodeMatchesStats(out)
 			if err != nil {
 				fail(err)
 				return
 			}
+			// The document peer's evaluation work rides back on the
+			// response trailer; attribute it to this query's actuals.
+			cc.AddDocsEvaluated(st.docsEvaluated)
+			cc.AddElementsScanned(st.elementsScanned)
+			cc.AddAnswers(int64(len(ms)))
 			mu.Lock()
 			all = append(all, ms...)
 			mu.Unlock()

@@ -81,6 +81,9 @@ type Report struct {
 	// Exemplars are the slowest histogram exemplars scraped, worst
 	// first — trace ids of real outlier queries.
 	Exemplars []ExemplarRef
+	// Stats merges the peers' statistics registries (nil when no peer
+	// exports kadop_stats_* series).
+	Stats *StatsSummary
 	// SampleCount is the total exposition samples scraped.
 	SampleCount int
 }
@@ -128,6 +131,7 @@ func BuildReport(scrapes []*PeerScrape, topK int) *Report {
 	r.SLOs = mergeSLOs(scrapes)
 	r.SLOVerdict = sloVerdict(r.SLOs)
 	r.Exemplars = collectExemplars(scrapes, 5)
+	r.Stats = mergeStats(scrapes, topK)
 	return r
 }
 
@@ -276,7 +280,17 @@ type mergedHist struct {
 }
 
 func (h *mergedHist) quantile(q float64) time.Duration {
-	if h.total == 0 {
+	return time.Duration(histQuantile(h.bounds, h.cum, h.total, q) * float64(time.Second))
+}
+
+// histQuantile interpolates a quantile from cumulative bucket counts.
+// It is hardened against the merges a real scrape produces: zero
+// observations (a peer that has served nothing yet) return 0, and a
+// bucket whose count does not advance past its predecessor — possible
+// when peers disagree on bounds — contributes its upper bound instead
+// of dividing by zero. The result is always finite.
+func histQuantile(bounds []float64, cum []int64, total int64, q float64) float64 {
+	if total <= 0 || len(bounds) == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -285,23 +299,23 @@ func (h *mergedHist) quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	rank := int64(q*float64(h.total-1)) + 1
+	rank := int64(q*float64(total-1)) + 1
 	var prev int64
 	lo := 0.0
-	for i, c := range h.cum {
+	for i, c := range cum {
 		if c >= rank {
 			n := c - prev
-			hi := h.bounds[i]
+			hi := bounds[i]
+			if n <= 0 {
+				return hi
+			}
 			frac := float64(rank-prev) / float64(n)
-			return time.Duration((lo + frac*(hi-lo)) * float64(time.Second))
+			return lo + frac*(hi-lo)
 		}
 		prev = c
-		lo = h.bounds[i]
+		lo = bounds[i]
 	}
-	if len(h.bounds) > 0 {
-		return time.Duration(h.bounds[len(h.bounds)-1] * float64(time.Second))
-	}
-	return 0
+	return bounds[len(bounds)-1]
 }
 
 // mergeOps merges kadop_op_latency_seconds histograms across peers.
@@ -407,6 +421,7 @@ func (r *Report) Format() string {
 			fmt.Fprintf(&b, "  trace %016x  %-16s %9.2gs  %s\n", e.TraceID, e.Op, e.Seconds, e.Peer)
 		}
 	}
+	r.Stats.format(&b)
 	return b.String()
 }
 

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TermCard is one term's cluster-wide cardinality: per-peer statistics
+// registries summed. Because every publish increments exactly one
+// peer's registry, the sums are globally correct document and posting
+// counts for the term.
+type TermCard struct {
+	Term     string
+	Docs     int64
+	Postings int64
+	Bytes    int64
+}
+
+// StatsSummary is the cluster-merged view of the peers' statistics
+// registries: global term cardinalities and the estimate-vs-actual
+// error distribution across every completed query in the cluster.
+type StatsSummary struct {
+	Terms []TermCard
+	// Queries is the total completed queries that trained selectivities.
+	Queries int64
+	// ErrCount/ErrP50/ErrP95 summarise the merged estimation-error
+	// histogram: how far off the registries' cardinality estimates ran,
+	// as relative error (0.1 = 10% off). All values are finite; a
+	// cluster with no observed queries reports zeros.
+	ErrCount int64
+	ErrP50   float64
+	ErrP95   float64
+}
+
+// mergeStats folds every peer's kadop_stats_* families into one
+// summary, keeping the topK heaviest terms (0 = all). Returns nil when
+// no scraped peer exports statistics series.
+func mergeStats(scrapes []*PeerScrape, topK int) *StatsSummary {
+	terms := map[string]*TermCard{}
+	term := func(name string) *TermCard {
+		if t := terms[name]; t != nil {
+			return t
+		}
+		t := &TermCard{Term: name}
+		terms[name] = t
+		return t
+	}
+	errBuckets := map[float64]int64{}
+	var errBounds []float64
+	s := &StatsSummary{}
+	seen := false
+	for _, ps := range scrapes {
+		for _, sm := range ps.Samples {
+			switch sm.Name {
+			case "kadop_stats_term_docs":
+				term(sm.Label("term")).Docs += int64(sm.Value)
+				seen = true
+			case "kadop_stats_term_postings":
+				term(sm.Label("term")).Postings += int64(sm.Value)
+				seen = true
+			case "kadop_stats_term_bytes":
+				term(sm.Label("term")).Bytes += int64(sm.Value)
+				seen = true
+			case "kadop_stats_queries_observed_total":
+				s.Queries += int64(sm.Value)
+				seen = true
+			case "kadop_stats_est_error_bucket":
+				leStr := sm.Label("le")
+				if leStr == "+Inf" {
+					continue
+				}
+				le, err := parseValue(leStr)
+				if err != nil {
+					continue
+				}
+				if _, ok := errBuckets[le]; !ok {
+					errBounds = append(errBounds, le)
+				}
+				errBuckets[le] += int64(sm.Value)
+				seen = true
+			case "kadop_stats_est_error_count":
+				s.ErrCount += int64(sm.Value)
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		return nil
+	}
+	for _, t := range terms {
+		s.Terms = append(s.Terms, *t)
+	}
+	sort.Slice(s.Terms, func(i, j int) bool {
+		if s.Terms[i].Bytes != s.Terms[j].Bytes {
+			return s.Terms[i].Bytes > s.Terms[j].Bytes
+		}
+		return s.Terms[i].Term < s.Terms[j].Term
+	})
+	if topK > 0 && len(s.Terms) > topK {
+		s.Terms = s.Terms[:topK]
+	}
+	sort.Float64s(errBounds)
+	cum := make([]int64, 0, len(errBounds))
+	for _, b := range errBounds {
+		cum = append(cum, errBuckets[b])
+	}
+	s.ErrP50 = histQuantile(errBounds, cum, s.ErrCount, 0.50)
+	s.ErrP95 = histQuantile(errBounds, cum, s.ErrCount, 0.95)
+	return s
+}
+
+// formatStats renders the statistics section of the kadop-top view.
+func (s *StatsSummary) format(b *strings.Builder) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(b, "stats: %d queries observed, est error p50 %.3f p95 %.3f (n=%d)\n",
+		s.Queries, s.ErrP50, s.ErrP95, s.ErrCount)
+	if len(s.Terms) > 0 {
+		fmt.Fprintf(b, "%-28s %10s %10s %12s\n", "term (cluster-wide)", "docs", "postings", "bytes")
+		for i, t := range s.Terms {
+			if i >= 8 {
+				break
+			}
+			fmt.Fprintf(b, "%-28s %10d %10d %12s\n", t.Term, t.Docs, t.Postings, fmtBytes(t.Bytes))
+		}
+	}
+}

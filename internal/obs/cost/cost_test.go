@@ -1,0 +1,94 @@
+package cost
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var c *Counters
+	c.AddRootFetches(1)
+	c.AddBlocksFetched(1)
+	c.AddCacheHits(1)
+	c.AddWireBytes(1)
+	c.AddReplicaProbes(1)
+	c.AddShedRetries(1)
+	c.AddPostingsScanned(1)
+	c.AddCandidates(1)
+	c.AddPruned(1)
+	c.AddIndexMatches(1)
+	c.AddDocsEvaluated(1)
+	c.AddElementsScanned(1)
+	c.AddAnswers(1)
+	if got := c.Snapshot(); got != (Snapshot{}) {
+		t.Errorf("nil snapshot = %+v, want zero", got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(empty) = %v, want nil", got)
+	}
+	c := new(Counters)
+	ctx := NewContext(context.Background(), c)
+	if got := FromContext(ctx); got != c {
+		t.Fatalf("FromContext = %v, want %v", got, c)
+	}
+	got := FromContext(ctx)
+	got.AddAnswers(3)
+	if c.Snapshot().Answers != 3 {
+		t.Errorf("answers = %d, want 3", c.Snapshot().Answers)
+	}
+}
+
+// TestConcurrentPhaseUpdates hammers every adder from concurrent
+// goroutines, mimicking parallel block fetches, per-vector joins and
+// per-peer answer handlers updating one query's counters at once. Run
+// under -race it proves the accumulator needs no external locking.
+func TestConcurrentPhaseUpdates(t *testing.T) {
+	c := new(Counters)
+	ctx := NewContext(context.Background(), c)
+	const (
+		workers = 8
+		rounds  = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cc := FromContext(ctx)
+			for i := 0; i < rounds; i++ {
+				cc.AddRootFetches(1)
+				cc.AddBlocksFetched(2)
+				cc.AddCacheHits(1)
+				cc.AddWireBytes(18)
+				cc.AddReplicaProbes(1)
+				cc.AddShedRetries(1)
+				cc.AddPostingsScanned(5)
+				cc.AddCandidates(3)
+				cc.AddPruned(2)
+				cc.AddIndexMatches(1)
+				cc.AddDocsEvaluated(1)
+				cc.AddElementsScanned(7)
+				cc.AddAnswers(1)
+				// Interleave snapshots with writes to prove reads
+				// never tear under the race detector.
+				_ = cc.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	n := int64(workers * rounds)
+	want := Snapshot{
+		RootFetches: n, BlocksFetched: 2 * n, CacheHits: n, WireBytes: 18 * n,
+		ReplicaProbes: n, ShedRetries: n,
+		PostingsScanned: 5 * n, Candidates: 3 * n, Pruned: 2 * n, IndexMatches: n,
+		DocsEvaluated: n, ElementsScanned: 7 * n, Answers: n,
+	}
+	if snap != want {
+		t.Errorf("snapshot = %+v, want %+v", snap, want)
+	}
+}

@@ -1,0 +1,449 @@
+// Package stats maintains the per-peer statistics registry of the
+// query cost plane: per-term cardinalities collected on the publish
+// path and join selectivities learned from completed-query actuals.
+// Together they let a query peer predict what a query will cost —
+// postings scanned, blocks and bytes transferred, index matches —
+// before fetching a single posting, which is the substrate any
+// cost-based rewriting (materialized views à la ViP2P, native planners
+// à la RadegastXDB) has to stand on.
+//
+// Cardinalities are exact sums over everything this peer published.
+// Selectivities are exponentially-weighted moving averages per query
+// edge (parent term, axis, child term): each finished query observes
+// the ratio of index matches to its rarest term's cardinality and
+// spreads that reduction uniformly over its edges, so repeated query
+// shapes converge to stable per-edge factors. Estimation error is
+// recorded into a fixed-bound histogram whose buckets merge across
+// peers exactly like the latency histograms (internal/obs/cluster).
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"kadop/internal/metrics"
+)
+
+// ErrBounds are the upper bounds of the relative-error histogram
+// buckets (an implicit +Inf bucket follows the last). Fixed bounds
+// keep the buckets mergeable across peers.
+var ErrBounds = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5}
+
+// SelAlpha is the EWMA smoothing factor for selectivity updates: high
+// enough to converge within a short warmup, low enough that one
+// outlier query does not erase the history.
+const SelAlpha = 0.3
+
+// TermStat aggregates what this peer published under one term.
+type TermStat struct {
+	// Docs is the term's document frequency: distinct documents this
+	// peer published containing the term.
+	Docs int64 `json:"docs"`
+	// Postings is the total posting count published under the term.
+	Postings int64 `json:"postings"`
+	// Bytes is Postings at wire width.
+	Bytes int64 `json:"bytes"`
+}
+
+// MeanPostingsPerDoc is the term's average positional fan-out.
+func (t TermStat) MeanPostingsPerDoc() float64 {
+	if t.Docs == 0 {
+		return 0
+	}
+	return float64(t.Postings) / float64(t.Docs)
+}
+
+// Edge identifies one edge of a tree-pattern query by its endpoint
+// index terms and axis — the unit selectivity is learned at.
+type Edge struct {
+	Parent string
+	Axis   string
+	Child  string
+}
+
+func (e Edge) key() string { return e.Parent + "\x00" + e.Axis + "\x00" + e.Child }
+
+// Estimate is a pre-execution cost prediction for one query.
+type Estimate struct {
+	// Postings is the predicted join input: the sum of the query
+	// terms' (planned or registered) posting counts.
+	Postings int64 `json:"postings"`
+	// Blocks is the predicted number of block transfers.
+	Blocks int64 `json:"blocks"`
+	// Bytes is Postings at wire width.
+	Bytes int64 `json:"bytes"`
+	// Matches is the predicted index-match count: the rarest term's
+	// cardinality scaled by the learned per-edge selectivities.
+	Matches float64 `json:"matches"`
+}
+
+// Registry is one peer's statistics store. All methods are safe for
+// concurrent use; a nil *Registry is inert (observations are dropped,
+// estimates are unavailable), so callers can thread it unconditionally.
+type Registry struct {
+	mu      sync.Mutex
+	terms   map[string]*TermStat
+	sel     map[string]float64
+	queries int64
+	errN    []int64 // per-bucket counts, len(ErrBounds)+1 (+Inf last)
+	errSum  float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		terms: map[string]*TermStat{},
+		sel:   map[string]float64{},
+		errN:  make([]int64, len(ErrBounds)+1),
+	}
+}
+
+// ObservePublish records one publish batch for a term: how many
+// distinct documents and postings it contributed. Called at the
+// publishing peer, so summing registries across the cluster yields the
+// exact global cardinalities with no double counting.
+func (r *Registry) ObservePublish(term string, docs, postings int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.terms[term]
+	if t == nil {
+		t = &TermStat{}
+		r.terms[term] = t
+	}
+	t.Docs += docs
+	t.Postings += postings
+	t.Bytes += postings * metrics.PostingWireBytes
+}
+
+// Term returns the registered statistics for a term.
+func (r *Registry) Term(term string) (TermStat, bool) {
+	if r == nil {
+		return TermStat{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.terms[term]
+	if !ok {
+		return TermStat{}, false
+	}
+	return *t, true
+}
+
+// Estimate predicts a query's cost from per-term posting counts (from
+// DPP fetch plans or the local registry; index order matches edges'
+// terms) and the learned edge selectivities. Unknown edges default to
+// selectivity 1, so a never-seen shape predicts the rarest term's
+// cardinality — the classical upper bound.
+func (r *Registry) Estimate(counts map[string]int64, blocks int64, edges []Edge) Estimate {
+	var est Estimate
+	est.Blocks = blocks
+	minCount := int64(math.MaxInt64)
+	for _, n := range counts {
+		est.Postings += n
+		if n < minCount {
+			minCount = n
+		}
+	}
+	if len(counts) == 0 {
+		minCount = 0
+	}
+	est.Bytes = est.Postings * metrics.PostingWireBytes
+	est.Matches = float64(minCount)
+	if r != nil {
+		r.mu.Lock()
+		for _, e := range edges {
+			if s, ok := r.sel[e.key()]; ok {
+				est.Matches *= s
+			}
+		}
+		r.mu.Unlock()
+	}
+	return est
+}
+
+// ObserveQuery trains the edge selectivities from a completed query's
+// actuals: the total reduction from the rarest input to the index
+// matches, spread uniformly over the query's edges (the per-edge
+// factor is the E-th root of the total). Queries with no edges or no
+// input carry no signal and are skipped.
+func (r *Registry) ObserveQuery(minCount int64, matches int64, edges []Edge) {
+	if r == nil || len(edges) == 0 || minCount <= 0 {
+		return
+	}
+	total := float64(matches) / float64(minCount)
+	perEdge := math.Pow(total, 1/float64(len(edges)))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries++
+	for _, e := range edges {
+		k := e.key()
+		if old, ok := r.sel[k]; ok {
+			r.sel[k] = (1-SelAlpha)*old + SelAlpha*perEdge
+		} else {
+			r.sel[k] = perEdge
+		}
+	}
+}
+
+// ObserveError records one query's cardinality-estimation relative
+// error |est-actual| / max(actual, 1).
+func (r *Registry) ObserveError(relErr float64) {
+	if r == nil || math.IsNaN(relErr) || math.IsInf(relErr, 0) || relErr < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := len(ErrBounds)
+	for b, ub := range ErrBounds {
+		if relErr <= ub {
+			i = b
+			break
+		}
+	}
+	r.errN[i]++
+	r.errSum += relErr
+}
+
+// Queries returns how many completed queries trained the registry.
+func (r *Registry) Queries() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queries
+}
+
+// ErrorQuantile interpolates the q-quantile of the recorded relative
+// errors from the histogram buckets (0 when nothing was recorded).
+func (r *Registry) ErrorQuantile(q float64) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, n := range r.errN {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	lo := 0.0
+	for i, n := range r.errN {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			ub := lo
+			if i < len(ErrBounds) {
+				ub = ErrBounds[i]
+			}
+			return ub
+		}
+		cum += n
+		if i < len(ErrBounds) {
+			lo = ErrBounds[i]
+		}
+	}
+	return ErrBounds[len(ErrBounds)-1]
+}
+
+// Export is the JSON snapshot served at /debug/stats and the
+// persistence layout.
+type Export struct {
+	Terms      map[string]TermStat `json:"terms"`
+	Sel        map[string]float64  `json:"selectivities,omitempty"`
+	Queries    int64               `json:"queries_observed"`
+	ErrBuckets []int64             `json:"est_error_buckets"`
+	ErrSum     float64             `json:"est_error_sum"`
+}
+
+// Snapshot returns a deep copy of the registry state.
+func (r *Registry) Snapshot() Export {
+	ex := Export{Terms: map[string]TermStat{}, Sel: map[string]float64{}}
+	if r == nil {
+		ex.ErrBuckets = make([]int64, len(ErrBounds)+1)
+		return ex
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for t, s := range r.terms {
+		ex.Terms[t] = *s
+	}
+	for k, v := range r.sel {
+		ex.Sel[k] = v
+	}
+	ex.Queries = r.queries
+	ex.ErrBuckets = append([]int64(nil), r.errN...)
+	ex.ErrSum = r.errSum
+	return ex
+}
+
+// topTerms is the per-peer cap on exposed term series: the exposition
+// stays bounded no matter how many terms a peer publishes, and the
+// hottest (largest) terms are the ones cluster aggregation cares
+// about.
+const topTerms = 64
+
+// WriteProm renders the registry as kadop_stats_* series in the
+// Prometheus text exposition format, matching the style of
+// metrics.WriteProm so the admin endpoint can concatenate them.
+func (r *Registry) WriteProm(w io.Writer) error {
+	ex := r.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP kadop_stats_terms Distinct terms tracked by the statistics registry.\n")
+	fmt.Fprintf(&b, "# TYPE kadop_stats_terms gauge\n")
+	fmt.Fprintf(&b, "kadop_stats_terms %d\n", len(ex.Terms))
+
+	names := make([]string, 0, len(ex.Terms))
+	for t := range ex.Terms {
+		names = append(names, t)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, bb := ex.Terms[names[i]], ex.Terms[names[j]]
+		if a.Bytes != bb.Bytes {
+			return a.Bytes > bb.Bytes
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > topTerms {
+		names = names[:topTerms]
+	}
+	sort.Strings(names) // deterministic output order within the cap
+	writeTermGauge := func(metric, help string, val func(TermStat) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", metric, help, metric)
+		for _, t := range names {
+			fmt.Fprintf(&b, "%s{term=\"%s\"} %d\n", metric, escapeLabel(t), val(ex.Terms[t]))
+		}
+	}
+	if len(names) > 0 {
+		writeTermGauge("kadop_stats_term_docs",
+			"Document frequency of this peer's largest published terms.",
+			func(t TermStat) int64 { return t.Docs })
+		writeTermGauge("kadop_stats_term_postings",
+			"Postings published under this peer's largest terms.",
+			func(t TermStat) int64 { return t.Postings })
+		writeTermGauge("kadop_stats_term_bytes",
+			"Posting bytes published under this peer's largest terms.",
+			func(t TermStat) int64 { return t.Bytes })
+	}
+
+	fmt.Fprintf(&b, "# HELP kadop_stats_queries_observed_total Completed queries that trained the selectivity EWMAs.\n")
+	fmt.Fprintf(&b, "# TYPE kadop_stats_queries_observed_total counter\n")
+	fmt.Fprintf(&b, "kadop_stats_queries_observed_total %d\n", ex.Queries)
+
+	fmt.Fprintf(&b, "# HELP kadop_stats_est_error Cardinality-estimation relative error per query.\n")
+	fmt.Fprintf(&b, "# TYPE kadop_stats_est_error histogram\n")
+	var cum int64
+	var count int64
+	for _, n := range ex.ErrBuckets {
+		count += n
+	}
+	for i, ub := range ErrBounds {
+		cum += ex.ErrBuckets[i]
+		fmt.Fprintf(&b, "kadop_stats_est_error_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	fmt.Fprintf(&b, "kadop_stats_est_error_bucket{le=\"+Inf\"} %d\n", count)
+	fmt.Fprintf(&b, "kadop_stats_est_error_sum %g\n", ex.ErrSum)
+	fmt.Fprintf(&b, "kadop_stats_est_error_count %d\n", count)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Save atomically persists the registry next to the peer's other
+// durable state (write temp, fsync, rename — same discipline as the
+// DPP root file).
+func (r *Registry) Save(path string) error {
+	if r == nil || path == "" {
+		return nil
+	}
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("stats: save: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("stats: save: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("stats: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("stats: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("stats: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores a saved registry (no-op when the file does not exist).
+func (r *Registry) Load(path string) error {
+	if r == nil || path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("stats: load %s: %w", path, err)
+	}
+	var ex Export
+	if err := json.Unmarshal(data, &ex); err != nil {
+		return fmt.Errorf("stats: load %s: %w", path, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for t, s := range ex.Terms {
+		s := s
+		r.terms[t] = &s
+	}
+	for k, v := range ex.Sel {
+		r.sel[k] = v
+	}
+	r.queries = ex.Queries
+	if len(ex.ErrBuckets) == len(r.errN) {
+		copy(r.errN, ex.ErrBuckets)
+	}
+	r.errSum = ex.ErrSum
+	return nil
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"kadop/internal/metrics"
+)
+
+func TestPublishAccumulates(t *testing.T) {
+	r := NewRegistry()
+	r.ObservePublish("l:author", 3, 9)
+	r.ObservePublish("l:author", 2, 4)
+	ts, ok := r.Term("l:author")
+	if !ok {
+		t.Fatal("term missing")
+	}
+	if ts.Docs != 5 || ts.Postings != 13 || ts.Bytes != 13*metrics.PostingWireBytes {
+		t.Errorf("term stat = %+v", ts)
+	}
+	if got := ts.MeanPostingsPerDoc(); math.Abs(got-13.0/5) > 1e-9 {
+		t.Errorf("mean postings/doc = %v", got)
+	}
+	if _, ok := r.Term("l:missing"); ok {
+		t.Error("missing term reported present")
+	}
+}
+
+func TestSelectivityConverges(t *testing.T) {
+	r := NewRegistry()
+	edges := []Edge{{Parent: "l:article", Axis: "//", Child: "l:author"}}
+	// A stable workload: 100 rarest-term postings, 25 matches.
+	for i := 0; i < 20; i++ {
+		r.ObserveQuery(100, 25, edges)
+	}
+	est := r.Estimate(map[string]int64{"l:article": 500, "l:author": 100}, 4, edges)
+	if est.Postings != 600 || est.Bytes != 600*metrics.PostingWireBytes || est.Blocks != 4 {
+		t.Errorf("estimate inputs = %+v", est)
+	}
+	if math.Abs(est.Matches-25) > 1.0 {
+		t.Errorf("est matches = %v, want ~25", est.Matches)
+	}
+	// An unseen shape falls back to the rarest-term upper bound.
+	cold := NewRegistry().Estimate(map[string]int64{"a": 10, "b": 50}, 1, edges)
+	if cold.Matches != 10 {
+		t.Errorf("cold estimate = %v, want 10", cold.Matches)
+	}
+}
+
+func TestErrorHistogramAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	if q := r.ErrorQuantile(0.95); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	for _, e := range []float64{0.005, 0.03, 0.03, 0.15} {
+		r.ObserveError(e)
+	}
+	// Garbage observations are dropped, not recorded.
+	r.ObserveError(math.NaN())
+	r.ObserveError(math.Inf(1))
+	r.ObserveError(-1)
+	if q := r.ErrorQuantile(0.5); q != 0.05 {
+		t.Errorf("p50 = %v, want 0.05 (bucket upper bound)", q)
+	}
+	if q := r.ErrorQuantile(0.95); q != 0.2 {
+		t.Errorf("p95 = %v, want 0.2", q)
+	}
+}
+
+func TestWritePromShape(t *testing.T) {
+	r := NewRegistry()
+	r.ObservePublish(`l:we"ird\term`+"\n", 1, 2)
+	r.ObserveQuery(10, 5, []Edge{{Parent: "a", Axis: "/", Child: "b"}})
+	r.ObserveError(0.3)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"kadop_stats_terms 1",
+		`kadop_stats_term_docs{term="l:we\"ird\\term\n"} 1`,
+		`kadop_stats_term_postings{term="l:we\"ird\\term\n"} 2`,
+		"kadop_stats_queries_observed_total 1",
+		`kadop_stats_est_error_bucket{le="0.5"} 1`,
+		`kadop_stats_est_error_bucket{le="+Inf"} 1`,
+		"kadop_stats_est_error_count 1",
+		"# TYPE kadop_stats_est_error histogram",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stats.json")
+	r := NewRegistry()
+	r.ObservePublish("l:author", 4, 12)
+	r.ObserveQuery(100, 30, []Edge{{Parent: "x", Axis: "//", Child: "y"}})
+	r.ObserveError(0.07)
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistry()
+	if err := r2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	a, b := r.Snapshot(), r2.Snapshot()
+	if len(a.Terms) != len(b.Terms) || a.Terms["l:author"] != b.Terms["l:author"] {
+		t.Errorf("terms: %+v vs %+v", a.Terms, b.Terms)
+	}
+	if a.Queries != b.Queries || a.ErrSum != b.ErrSum {
+		t.Errorf("queries/errsum diverged: %+v vs %+v", a, b)
+	}
+	if math.Abs(a.Sel["x\x00//\x00y"]-b.Sel["x\x00//\x00y"]) > 1e-12 {
+		t.Errorf("selectivities diverged")
+	}
+	// Loading a missing file is a silent no-op.
+	if err := NewRegistry().Load(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilRegistryInert(t *testing.T) {
+	var r *Registry
+	r.ObservePublish("t", 1, 1)
+	r.ObserveQuery(1, 1, []Edge{{Parent: "a", Axis: "/", Child: "b"}})
+	r.ObserveError(0.5)
+	if _, ok := r.Term("t"); ok {
+		t.Error("nil registry reported a term")
+	}
+	if q := r.Queries(); q != 0 {
+		t.Errorf("nil queries = %d", q)
+	}
+	if err := r.Save(filepath.Join(t.TempDir(), "x.json")); err != nil {
+		t.Fatal(err)
+	}
+	est := r.Estimate(map[string]int64{"a": 5}, 1, nil)
+	if est.Matches != 5 {
+		t.Errorf("nil estimate matches = %v, want 5", est.Matches)
+	}
+}
+
+// TestConcurrentRegistry hammers every mutating and reading path at
+// once; under -race it proves the registry needs no external locking.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	edges := []Edge{{Parent: "a", Axis: "/", Child: "b"}}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.ObservePublish("l:author", 1, 3)
+				r.ObserveQuery(10, 2, edges)
+				r.ObserveError(0.1)
+				r.Term("l:author")
+				r.Estimate(map[string]int64{"a": 10}, 1, edges)
+				r.ErrorQuantile(0.95)
+				var b strings.Builder
+				_ = r.WriteProm(&b)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Queries(); got != 4*500 {
+		t.Errorf("queries = %d, want 2000", got)
+	}
+}

@@ -14,9 +14,11 @@
 package pattern
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"kadop/internal/obs/cost"
 	"kadop/internal/sid"
 	"kadop/internal/xmltree"
 )
@@ -203,9 +205,19 @@ func AxisSatisfied(axis Axis, a, d sid.Posting) bool {
 // evaluator: the second query-processing phase runs it at publishing
 // peers, and tests use it as ground truth for the index machinery.
 func MatchDocument(q *Query, doc *xmltree.Document, key sid.DocKey) []Match {
+	return MatchDocumentContext(context.Background(), q, doc, key)
+}
+
+// MatchDocumentContext is MatchDocument with the caller's context.
+// When the context carries cost.Counters the evaluator accumulates its
+// answer-phase actuals there: one document evaluated, every element
+// node visited while enumerating, and the matches produced.
+func MatchDocumentContext(ctx context.Context, q *Query, doc *xmltree.Document, key sid.DocKey) []Match {
+	c := cost.FromContext(ctx)
 	if q == nil || q.Root == nil || doc == nil || doc.Root == nil {
 		return nil
 	}
+	c.AddDocsEvaluated(1)
 	var out []Match
 	nodes := q.Nodes()
 	index := map[*Node]int{}
@@ -249,6 +261,7 @@ func MatchDocument(q *Query, doc *xmltree.Document, key sid.DocKey) []Match {
 		}
 		pn := nodes[i]
 		for _, dn := range allNodes {
+			c.AddElementsScanned(1)
 			if !matchesTerm(pn, dn) {
 				continue
 			}
@@ -262,5 +275,6 @@ func MatchDocument(q *Query, doc *xmltree.Document, key sid.DocKey) []Match {
 		}
 	}
 	enumerate(0)
+	c.AddAnswers(int64(len(out)))
 	return out
 }

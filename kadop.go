@@ -355,8 +355,16 @@ func ServeDebug(addr string, p *Peer, o DebugOptions) (string, func() error, err
 		Cache:     p.BlockCache(),
 		Pprof:     o.Pprof,
 		SLO:       o.SLO,
+		Stats:     p.Stats(),
 		BuildInfo: o.BuildInfo,
 	})
+}
+
+// FormatExplain renders a query result for -explain/-explain-analyze:
+// the span tree, and with analyze also the per-phase table comparing
+// the statistics registry's estimate with the recorded actuals.
+func FormatExplain(res *Result, analyze bool) string {
+	return ikadop.FormatExplain(res, analyze)
 }
 
 // NewQueryLog returns a query logger writing JSONL records to w; set
