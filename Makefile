@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-smoke fuzz-smoke crash-smoke churn-smoke slo-smoke load-smoke stats-smoke
+.PHONY: build test check bench bench-smoke fuzz-smoke crash-smoke churn-smoke slo-smoke load-smoke stats-smoke throughput-smoke
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,8 @@ test:
 # under the race detector (the chaos tests exercise concurrent retries,
 # repair and fault injection), then the seeded crash-recovery sweep,
 # the churn emulation, the SLO/flight-recorder overload run, the
-# adaptive-replication load gate and the statistics-registry estimation
-# gate at smoke scale.
+# adaptive-replication load gate, the statistics-registry estimation
+# gate and the batched-engine throughput gate at smoke scale.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -22,6 +22,7 @@ check:
 	$(MAKE) slo-smoke
 	$(MAKE) load-smoke
 	$(MAKE) stats-smoke
+	$(MAKE) throughput-smoke
 
 # churn-smoke runs the churn emulation harness at its smallest scale: a
 # seeded join/leave/crash schedule over a replicated overlay, asserting
@@ -57,6 +58,19 @@ load-smoke:
 # estimates.
 stats-smoke:
 	$(GO) run ./cmd/kadop-bench -exp stats -short
+
+# throughput-smoke is the batched-engine gate: the concurrent-workload
+# experiment publishes the same corpus per-doc and through the bulk
+# pipeline at fsync=always and fails unless group commit buys at least
+# its bound in publish throughput; it then measures index-query p99
+# idle, during an equal bulk publish into an UNRELATED cluster (the
+# CPU-contention control) and during a bulk publish into the queried
+# cluster itself, and fails if the last exceeds 1.5x the worse baseline
+# plus slack — snapshot reads mean queries never wait on the writer, so
+# publishing into the queried stores must cost no more than publishing
+# next to them. Deterministic workload: same seed, same corpus.
+throughput-smoke:
+	$(GO) run ./cmd/kadop-bench -exp throughput -short
 
 # crash-smoke is the durability gate: the crash-injection property and
 # sweep tests at a fixed, deeper trial budget than the default `go

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|churn|cache|load|durability|slo|stats|all")
+		exp       = flag.String("exp", "all", "experiment: fig2|fig3|traffic|table1|sensitivity|fig7a|fig7b|fig7c|fig9|store|split|robust|churn|cache|load|durability|throughput|slo|stats|all")
 		records   = flag.String("records", "", "comma-separated corpus sizes in records (experiment-specific default)")
 		peers     = flag.Int("peers", 0, "network size (experiment-specific default)")
 		seed      = flag.Int64("seed", 1, "workload seed")
@@ -150,6 +150,18 @@ func main() {
 			}
 			return experiments.RunDurability(o)
 		},
+		"throughput": func() (interface{ Format() string }, error) {
+			o := experiments.ThroughputOptions{Peers: *peers, Seed: *seed}
+			if len(sizes) > 0 {
+				o.Records = sizes[len(sizes)-1]
+			}
+			if *short {
+				// The busy-phase p99 needs a publish long enough to
+				// sample properly; smoke trims peers, not the corpus.
+				o.Records, o.Peers, o.Queries = 240, 4, 20
+			}
+			return experiments.RunThroughput(o)
+		},
 		"slo": func() (interface{ Format() string }, error) {
 			o := experiments.SLOOptions{Peers: *peers, Seed: *seed}
 			if len(sizes) > 0 {
@@ -173,7 +185,7 @@ func main() {
 	}
 
 	order := []string{"fig2", "fig3", "traffic", "table1", "sensitivity",
-		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust", "churn", "cache", "load", "durability", "slo", "stats"}
+		"fig7a", "fig7b", "fig7c", "fig9", "store", "split", "robust", "churn", "cache", "load", "durability", "throughput", "slo", "stats"}
 
 	var selected []string
 	if *exp == "all" {
@@ -189,6 +201,10 @@ func main() {
 	for _, name := range selected {
 		res, err := runners[name]()
 		if err != nil {
+			// A failed gate still carries the measurements it failed on.
+			if res != nil {
+				fmt.Println(res.Format())
+			}
 			fmt.Fprintf(os.Stderr, "kadop-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}

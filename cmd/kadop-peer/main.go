@@ -32,6 +32,9 @@ func main() {
 		storePath = flag.String("store", "", "B+-tree index file (empty = in-memory; superseded by -data)")
 		dataDir   = flag.String("data", "", "durable data directory: index WAL, published documents and directory entries survive restarts from it")
 		fsyncMode = flag.String("fsync", "always", "index WAL fsync policy with -data: always|interval|off")
+		batch     = flag.Bool("batch", false, "coalesce concurrent index appends into group-committed WAL batches (one fsync per batch)")
+		batchOps  = flag.Int("batch-ops", 0, "max operations per coalesced batch (with -batch; 0 = default 256)")
+		batchWait = flag.Duration("batch-wait", 0, "extra time a batch leader waits to grow its group (with -batch; 0 = flush immediately)")
 		useDPP    = flag.Bool("dpp", false, "enable distributed posting partitioning")
 		cache     = flag.Int64("cache", 0, "posting-block cache capacity in bytes (0 = off; effective with -dpp)")
 		repl      = flag.Int("replication", 1, "index replication factor (all peers of a deployment must agree)")
@@ -72,6 +75,9 @@ func main() {
 		DataDir: *dataDir, Fsync: fsync, RepublishInterval: *republish,
 		SlowQuery: *slowQuery,
 		ShedRate:  *shedRate, ShedBurst: *shedBurst,
+	}
+	if *batch {
+		cfg.Batching = kadop.BatchingConfig{Enabled: true, MaxOps: *batchOps, MaxDelay: *batchWait}
 	}
 	if *replicate > 0 {
 		cfg.Replicate = kadop.ReplicateConfig{

@@ -153,11 +153,16 @@ func (n *Node) streamBatch(req Message, send func(Message) error) error {
 	if err != nil {
 		return err
 	}
+	// One snapshot for the whole batch: every key's list comes from the
+	// same committed generation, so a publish landing between keys
+	// cannot skew a join's inputs against each other.
+	view, release := n.readView()
+	defer release()
 	for _, key := range keys {
 		n.load.ServeBlock()
 		batch := make(postings.List, 0, n.cfg.ChunkSize)
 		var sendErr error
-		err := n.store.Scan(key, sid.MinPosting, func(p sid.Posting) bool {
+		err := view.Scan(key, sid.MinPosting, func(p sid.Posting) bool {
 			if clip {
 				k := p.Key()
 				if k.Compare(lo) < 0 {

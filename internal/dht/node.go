@@ -210,6 +210,27 @@ func (n *Node) quietStore() store.Store {
 	return n.store
 }
 
+// storeReader is the read slice of store.Store, satisfied by both the
+// store and a store.Snapshot.
+type storeReader interface {
+	Get(term string) (postings.List, error)
+	Scan(term string, from sid.Posting, fn func(sid.Posting) bool) error
+	Count(term string) (int, error)
+	Terms() ([]string, error)
+}
+
+// readView pins a snapshot of the local store for one serving read, so
+// handlers answer queries without blocking behind the writer lock and
+// without ever observing a half-applied publish batch. Stores without
+// snapshot support fall back to direct reads. The caller must invoke
+// the returned release func when done.
+func (n *Node) readView() (storeReader, func()) {
+	if snap := store.SnapshotOf(n.store); snap != nil {
+		return snap, func() { snap.Close() }
+	}
+	return n.store, func() {}
+}
+
 // Metrics exposes the node's collector (the transport's, when the
 // transport accounts traffic). May be nil; the collector's methods are
 // nil-safe.
@@ -635,7 +656,11 @@ func (n *Node) GetContext(ctx context.Context, key string) (postings.List, error
 	for _, o := range owners {
 		var l postings.List
 		if o.ID == n.self.ID {
-			l, err = n.store.Get(key)
+			var view storeReader
+			var release func()
+			view, release = n.readView()
+			l, err = view.Get(key)
+			release()
 		} else {
 			var resp Message
 			resp, err = n.call(ctx, o, Message{Type: MsgGet, From: n.from(), Key: key})
@@ -1204,25 +1229,34 @@ func (n *Node) handleCall(from Contact, req Message) Message {
 		if err := n.admitRead(rpcOp(req.Type)); err != nil {
 			return fail(err)
 		}
-		l, err := n.store.Get(req.Key)
+		view, release := n.readView()
+		l, err := view.Get(req.Key)
+		release()
 		if err != nil {
 			return fail(err)
 		}
 		return Message{Type: MsgAck, From: n.self, Postings: l}
 	case MsgDigest:
-		c, err := n.store.Count(req.Key)
+		view, release := n.readView()
+		c, err := view.Count(req.Key)
+		release()
 		if err != nil {
 			return fail(err)
 		}
 		return Message{Type: MsgDigestAck, From: n.self, Blob: binary.AppendUvarint(nil, uint64(c))}
 	case MsgTerms:
-		terms, err := n.store.Terms()
+		// One snapshot across the whole enumeration: the terms and their
+		// counts describe a single committed generation even while a
+		// bulk publish rewrites the index underneath.
+		view, release := n.readView()
+		defer release()
+		terms, err := view.Terms()
 		if err != nil {
 			return fail(err)
 		}
 		tcs := make([]TermCount, 0, len(terms))
 		for _, term := range terms {
-			c, err := n.store.Count(term)
+			c, err := view.Count(term)
 			if err != nil || c == 0 {
 				continue
 			}
@@ -1295,11 +1329,15 @@ func (n *Node) HandleStream(from Contact, req Message, send func(Message) error)
 	return fmt.Errorf("unexpected stream request %s", req.Type)
 }
 
-// streamList scans the local store and ships the list in chunks.
+// streamList scans a snapshot of the local store and ships the list in
+// chunks: the stream delivers one committed generation end to end, even
+// when publishes land mid-transfer.
 func (n *Node) streamList(key string, send func(Message) error) error {
+	view, release := n.readView()
+	defer release()
 	batch := make(postings.List, 0, n.cfg.ChunkSize)
 	var sendErr error
-	err := n.store.Scan(key, sid.MinPosting, func(p sid.Posting) bool {
+	err := view.Scan(key, sid.MinPosting, func(p sid.Posting) bool {
 		batch = append(batch, p)
 		if len(batch) == n.cfg.ChunkSize {
 			sendErr = send(Message{Type: MsgChunk, From: n.self, Postings: batch})

@@ -15,8 +15,8 @@ func TestDurabilityShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 3 {
-		t.Fatalf("rows = %d, want one per policy", len(res.Rows))
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want one per policy plus the batched-always row", len(res.Rows))
 	}
 	for _, row := range res.Rows {
 		if row.Docs == 0 || row.Publish <= 0 || row.DocsSec <= 0 {
@@ -28,10 +28,17 @@ func TestDurabilityShape(t *testing.T) {
 		t.Fatalf("doc counts differ across policies: %d vs %d", res.Rows[0].Docs, res.Rows[2].Docs)
 	}
 	if res.Rows[2].Policy != store.FsyncAlways {
-		t.Fatalf("last row policy = %v, want always", res.Rows[2].Policy)
+		t.Fatalf("third row policy = %v, want always", res.Rows[2].Policy)
+	}
+	last := res.Rows[3]
+	if last.Policy != store.FsyncAlways || !last.Batched {
+		t.Fatalf("last row = %+v, want batched always", last)
+	}
+	if res.BatchGain() <= 0 {
+		t.Fatalf("batch gain = %v, want > 0", res.BatchGain())
 	}
 	out := res.Format()
-	for _, want := range []string{"fsync", "always", "interval", "off", "docs/s"} {
+	for _, want := range []string{"fsync", "always", "always+batch", "interval", "off", "docs/s", "group commit"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("format missing %q:\n%s", want, out)
 		}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestThroughputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("publishes three corpora against disk stores")
+	}
+	// The race build distorts both gates (everything is 5-20x slower
+	// and fsync stops dominating), so it only checks the plumbing.
+	res, err := RunThroughput(ThroughputOptions{
+		Records: 60, Peers: 4, Queries: 10, Seed: 1,
+		NoGate: raceEnabled,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Docs == 0 || res.UnbatchedSec <= 0 || res.BatchedSec <= 0 {
+		t.Fatalf("degenerate publish measurements: %+v", res)
+	}
+	if res.Gain <= 0 {
+		t.Fatalf("gain = %v, want > 0", res.Gain)
+	}
+	if res.IdleP99 <= 0 || res.CtlP99 <= 0 || res.BusyP99 <= 0 {
+		t.Fatalf("degenerate latency measurements: idle %v ctl %v busy %v", res.IdleP99, res.CtlP99, res.BusyP99)
+	}
+	if res.IdleSamples < 10 || res.CtlSamples < 10 || res.BusySamples < 10 {
+		t.Fatalf("too few samples: idle %d ctl %d busy %d", res.IdleSamples, res.CtlSamples, res.BusySamples)
+	}
+	if res.IdleP50 > res.IdleP99 || res.CtlP50 > res.CtlP99 || res.BusyP50 > res.BusyP99 {
+		t.Fatalf("quantiles inverted: %+v", res)
+	}
+	out := res.Format()
+	for _, want := range []string{"group commit", "per-op commit", "publish gain", "idle cluster", "bulk publish elsewhere", "during bulk publish"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuantileDur(t *testing.T) {
+	ds := []time.Duration{5, 1, 4, 2, 3}
+	if got := quantileDur(ds, 0.5); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := quantileDur(ds, 0.99); got != 5 {
+		t.Fatalf("p99 = %v, want 5", got)
+	}
+	if got := quantileDur(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// quantileDur must not reorder the caller's samples.
+	if ds[0] != 5 || ds[4] != 3 {
+		t.Fatalf("input mutated: %v", ds)
+	}
+}

@@ -127,6 +127,31 @@ type Config struct {
 	// persistent record; the query's flight-ring entry and histogram
 	// exemplar are recorded regardless.
 	SlowQuery time.Duration
+	// Batching configures write coalescing on the peer's index store:
+	// index appends arriving concurrently (several publishers, or the
+	// fan-out of one wide document) group into a single WAL commit, so
+	// one fsync covers the whole batch instead of one per operation.
+	// Honoured by the constructors that build the store themselves
+	// (NewTCPPeer, the experiment clusters); constructors taking an
+	// existing *dht.Node leave the store to the caller, who can wrap it
+	// in store.NewCoalescer directly.
+	Batching BatchingConfig
+}
+
+// BatchingConfig tunes the publish-path write coalescer
+// (store.NewCoalescer). The zero value disables coalescing, the seed
+// behaviour: one WAL transaction and one fsync per store operation.
+type BatchingConfig struct {
+	// Enabled wraps the index store in the coalescer.
+	Enabled bool
+	// MaxOps bounds one batch (default 256 when zero).
+	MaxOps int
+	// MaxDelay, when positive, lets a batch leader linger that long
+	// collecting more operations before flushing. Zero (the default)
+	// flushes immediately — serial callers pay no added latency and
+	// batches form naturally from whatever queued during the previous
+	// flush.
+	MaxDelay time.Duration
 }
 
 func (c Config) pipelined() bool { return c.Pipelined == nil || *c.Pipelined }
@@ -569,20 +594,70 @@ func (p *Peer) indexDoc(id sid.DocID, doc *xmltree.Document, uri, dtype string) 
 		k := tp.Term.Key()
 		byTerm[k] = append(byTerm[k], tp.Posting)
 	}
-	for term, list := range byTerm {
-		list.Sort()
-		if err := p.appendIndex(term, list, dtype); err != nil {
-			return key, fmt.Errorf("kadop: publish %q: index %q: %w", uri, term, err)
-		}
-		// Statistics update at the publisher: each term gained one
-		// document and len(list) postings here, so summing registries
-		// across the cluster yields the exact global cardinalities.
-		p.stats.ObservePublish(term, 1, int64(len(list)))
+	if err := p.appendTerms(byTerm, nil, dtype, indexFanOut); err != nil {
+		return key, fmt.Errorf("kadop: publish %q: %w", uri, err)
 	}
 	if err := p.dirPut(docKey(key), []byte(uri)); err != nil {
 		return key, err
 	}
 	return key, nil
+}
+
+// indexFanOut bounds the concurrent term appends of one publish. Terms
+// hash to independent home peers, so a document's appends are parallel
+// work; at the home stores the concurrency is what lets the write
+// coalescer form large group commits. The bound keeps one wide
+// document from flooding the overlay.
+const indexFanOut = 8
+
+// batchFanOut is the append fan-out of the bulk-publish path. A batch
+// has already merged its postings per term, so its appends are fewer
+// and larger than a per-doc publish's — and with a lingering coalescer
+// at the home stores (BatchingConfig.MaxDelay) an append spends most
+// of its life parked in a store's batch queue, so the bulk path must
+// keep many more in flight than indexFanOut to keep every store's
+// collection window fed.
+const batchFanOut = 32
+
+// appendTerms routes per-term posting groups into the distributed
+// index, at most fanOut appends in flight, and feeds the
+// publisher-side statistics. docsGained[term] is the number of
+// documents contributing to term; nil means one document (the
+// single-publish paths). Lists are sorted in place. The first append
+// error wins; remaining in-flight appends still drain.
+func (p *Peer) appendTerms(byTerm map[string]postings.List, docsGained map[string]int, dtype string, fanOut int) error {
+	sem := make(chan struct{}, fanOut)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for term, list := range byTerm {
+		list.Sort()
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(term string, list postings.List) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := p.appendIndex(term, list, dtype); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("index %q: %w", term, err)
+				}
+				errMu.Unlock()
+				return
+			}
+			// Statistics update at the publisher: summing registries
+			// across the cluster yields the exact global cardinalities.
+			docs := int64(1)
+			if docsGained != nil {
+				docs = int64(docsGained[term])
+			}
+			p.stats.ObservePublish(term, docs, int64(len(list)))
+		}(term, list)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // appendIndex routes one term's postings into the distributed index.
@@ -615,12 +690,8 @@ func (p *Peer) PublishAt(id sid.DocID, doc *xmltree.Document, uri string) (sid.D
 		k := tp.Term.Key()
 		byTerm[k] = append(byTerm[k], tp.Posting)
 	}
-	for term, list := range byTerm {
-		list.Sort()
-		if err := p.appendIndex(term, list, ""); err != nil {
-			return key, fmt.Errorf("kadop: publish %q: index %q: %w", uri, term, err)
-		}
-		p.stats.ObservePublish(term, 1, int64(len(list)))
+	if err := p.appendTerms(byTerm, nil, "", indexFanOut); err != nil {
+		return key, fmt.Errorf("kadop: publish %q: %w", uri, err)
 	}
 	if err := p.dirPut(docKey(key), []byte(uri)); err != nil {
 		return key, err
@@ -659,6 +730,160 @@ func (p *Peer) PublishXMLTyped(raw []byte, uri, dtype string) (sid.DocKey, error
 		return sid.DocKey{Peer: p.id, Doc: id}, err
 	}
 	return p.indexDoc(id, doc, uri, dtype)
+}
+
+// BatchDoc is one document of a PublishXMLBatch bulk publish.
+type BatchDoc struct {
+	XML   []byte
+	URI   string
+	Dtype string // optional document type (Section 4.1)
+}
+
+// PublishXMLBatch publishes many XML documents as one bulk operation.
+// It has the same outcome as calling PublishXML per document, but the
+// costs amortise across the batch:
+//
+//   - on a durable peer the whole batch journals with a single write
+//     and a single fsync (a crash mid-journal recovers a prefix of the
+//     batch, each document whole);
+//   - postings merge per term across the batch, so a term appearing in
+//     k documents costs one index append instead of k;
+//   - the merged appends fan out concurrently, and with store batching
+//     enabled (Config.Batching) the home peers group-commit them.
+//
+// All documents must parse; a parse failure rejects the batch before
+// any state changes. Index errors are reported after the documents are
+// registered and journaled, exactly as a failed PublishXML leaves the
+// document held locally for Reannounce and repair to finish the job.
+func (p *Peer) PublishXMLBatch(docs []BatchDoc) ([]sid.DocKey, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	parsed := make([]*xmltree.Document, len(docs))
+	for i, d := range docs {
+		doc, err := xmltree.ParseBytes(d.XML)
+		if err != nil {
+			return nil, fmt.Errorf("kadop: publish %q: %w", d.URI, err)
+		}
+		parsed[i] = doc
+	}
+	keys := make([]sid.DocKey, len(docs))
+	recs := make([]stateRecord, len(docs))
+	uris := make([]string, len(docs))
+	dtypes := make([]string, len(docs))
+	p.mu.Lock()
+	for i, d := range docs {
+		id := p.nextDoc
+		p.nextDoc++
+		p.docs[id] = parsed[i]
+		p.uris[id] = d.URI
+		if d.Dtype != "" {
+			p.docTypes[id] = d.Dtype
+		}
+		keys[i] = sid.DocKey{Peer: p.id, Doc: id}
+		recs[i] = stateRecord{Kind: "doc", ID: uint32(id), URI: d.URI, Dtype: d.Dtype, XML: d.XML}
+		uris[i] = d.URI
+		dtypes[i] = d.Dtype
+	}
+	p.mu.Unlock()
+	// Journal the whole batch before indexing (one write, one fsync):
+	// same ordering rationale as PublishXML — a crash mid-index leaves
+	// documents someone can still serve, never postings pointing at
+	// documents nobody holds.
+	if err := p.persist.appendMany(recs); err != nil {
+		return keys, err
+	}
+	return keys, p.batchIndex(parsed, keys, uris, dtypes)
+}
+
+// TreeDoc is one document of a PublishBatch bulk publish: already
+// parsed, with its URI and optional type.
+type TreeDoc struct {
+	Doc   *xmltree.Document
+	URI   string
+	Dtype string
+}
+
+// PublishBatch is the parsed-document counterpart of PublishXMLBatch:
+// the bulk form of Publish/PublishTyped. Like those, it does not
+// journal document bytes (there are none); postings merge per term
+// across the batch and the merged appends fan out concurrently, so a
+// term appearing in k documents costs one index append instead of k —
+// with store batching enabled the home peers group-commit what is
+// left.
+func (p *Peer) PublishBatch(docs []TreeDoc) ([]sid.DocKey, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	parsed := make([]*xmltree.Document, len(docs))
+	keys := make([]sid.DocKey, len(docs))
+	uris := make([]string, len(docs))
+	dtypes := make([]string, len(docs))
+	p.mu.Lock()
+	for i, d := range docs {
+		id := p.nextDoc
+		p.nextDoc++
+		p.docs[id] = d.Doc
+		p.uris[id] = d.URI
+		if d.Dtype != "" {
+			p.docTypes[id] = d.Dtype
+		}
+		parsed[i] = d.Doc
+		keys[i] = sid.DocKey{Peer: p.id, Doc: id}
+		uris[i] = d.URI
+		dtypes[i] = d.Dtype
+	}
+	p.mu.Unlock()
+	return keys, p.batchIndex(parsed, keys, uris, dtypes)
+}
+
+// batchIndex routes the postings of a batch of already-registered
+// documents into the distributed index, merged per term across the
+// batch, then records the URIs in the Doc relation. Appends carry the
+// document type into the DPP block conditions, so only documents of
+// the same type may share one append.
+func (p *Peer) batchIndex(parsed []*xmltree.Document, keys []sid.DocKey, uris, dtypes []string) error {
+	type termGroup struct {
+		list postings.List
+		docs int
+	}
+	groups := map[string]map[string]*termGroup{} // dtype -> term -> group
+	for i := range parsed {
+		byType := groups[dtypes[i]]
+		if byType == nil {
+			byType = map[string]*termGroup{}
+			groups[dtypes[i]] = byType
+		}
+		for _, tp := range xmltree.Extract(parsed[i], p.id, keys[i].Doc, p.cfg.Extract) {
+			k := tp.Term.Key()
+			g := byType[k]
+			if g == nil {
+				g = &termGroup{}
+				byType[k] = g
+			}
+			if len(g.list) == 0 || g.list[len(g.list)-1].Doc != keys[i].Doc {
+				g.docs++
+			}
+			g.list = append(g.list, tp.Posting)
+		}
+	}
+	for dtype, byType := range groups {
+		byTerm := make(map[string]postings.List, len(byType))
+		docsGained := make(map[string]int, len(byType))
+		for term, g := range byType {
+			byTerm[term] = g.list
+			docsGained[term] = g.docs
+		}
+		if err := p.appendTerms(byTerm, docsGained, dtype, batchFanOut); err != nil {
+			return fmt.Errorf("kadop: publish batch: %w", err)
+		}
+	}
+	for i, key := range keys {
+		if err := p.dirPut(docKey(key), []byte(uris[i])); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Unpublish removes a document from the collection: its postings are

@@ -83,8 +83,12 @@ func crashOpener(st *crashState) fileOpener {
 }
 
 // countingOpener measures the total bytes a run writes, so crash points
-// can be sampled across the whole write history.
-type countingState struct{ written int64 }
+// can be sampled across the whole write history. It also counts fsyncs:
+// the batch tests assert that a whole batch costs one.
+type countingState struct {
+	written int64
+	syncs   int64
+}
 
 func countingOpener(st *countingState) fileOpener {
 	return func(path string) (file, error) {
@@ -107,7 +111,10 @@ func (c *countingFile) WriteAt(p []byte, off int64) (int, error) {
 	return c.f.WriteAt(p, off)
 }
 func (c *countingFile) Truncate(size int64) error { return c.f.Truncate(size) }
-func (c *countingFile) Sync() error               { return c.f.Sync() }
+func (c *countingFile) Sync() error {
+	c.st.syncs++
+	return c.f.Sync()
+}
 func (c *countingFile) Close() error              { return c.f.Close() }
 func (c *countingFile) Size() (int64, error)      { return c.f.Size() }
 

@@ -62,6 +62,65 @@ func (s *Instrumented) Scan(term string, from sid.Posting, fn func(sid.Posting) 
 	return err
 }
 
+// ApplyBatch implements Batcher, charging each appended op's postings
+// to the ledger exactly as the per-op path would.
+func (s *Instrumented) ApplyBatch(b *Batch) error {
+	err := ApplyBatch(s.inner, b)
+	if err == nil && b != nil {
+		for _, op := range b.ops {
+			if !op.del {
+				s.load.Append(op.term, len(op.ps))
+			}
+		}
+	}
+	return err
+}
+
+// Snapshot implements Snapshotter when the inner store does; serves
+// through the snapshot charge the same ledger as direct reads.
+func (s *Instrumented) Snapshot() (Snapshot, error) {
+	ss, ok := s.inner.(Snapshotter)
+	if !ok {
+		return nil, errNoSnapshot
+	}
+	snap, err := ss.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &instrumentedSnap{inner: snap, load: s.load}, nil
+}
+
+// instrumentedSnap charges snapshot reads to the peer's load ledger.
+type instrumentedSnap struct {
+	inner Snapshot
+	load  *metrics.Load
+}
+
+func (s *instrumentedSnap) Get(term string) (postings.List, error) {
+	l, err := s.inner.Get(term)
+	if err == nil {
+		s.load.Serve(term, len(l))
+	}
+	return l, err
+}
+
+func (s *instrumentedSnap) Scan(term string, from sid.Posting, fn func(sid.Posting) bool) error {
+	n := 0
+	err := s.inner.Scan(term, from, func(p sid.Posting) bool {
+		ok := fn(p)
+		if ok {
+			n++
+		}
+		return ok
+	})
+	s.load.Serve(term, n)
+	return err
+}
+
+func (s *instrumentedSnap) Count(term string) (int, error) { return s.inner.Count(term) }
+func (s *instrumentedSnap) Terms() ([]string, error)       { return s.inner.Terms() }
+func (s *instrumentedSnap) Close() error                   { return s.inner.Close() }
+
 // Count implements Store.
 func (s *Instrumented) Count(term string) (int, error) { return s.inner.Count(term) }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 )
 
 // pageSize is the on-disk page size of the B+-tree.
@@ -185,6 +186,30 @@ type pager struct {
 	order  *list.List       // LRU: front = most recent
 	tx     map[uint32]*page // pages dirtied by the in-flight transaction
 	ioErr  error            // sticky commit/checkpoint failure
+
+	// Snapshot machinery (snapshot.go). snapMu is a leaf lock guarding
+	// the cache map, the LRU list, page write-back and the snapshot
+	// registry — the structures snapshot readers touch without holding
+	// the tree's writer lock. The writer holds it only for short
+	// bookkeeping sections, never across I/O on the commit path.
+	//
+	// committedRoot/committedNPages are the last committed generation
+	// and txUndo holds the committed pre-images of every page the
+	// in-flight transaction has dirtied (ids within that generation).
+	// Together they let Snapshot() pin the committed generation at any
+	// instant — even mid-transaction — without touching the tree's
+	// writer lock: a snapshot taken mid-flight starts from the copied
+	// txUndo overlay, and markDirty keeps feeding it pre-images for
+	// pages dirtied later. snapErr/snapClosed mirror ioErr/closed into
+	// snapMu's domain so snapshot creation never reads writer state.
+	snapMu          sync.Mutex
+	snaps           map[uint64]*snapState
+	snapSeq         uint64
+	committedRoot   uint32
+	committedNPages uint32
+	txUndo          map[uint32]*page
+	snapErr         error
+	snapClosed      bool
 }
 
 var (
@@ -204,6 +229,7 @@ func openPager(path string, opts Options) (*pager, uint32, error) {
 	pg := &pager{
 		f: f, opts: opts,
 		cache: map[uint32]*page{}, order: list.New(), tx: map[uint32]*page{},
+		snaps: map[uint64]*snapState{}, txUndo: map[uint32]*page{},
 	}
 	size, err := f.Size()
 	if err != nil {
@@ -250,6 +276,8 @@ func openPager(path string, opts Options) (*pager, uint32, error) {
 		f.Close()
 		return nil, 0, fmt.Errorf("store: pager: %s has a corrupt meta page and no replayable WAL", path)
 	}
+	pg.committedRoot = pg.root
+	pg.committedNPages = pg.npages
 	return pg, pg.root, nil
 }
 
@@ -271,6 +299,8 @@ func (pg *pager) setRoot(id uint32) { pg.root = id }
 // the LRU front cannot be evicted by the handful of allocations one
 // insertion performs.
 func (pg *pager) insertCache(p *page) {
+	pg.snapMu.Lock()
+	defer pg.snapMu.Unlock()
 	p.lru = pg.order.PushFront(p)
 	pg.cache[p.id] = p
 	for len(pg.cache) > cacheLimit {
@@ -285,7 +315,10 @@ func (pg *pager) insertCache(p *page) {
 // evictOne drops the least-recently-used evictable page. Pages touched
 // by the in-flight transaction are pinned (the page file must never see
 // uncommitted state); committed dirty pages are written back first —
-// safe, because their redo images are already in the WAL.
+// safe, because their redo images are already in the WAL. Runs with
+// snapMu held (via insertCache), so a snapshot reader can never observe
+// the window between the write-back and the cache removal and tear a
+// concurrent read of the same disk page.
 func (pg *pager) evictOne() bool {
 	for e := pg.order.Back(); e != nil; e = e.Prev() {
 		victim := e.Value.(*page)
@@ -310,10 +343,13 @@ func (pg *pager) get(id uint32) (*page, error) {
 	if id == 0 || id > pg.npages {
 		return nil, fmt.Errorf("store: pager: page id %d out of range (have %d)", id, pg.npages)
 	}
+	pg.snapMu.Lock()
 	if p, ok := pg.cache[id]; ok {
 		pg.order.MoveToFront(p.lru)
+		pg.snapMu.Unlock()
 		return p, nil
 	}
+	pg.snapMu.Unlock()
 	buf := make([]byte, pageSize)
 	if _, err := pg.f.ReadAt(buf, int64(id)*pageSize); err != nil {
 		return nil, fmt.Errorf("store: pager: read page %d: %w", id, err)
@@ -326,8 +362,35 @@ func (pg *pager) get(id uint32) (*page, error) {
 	return p, nil
 }
 
-// markDirty records p as modified by the in-flight transaction.
+// markDirty records p as modified by the in-flight transaction. It
+// MUST be called before the first mutation of the page in the
+// transaction: on the page's first touch, its current (committed) image
+// is stashed — into txUndo, so a snapshot created mid-transaction
+// starts from the committed generation, and into the overlay of every
+// live snapshot that can reach the page — so readers keep seeing the
+// generation they pinned while the writer mutates the live page
+// lock-free. The clone is shared between all stashes; snapshot overlays
+// are read-only.
 func (pg *pager) markDirty(p *page) {
+	if _, inTx := pg.tx[p.id]; !inTx {
+		var pre *page
+		pg.snapMu.Lock()
+		if p.id <= pg.committedNPages {
+			pre = p.clone()
+			pg.txUndo[p.id] = pre
+		}
+		for _, s := range pg.snaps {
+			if p.id <= s.npages {
+				if _, ok := s.overlay[p.id]; !ok {
+					if pre == nil {
+						pre = p.clone()
+					}
+					s.overlay[p.id] = pre
+				}
+			}
+		}
+		pg.snapMu.Unlock()
+	}
 	p.dirty = true
 	pg.tx[p.id] = p
 }
@@ -374,15 +437,33 @@ func (pg *pager) commit() error {
 	binary.LittleEndian.PutUint32(cr[12:], pg.npages)
 	buf = walAppendRecord(buf, walRecCommit, cr[:])
 	if err := pg.wal.appendTx(buf); err != nil {
-		pg.ioErr = err
+		pg.fail(err)
 		return err
 	}
 	pg.lsn++
 	pg.tx = map[uint32]*page{}
+	// Publish the new committed generation to the snapshot plane: from
+	// here on a snapshot pins this root/page-count, and the undo images
+	// of the just-committed transaction are obsolete.
+	pg.snapMu.Lock()
+	pg.committedRoot = pg.root
+	pg.committedNPages = pg.npages
+	pg.txUndo = map[uint32]*page{}
+	pg.snapMu.Unlock()
 	if pg.wal.bytes() >= pg.opts.CheckpointBytes {
 		return pg.checkpoint()
 	}
 	return nil
+}
+
+// fail records a sticky commit/checkpoint error, mirrored into the
+// snapshot plane so snapshot creation (which runs without the writer
+// lock) refuses as well.
+func (pg *pager) fail(err error) {
+	pg.ioErr = err
+	pg.snapMu.Lock()
+	pg.snapErr = err
+	pg.snapMu.Unlock()
 }
 
 // checkpoint copies all committed dirty pages into the page file,
@@ -393,11 +474,11 @@ func (pg *pager) checkpoint() error {
 		return pg.ioErr
 	}
 	if err := pg.checkpointNoTruncate(); err != nil {
-		pg.ioErr = err
+		pg.fail(err)
 		return err
 	}
 	if err := pg.wal.reset(); err != nil {
-		pg.ioErr = err
+		pg.fail(err)
 		return err
 	}
 	return nil
@@ -448,6 +529,9 @@ func (pg *pager) writeMeta() error {
 func (pg *pager) pageCount() int { return int(pg.npages) }
 
 func (pg *pager) close() error {
+	pg.snapMu.Lock()
+	pg.snapClosed = true
+	pg.snapMu.Unlock()
 	err := pg.commit()
 	if err == nil {
 		err = pg.checkpoint()

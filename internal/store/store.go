@@ -70,19 +70,26 @@ func (m *Mem) Append(term string, ps postings.List) error {
 	if len(ps) == 0 {
 		return nil
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.appendLocked(term, ps)
+	return nil
+}
+
+// appendLocked merges postings under m.mu (Append and ApplyBatch). It
+// never overwrites elements below a published slice's length, so slice
+// headers handed out by Snapshot stay valid without copying.
+func (m *Mem) appendLocked(term string, ps postings.List) {
 	add := ps.Clone()
 	add.Sort()
 	add = add.Dedup()
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	cur := m.lists[term]
 	if n := len(cur); n == 0 || cur[n-1].Compare(add[0]) < 0 {
 		// Common fast path: bulk loads arrive in order.
 		m.lists[term] = append(cur, add...)
-		return nil
+		return
 	}
 	m.lists[term] = postings.MergeUnique(cur, add)
-	return nil
 }
 
 // Get implements Store.
@@ -92,14 +99,17 @@ func (m *Mem) Get(term string) (postings.List, error) {
 	return m.lists[term].Clone(), nil
 }
 
-// Scan implements Store.
+// Scan implements Store. The slice header captured under RLock is a
+// consistent prefix of the list — published elements are never mutated
+// in place (Append extends past the captured length, Delete copies) —
+// so the scan iterates it directly instead of cloning the whole tail,
+// which allocated O(list) even when fn stopped after one posting.
 func (m *Mem) Scan(term string, from sid.Posting, fn func(sid.Posting) bool) error {
 	m.mu.RLock()
 	l := m.lists[term]
-	i := sort.Search(len(l), func(i int) bool { return l[i].Compare(from) >= 0 })
-	tail := l[i:].Clone()
 	m.mu.RUnlock()
-	for _, p := range tail {
+	i := sort.Search(len(l), func(i int) bool { return l[i].Compare(from) >= 0 })
+	for _, p := range l[i:] {
 		if !fn(p) {
 			return nil
 		}
@@ -118,12 +128,24 @@ func (m *Mem) Count(term string) (int, error) {
 func (m *Mem) Delete(term string, p sid.Posting) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.deleteLocked(term, p)
+	return nil
+}
+
+// deleteLocked removes one posting under m.mu. It rebuilds the list
+// instead of shifting in place: slice headers handed out by Snapshot
+// (and by lock-free Scan) share the old backing array, which must stay
+// untouched.
+func (m *Mem) deleteLocked(term string, p sid.Posting) {
 	l := m.lists[term]
 	i := sort.Search(len(l), func(i int) bool { return l[i].Compare(p) >= 0 })
-	if i < len(l) && l[i] == p {
-		m.lists[term] = append(l[:i], l[i+1:]...)
+	if i >= len(l) || l[i] != p {
+		return
 	}
-	return nil
+	nl := make(postings.List, 0, len(l)-1)
+	nl = append(nl, l[:i]...)
+	nl = append(nl, l[i+1:]...)
+	m.lists[term] = nl
 }
 
 // DeleteTerm implements Store.
@@ -167,8 +189,10 @@ func NewNaive(dir string) (*Naive, error) {
 }
 
 func (n *Naive) path(term string) string {
-	// Escape path separators; term keys are short ("l:author").
-	safe := strings.NewReplacer("/", "%2F", "\\", "%5C", ":", "%3A", ".", "%2E").Replace(term)
+	// Escape path separators; term keys are short ("l:author"). The
+	// escape character itself goes first, so a term containing a literal
+	// "%2F" ("%252F" on disk) cannot collide with a term containing "/".
+	safe := strings.NewReplacer("%", "%25", "/", "%2F", "\\", "%5C", ":", "%3A", ".", "%2E").Replace(term)
 	return filepath.Join(n.dir, safe+".gz")
 }
 
@@ -293,10 +317,17 @@ func (n *Naive) Terms() ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: naive: %w", err)
 	}
-	unescape := strings.NewReplacer("%2F", "/", "%5C", "\\", "%3A", ":", "%2E", ".")
+	// Unescape the escape character last, mirroring path's escape order.
+	unescape := strings.NewReplacer("%2F", "/", "%5C", "\\", "%3A", ":", "%2E", ".", "%25", "%")
 	var out []string
 	for _, e := range ents {
-		name := strings.TrimSuffix(e.Name(), ".gz")
+		// Only .gz files are term blobs; TrimSuffix alone used to let
+		// stray directory entries (editor droppings, tempfiles) through
+		// as phantom terms.
+		name, ok := strings.CutSuffix(e.Name(), ".gz")
+		if !ok {
+			continue
+		}
 		out = append(out, unescape.Replace(name))
 	}
 	sort.Strings(out)

@@ -132,6 +132,15 @@ type (
 	// consistency — a crash under any policy recovers to a committed
 	// prefix.
 	FsyncPolicy = store.FsyncPolicy
+	// BatchingConfig tunes the publish-path write coalescer
+	// (Config.Batching): concurrent index appends group into single WAL
+	// commits, one fsync per batch.
+	BatchingConfig = ikadop.BatchingConfig
+	// BatchDoc is one document of a Peer.PublishXMLBatch bulk publish.
+	BatchDoc = ikadop.BatchDoc
+	// TreeDoc is one document of a Peer.PublishBatch bulk publish
+	// (already parsed).
+	TreeDoc = ikadop.TreeDoc
 )
 
 // Index WAL fsync policies (Config.Fsync, effective with
@@ -526,6 +535,16 @@ func NewTCPPeer(addr string, id PeerID, storePath string, cfg Config) (*Peer, er
 		}
 	default:
 		st = store.NewMem()
+	}
+	if cfg.Batching.Enabled {
+		// The coalescer turns concurrent index appends into group
+		// commits: one WAL transaction and one fsync per batch. Close
+		// order is unchanged — closing the coalescer drains its queue
+		// and closes the wrapped store.
+		st = store.NewCoalescer(st, store.CoalesceOptions{
+			MaxOps:   cfg.Batching.MaxOps,
+			MaxDelay: cfg.Batching.MaxDelay,
+		})
 	}
 	nd, err := dht.NewNode(tr, st, cfg.DHT)
 	if err != nil {
